@@ -1,0 +1,6 @@
+"""Shared plumbing for the benchmark harness."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))

@@ -1,0 +1,134 @@
+"""Ablation: ECI link count, lane count, and load-balancing policy.
+
+Design choices this probes (§4.1, §5.1):
+
+* one vs two 12-lane links ("perfect balancing across both ECI links
+  would double these figures, but would be hard to achieve in practice");
+* the degraded 4-lane bring-up configuration (§4.4);
+* address-interleaved vs fixed link selection under protocol traffic.
+"""
+
+from repro.analysis import render_table
+from repro.eci import (
+    CacheAgent,
+    EciLinkParams,
+    EciLinkTransport,
+    HomeAgent,
+    simulate_transfer,
+)
+from repro.sim import Kernel
+
+SIZE = 1 << 20
+
+
+def _link_sweep():
+    rows = []
+    for links_used, lanes in [(1, 12), (2, 12), (1, 4), (2, 4)]:
+        params = EciLinkParams(lanes_per_link=lanes)
+        result = simulate_transfer(SIZE, "write", link=params, links_used=links_used)
+        rows.append((links_used, lanes, result.throughput_gibps))
+    return rows
+
+
+def test_ablation_links_and_lanes(benchmark):
+    rows = benchmark(_link_sweep)
+    print()
+    print(
+        render_table(
+            ["links", "lanes/link", "write bw [GiB/s]"],
+            rows,
+            title="Ablation: ECI link/lane configuration (1 MiB writes)",
+        )
+    )
+    by_config = {(links, lanes): bw for links, lanes, bw in rows}
+    # Two links nearly double one link at full lanes.
+    assert by_config[(2, 12)] > 1.5 * by_config[(1, 12)]
+    # The 4-lane bring-up configuration is proportionally slower.
+    assert by_config[(1, 4)] < 0.5 * by_config[(1, 12)]
+
+
+def _policy_run(policy: str) -> float:
+    """Drive the real protocol over the timed links under each policy;
+    returns the finish time of a streaming read workload."""
+    kernel = Kernel()
+    transport = EciLinkTransport(kernel, EciLinkParams(policy=policy))
+    HomeAgent(kernel, 0, transport)
+    cache = CacheAgent(kernel, 1, transport, home_for=lambda a: 0)
+
+    def workload():
+        for i in range(256):
+            yield from cache.read(i * 128)
+
+    kernel.run_process(workload())
+    return kernel.now
+
+
+def test_ablation_link_policy(benchmark):
+    def run_all():
+        return {policy: _policy_run(policy) for policy in ("address", "fixed")}
+
+    times = benchmark(run_all)
+    print("\nstreaming 256 lines over the protocol:")
+    for policy, t in times.items():
+        print(f"  policy={policy:<8} finish={t / 1000:.2f} us")
+    # Address interleaving spreads lines across both links; a fixed
+    # single link serializes all responses and can only be slower.
+    assert times["address"] <= times["fixed"]
+
+
+def test_ablation_window(benchmark):
+    """Outstanding-transaction window: latency tolerance of the engine."""
+    from repro.eci import TransferEngineParams
+
+    def sweep():
+        return {
+            window: simulate_transfer(
+                SIZE, "read", engine=TransferEngineParams(window=window)
+            ).throughput_gibps
+            for window in (1, 4, 16, 64)
+        }
+
+    curve = benchmark(sweep)
+    print("\nwindow -> read bandwidth [GiB/s]:")
+    for window, bw in curve.items():
+        print(f"  {window:>3}: {bw:.2f}")
+    assert curve[64] > curve[16] > curve[4] > curve[1]
+    assert curve[1] < 1.0  # stop-and-wait cannot hide the round trip
+
+
+def test_ablation_vc_credits(benchmark):
+    """Receiver buffering (credits per VC): too few credits serialize
+    the link; a handful suffice to hide the credit-return loop."""
+    from repro.eci import CacheAgent, HomeAgent
+
+    def run_with_credits(credits: int) -> float:
+        kernel = Kernel()
+        transport = EciLinkTransport(
+            kernel,
+            EciLinkParams(credits_per_vc=credits, credit_return_ns=100.0),
+        )
+        HomeAgent(kernel, 0, transport)
+        cache = CacheAgent(kernel, 1, transport, home_for=lambda a: 0)
+
+        def reader(lane):
+            for i in range(lane, 128, 8):
+                yield from cache.read(i * 128)
+
+        for lane in range(8):
+            kernel.spawn(reader(lane))
+        kernel.run()
+        return kernel.now
+
+    def sweep():
+        return {credits: run_with_credits(credits) for credits in (1, 2, 8, 0)}
+
+    times = benchmark(sweep)
+    print("\ncredits per VC -> 128-line streaming read time [us]:")
+    for credits, t in times.items():
+        label = "inf" if credits == 0 else credits
+        print(f"  {label:>3}: {t / 1000:.2f}")
+    assert times[1] > times[2] > times[8] > times[0]
+    # Eight credits recover most of the stall: >7x faster than one
+    # credit, within 2x of infinite buffering.
+    assert times[8] < times[1] / 7
+    assert times[8] < times[0] * 2.0

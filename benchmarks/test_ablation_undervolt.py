@@ -1,0 +1,47 @@
+"""Instrumentation study: undervolt characterization through PMBus (§4.3).
+
+Sweeps VCCINT downward through the real regulator control path and maps
+the guardband -- the experiment class the paper says Enzian's per-rail
+control makes possible ("examining the undervolt behavior of FPGAs,
+CPUs, and DRAM").
+"""
+
+from repro.analysis import render_table
+from repro.apps.undervolt import UndervoltExperiment, guardband_fraction
+from repro.bmc import PowerManager
+
+
+def _sweep():
+    manager = PowerManager()
+    manager.common_power_up()
+    manager.fpga_power_up()
+    experiment = UndervoltExperiment(manager, "VCCINT")
+    return experiment.sweep(step_fraction=0.01)
+
+
+def test_undervolt_guardband_sweep(benchmark):
+    points = benchmark(_sweep)
+    rows = [
+        (
+            f"{p.vout:.3f}",
+            f"{p.margin_fraction * 100:.1f}%",
+            "CRASH" if p.crashed else p.errors,
+        )
+        for p in points
+    ]
+    print()
+    print(
+        render_table(
+            ["VCCINT [V]", "margin", "errors / 100k ops"],
+            rows,
+            title="Undervolt characterization of the FPGA core rail",
+        )
+    )
+    guardband = guardband_fraction(points)
+    print(f"measured guardband: {guardband * 100:.1f}% of nominal")
+    # Shape: a clean region, then rising errors, then crash.
+    assert 0.05 <= guardband <= 0.15
+    assert points[-1].crashed
+    error_counts = [p.errors for p in points if not p.crashed]
+    assert error_counts[0] == 0
+    assert max(error_counts) > 0

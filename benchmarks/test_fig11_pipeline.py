@@ -1,0 +1,166 @@
+"""Figure 11: vision pipeline throughput (GPixel/s) and interconnect
+bandwidth (GiB/s) against active core count (1..48) for the three
+reduction configurations (None / 8bpp / 4bpp).
+
+Shape claims checked:
+
+* the baseline scales linearly at ~33 Mpx/s/core to 48 cores;
+* hardware RGB2Y raises per-core throughput ~39% (8bpp) / ~33% (4bpp);
+* interconnect bandwidth drops ~3x with the 4x (8bpp) data reduction;
+* DRAM utilisation rises from ~6 to ~8 GiB/s.
+
+The functional half of the claim -- that the FPGA's luminance view is
+byte-identical to the software stage -- is asserted through the *real*
+coherence protocol in ``test_fig11_functional_offload``.
+"""
+
+import numpy as np
+
+from repro.analysis import render_series
+from repro.apps.vision import ReductionMode, VisionPerformanceModel
+
+CORES = [1, 6, 12, 18, 24, 30, 36, 42, 48]
+MODES = [ReductionMode.NONE, ReductionMode.Y8, ReductionMode.Y4]
+
+
+def _sweep():
+    model = VisionPerformanceModel()
+    return {
+        mode: model.sweep_cores(mode, CORES) for mode in MODES
+    }
+
+
+def test_fig11_pipeline(benchmark):
+    data = benchmark(_sweep)
+    print()
+    print(
+        render_series(
+            "cores",
+            CORES,
+            {
+                f"{mode.value} [Gpx/s]": [p.pixels_per_s / 1e9 for p in points]
+                for mode, points in data.items()
+            },
+            title="Figure 11 (left): pipeline throughput",
+        )
+    )
+    print(
+        render_series(
+            "cores",
+            CORES,
+            {
+                f"{mode.value} [GiB/s]": [p.interconnect_gibps for p in points]
+                for mode, points in data.items()
+            },
+            title="Figure 11 (right): interconnect bandwidth",
+        )
+    )
+
+    model = VisionPerformanceModel()
+    base = data[ReductionMode.NONE]
+    # Linear scaling at ~33 Mpx/s/core.
+    assert base[0].pixels_per_s == pytest_approx(33e6, rel=0.1)
+    assert base[-1].pixels_per_s == pytest_approx(48 * base[0].pixels_per_s, rel=0.01)
+    # Speedups.
+    y8 = model.speedup_vs_baseline(ReductionMode.Y8)
+    y4 = model.speedup_vs_baseline(ReductionMode.Y4)
+    print(f"\nper-core speedup: 8bpp x{y8:.2f} (paper 1.39), 4bpp x{y4:.2f} (paper 1.33)")
+    assert abs(y8 - 1.39) < 0.06
+    assert abs(y4 - 1.33) < 0.06
+    assert y4 < y8
+    # Interconnect reduction ~3x at 48 cores for 8bpp.
+    ratio = base[-1].interconnect_gibps / data[ReductionMode.Y8][-1].interconnect_gibps
+    assert 2.5 < ratio < 3.5
+    # DRAM utilisation 6 -> 8 GiB/s.
+    assert abs(base[-1].dram_gibps - 6.0) < 1.0
+    assert abs(data[ReductionMode.Y8][-1].dram_gibps - 8.0) < 1.2
+
+
+def pytest_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)
+
+
+def test_fig11_functional_offload(benchmark):
+    """End-to-end over the real protocol: the blur consumes the
+    FPGA-backed view and produces the same frame as the soft pipeline."""
+    from repro.apps.memctrl import ReductionEngine, ReductionHomeAgent, ViewWindow
+    from repro.apps.vision import (
+        gaussian_blur3,
+        soft_pipeline,
+        synthetic_frame,
+    )
+    from repro.eci import CACHE_LINE_BYTES, CacheAgent, InstantTransport
+    from repro.sim import Kernel
+
+    frame = synthetic_frame(width=128, height=8, seed=42)
+    view_base = 0x100000
+
+    def offloaded_pipeline():
+        kernel = Kernel()
+        transport = InstantTransport(kernel, latency_ns=10.0)
+        home = ReductionHomeAgent(kernel, 0, transport)
+        home.attach_view(ViewWindow(view_base, ReductionMode.Y8), ReductionEngine(frame))
+        cpu = CacheAgent(kernel, 1, transport, home_for=lambda a: 0)
+        total = frame.shape[0] * frame.shape[1]
+        chunks = []
+
+        def reader():
+            for offset in range(0, total, CACHE_LINE_BYTES):
+                line = yield from cpu.read(view_base + offset)
+                chunks.append(line)
+
+        kernel.run_process(reader())
+        luma = np.frombuffer(b"".join(chunks)[:total], dtype=np.uint8).reshape(
+            frame.shape[0], frame.shape[1]
+        )
+        return gaussian_blur3(luma)
+
+    result = benchmark(offloaded_pipeline)
+    assert np.array_equal(result, soft_pipeline(frame))
+
+
+def test_fig11_functional_offload_4bpp(benchmark):
+    """The 4 bpp variant: quantized view over the real protocol stays
+    within the quantization error bound of the soft pipeline."""
+    import numpy as np
+
+    from repro.apps.memctrl import ReductionEngine, ReductionHomeAgent, ViewWindow
+    from repro.apps.vision import (
+        dequantize4,
+        gaussian_blur3,
+        quantization_error_bound,
+        soft_pipeline,
+        synthetic_frame,
+        unpack4,
+    )
+    from repro.eci import CACHE_LINE_BYTES, CacheAgent, InstantTransport
+    from repro.sim import Kernel
+
+    frame = synthetic_frame(width=128, height=8, seed=43)
+    view_base = 0x200000
+
+    def offloaded():
+        kernel = Kernel()
+        transport = InstantTransport(kernel, latency_ns=10.0)
+        home = ReductionHomeAgent(kernel, 0, transport)
+        home.attach_view(ViewWindow(view_base, ReductionMode.Y4), ReductionEngine(frame))
+        cpu = CacheAgent(kernel, 1, transport, home_for=lambda a: 0)
+        total = frame.shape[0] * frame.shape[1] // 2  # packed: 2 px/byte
+        chunks = []
+
+        def reader():
+            for offset in range(0, total, CACHE_LINE_BYTES):
+                line = yield from cpu.read(view_base + offset)
+                chunks.append(line)
+
+        kernel.run_process(reader())
+        packed = np.frombuffer(b"".join(chunks)[:total], dtype=np.uint8)
+        codes = unpack4(packed).reshape(frame.shape[0], frame.shape[1])
+        return gaussian_blur3(dequantize4(codes))
+
+    result = benchmark(offloaded)
+    soft = soft_pipeline(frame)
+    error = np.abs(result.astype(int) - soft.astype(int))
+    assert error.max() <= quantization_error_bound() + 1

@@ -1,0 +1,87 @@
+"""Figure 12: power measurements of the primary components during a
+boot, diagnostic, and stress-test workload.
+
+The bench runs the full scripted scenario -- BMC sampling four rails
+(CPU, FPGA, DRAM0, DRAM1) every 20 ms while the machine powers up, runs
+BDK memory diagnostics, powers the CPU down, and sweeps the FPGA power
+burn in 1/24-area steps -- then checks the figure's qualitative
+features: the CPU-on spike, load ordering across test phases, the
+staircase FPGA ramp, and clean power-down tails.
+"""
+
+from repro.analysis import render_table
+from repro.platform import EnzianMachine, run_figure12
+
+
+def test_fig12_power(benchmark):
+    telemetry = benchmark.pedantic(
+        run_figure12, kwargs={"sample_period_ms": 20.0}, rounds=1, iterations=1
+    )
+
+    cpu = telemetry.trace("CPU")
+    fpga = telemetry.trace("FPGA")
+    rows = []
+    for mark in telemetry.marks:
+        rows.append(
+            (
+                mark.name,
+                f"{mark.t_start_s:.1f}-{mark.t_end_s:.1f}s",
+                cpu.mean_watts(mark.t_start_s + 1, mark.t_end_s),
+                fpga.mean_watts(mark.t_start_s + 1, mark.t_end_s),
+                telemetry.trace("DRAM0").mean_watts(mark.t_start_s + 1, mark.t_end_s),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["phase", "window", "CPU[W]", "FPGA[W]", "DRAM0[W]"],
+            rows,
+            title="Figure 12: per-phase mean power",
+        )
+    )
+
+    def phase_mean(trace, name, skip_s=1.0):
+        t0, t1 = telemetry.phase_window(name)
+        return trace.mean_watts(t0 + skip_s, t1)
+
+    # Everything dark during the initial idle.
+    assert phase_mean(cpu, "idle-start") == 0.0
+    assert phase_mean(fpga, "idle-start") == 0.0
+    # CPU-on spike exceeds every later steady phase.
+    assert cpu.peak_watts() > phase_mean(cpu, "memtest-random")
+    # Diagnostic phases draw progressively more power.
+    assert (
+        phase_mean(cpu, "bdk-dram-check")
+        < phase_mean(cpu, "data-bus-test")
+        <= phase_mean(cpu, "address-bus-test")
+        < phase_mean(cpu, "memtest-marching-rows")
+        < phase_mean(cpu, "memtest-random")
+    )
+    # CPU off before the burn; FPGA ramps in steps to a large peak.
+    assert phase_mean(cpu, "fpga-power-burn") < 1.0
+    t0, t1 = telemetry.phase_window("fpga-power-burn")
+    thirds = (t1 - t0) / 3
+    first = fpga.mean_watts(t0, t0 + thirds)
+    middle = fpga.mean_watts(t0 + thirds, t0 + 2 * thirds)
+    last = fpga.mean_watts(t0 + 2 * thirds, t1)
+    assert first < middle < last
+    assert fpga.peak_watts() > 120.0
+    # Clean shutdown: both domains dark at the end.
+    assert phase_mean(cpu, "idle-end") == 0.0
+    assert phase_mean(fpga, "idle-end") == 0.0
+    # DRAM rails only active while the CPU domain is up and testing.
+    dram = telemetry.trace("DRAM0")
+    assert phase_mean(dram, "memtest-random") > phase_mean(dram, "idle-start")
+
+
+def test_fig12_sampling_resolution(benchmark):
+    """The 20 ms sampling resolves the 1 s CPU-on inrush spike."""
+    telemetry = benchmark.pedantic(
+        run_figure12, kwargs={"sample_period_ms": 20.0}, rounds=1, iterations=1
+    )
+    cpu = telemetry.trace("CPU")
+    t0, t1 = telemetry.phase_window("cpu-on")
+    spike_samples = [
+        s for s in cpu.samples if t0 <= s.t_s < t0 + 1.0 and s.watts > 60.0
+    ]
+    assert len(spike_samples) >= 10  # ~50 samples in the 1 s spike window

@@ -1,0 +1,57 @@
+"""Figure 3: CPU-FPGA performance summary across the platform survey.
+
+Regenerates the latency/bandwidth scatter (one row per platform) and
+checks the positioning claims: Enzian sits on the favorable frontier,
+and full ECI extends past every PCIe-based platform's small-transfer
+regime while matching their bandwidth class.
+"""
+
+from repro.analysis import render_table
+from repro.interconnect import (
+    dual_socket_thunderx_reference,
+    enzian_covers_survey,
+    survey_platforms,
+)
+
+
+def _build_rows():
+    platforms = survey_platforms() + [dual_socket_thunderx_reference()]
+    return [
+        (
+            p.name,
+            p.category,
+            p.latency_us,
+            p.bandwidth_gibps,
+            "coherent" if p.coherent else "dma",
+            p.fpga_local_dram_gib,
+        )
+        for p in platforms
+    ]
+
+
+def test_fig3_platform_summary(benchmark):
+    rows = benchmark(_build_rows)
+    print()
+    print(
+        render_table(
+            ["platform", "category", "latency[us]", "bw[GiB/s]", "model", "fpga-dram[GiB]"],
+            rows,
+            title="Figure 3: CPU-FPGA performance summary",
+        )
+    )
+    by_name = {r[0]: r for r in rows}
+    # Enzian's latency is orders of magnitude under the PCIe/OpenCL platforms.
+    assert by_name["Enzian (1 ECI link)"][2] < by_name["Alpha Data (PCIe)"][2] / 50
+    # Full ECI bandwidth is in the top class of the survey.
+    bandwidths = sorted((r[3] for r in rows), reverse=True)
+    assert by_name["Enzian (full ECI)"][3] >= bandwidths[2]
+    # Enzian's FPGA-side DRAM is the largest in the survey.
+    assert by_name["Enzian (full ECI)"][5] == max(r[5] for r in rows)
+
+
+def test_fig3_convex_hull_claim(benchmark):
+    verdict = benchmark(enzian_covers_survey)
+    print("\nCoverage of surveyed platforms by Enzian:")
+    for name, covered in sorted(verdict.items()):
+        print(f"  {name:<28} {'covered' if covered else 'NOT covered'}")
+    assert all(verdict.values())

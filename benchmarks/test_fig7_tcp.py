@@ -1,0 +1,79 @@
+"""Figure 7: FPGA TCP stack (1 flow) vs Linux kernel stack (1 flow) --
+latency and throughput over transfer sizes 2^1..2^10 KB.
+
+Shape claims checked:
+
+* Enzian saturates a single 100 Gb/s connection with a 2 KiB MTU;
+* the kernel stack needs ~4 flows to do the same;
+* the FPGA stack's performance is independent of flow count;
+* Enzian latency is far below the kernel stack's at every size.
+"""
+
+from repro.analysis import render_series
+from repro.net import FpgaTcpStack, LinuxTcpStack, flows_to_saturate
+
+SIZES_KB = [2**i for i in range(1, 11)]
+
+
+def _sweep():
+    fpga = FpgaTcpStack()
+    linux = LinuxTcpStack()
+    rows = {
+        "enzian_lat_us": [],
+        "linux_lat_us": [],
+        "enzian_gbps": [],
+        "linux_gbps": [],
+    }
+    for size_kb in SIZES_KB:
+        size = size_kb * 1000
+        rows["enzian_lat_us"].append(fpga.one_way_latency_ns(size) / 1000)
+        rows["linux_lat_us"].append(linux.one_way_latency_ns(size) / 1000)
+        rows["enzian_gbps"].append(fpga.throughput_gbps(size))
+        rows["linux_gbps"].append(linux.throughput_gbps(size))
+    return rows
+
+
+def test_fig7_tcp(benchmark):
+    rows = benchmark(_sweep)
+    print()
+    print(
+        render_series(
+            "size[KB]",
+            SIZES_KB,
+            {
+                "Enzian lat[us]": rows["enzian_lat_us"],
+                "Linux lat[us]": rows["linux_lat_us"],
+                "Enzian [Gb/s]": rows["enzian_gbps"],
+                "Linux [Gb/s]": rows["linux_gbps"],
+            },
+            title="Figure 7: FPGA TCP vs Linux kernel TCP (single flow)",
+        )
+    )
+    # Enzian reaches >90 Gb/s within the sweep; single-flow Linux never does.
+    assert max(rows["enzian_gbps"]) > 90.0
+    assert max(rows["linux_gbps"]) < 40.0
+    # Latency gap at every size.
+    for enzian, linux in zip(rows["enzian_lat_us"], rows["linux_lat_us"]):
+        assert enzian < linux / 2
+
+
+def test_fig7_flow_scaling(benchmark):
+    """Per-flow behaviour: FPGA flat, Linux linear until the link."""
+    fpga = FpgaTcpStack()
+    linux = LinuxTcpStack()
+
+    def scaling():
+        return (
+            [fpga.throughput_gbps(1 << 26, flows=n) for n in (1, 2, 4, 8)],
+            [linux.throughput_gbps(1 << 26, flows=n) for n in (1, 2, 4, 8)],
+        )
+
+    fpga_rates, linux_rates = benchmark(scaling)
+    print("\nflows:        1      2      4      8")
+    print("Enzian Gb/s: " + "  ".join(f"{r:5.1f}" for r in fpga_rates))
+    print("Linux  Gb/s: " + "  ".join(f"{r:5.1f}" for r in linux_rates))
+    assert fpga_rates[0] == fpga_rates[3]
+    assert linux_rates[1] > 1.9 * linux_rates[0]
+    saturation = flows_to_saturate(linux)
+    print(f"Linux flows to saturate 100G: {saturation} (paper: 4)")
+    assert saturation == 4

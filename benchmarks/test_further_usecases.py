@@ -1,0 +1,85 @@
+"""§6 further use-cases: quantified comparisons the paper sketches.
+
+Not paper figures (§6 has none), but the claims are concrete enough to
+bench: embedding placement for recommendation inference, in-storage
+scan offload, disaggregated-memory push-down traffic, and the KV-store
+request-rate gap.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.apps.kvs import cpu_requests_per_s, fpga_requests_per_s
+from repro.apps.recsys import EmbeddingModel, placement_comparison
+from repro.apps.storage import EMULATED_NVM, NVME_FLASH, SmartStorageController
+from repro.cluster import BufferCacheClient, MemoryServer, ROWS_PER_PAGE
+
+
+def test_recsys_embedding_placement(benchmark):
+    model = EmbeddingModel(n_tables=8, rows_per_table=5_000, dim=64)
+    rates = benchmark(placement_comparison, model)
+    print()
+    print(
+        render_table(
+            ["placement", "Mreq/s"],
+            [(name, rate / 1e6) for name, rate in rates.items()],
+            title="§6: recommendation inference vs embedding placement",
+        )
+    )
+    assert rates["fpga-dram"] > rates["host-over-eci"] > rates["host-over-pcie"]
+
+
+def test_storage_scan_offload(benchmark):
+    def sweep():
+        rows = []
+        for media in (NVME_FLASH, EMULATED_NVM):
+            controller = SmartStorageController(media=media)
+            for selectivity in (0.01, 0.1, 0.5):
+                rows.append(
+                    (media.name, selectivity,
+                     controller.offload_speedup(4096, selectivity))
+                )
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(
+        render_table(
+            ["media", "selectivity", "offload speedup"],
+            rows,
+            title="§6: in-storage scan offload",
+        )
+    )
+    by_key = {(m, s): v for m, s, v in rows}
+    assert by_key[(NVME_FLASH.name, 0.01)] > by_key[(NVME_FLASH.name, 0.5)]
+    assert all(v >= 1.0 for v in by_key.values())
+
+
+def test_disaggregated_pushdown_traffic(benchmark):
+    def run():
+        server = MemoryServer()
+        rng = np.random.default_rng(0)
+        for page in range(16):
+            server.write_page(page, rng.integers(0, 1000, ROWS_PER_PAGE, dtype=np.int64))
+        classic = BufferCacheClient(server, cache_pages=4)
+        pushed = BufferCacheClient(server, cache_pages=4)
+        for page in range(16):
+            classic.filter_local(page, 0, 50)
+            pushed.filter_pushdown(page, 0, 50)
+        return classic.stats["bytes_moved"], pushed.stats["bytes_moved"]
+
+    classic_bytes, pushed_bytes = benchmark(run)
+    print(f"\n§6 disaggregated memory, 5% selective filter over 16 pages: "
+          f"classic {classic_bytes} B vs push-down {pushed_bytes} B "
+          f"({classic_bytes / pushed_bytes:.1f}x reduction)")
+    assert classic_bytes > 5 * pushed_bytes
+
+
+def test_kv_store_paths(benchmark):
+    def rates():
+        return fpga_requests_per_s(), cpu_requests_per_s()
+
+    fpga, cpu = benchmark(rates)
+    print(f"\nKV store request rate: FPGA {fpga / 1e6:.1f} Mreq/s, "
+          f"CPU server {cpu / 1e6:.1f} Mreq/s")
+    assert fpga > cpu

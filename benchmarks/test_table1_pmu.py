@@ -1,0 +1,59 @@
+"""Table 1: pipeline PMU counts at 48 threads.
+
+Paper values:
+
+    Reduction                       None    8bpp    4bpp
+    Memory stalls per cycle         0.025   0.005   0.005
+    Cycles per L1 refill (/10^3)    1.84    5.16    10.50
+"""
+
+from repro.analysis import render_table
+from repro.apps.vision import ReductionMode, VisionPerformanceModel
+
+PAPER = {
+    ReductionMode.NONE: (0.025, 1.84),
+    ReductionMode.Y8: (0.005, 5.16),
+    ReductionMode.Y4: (0.005, 10.50),
+}
+
+
+def _reports():
+    model = VisionPerformanceModel()
+    return {mode: model.pmu_report(mode) for mode in PAPER}
+
+
+def test_table1_pmu(benchmark):
+    reports = benchmark(_reports)
+    rows = []
+    for mode, report in reports.items():
+        stalls = report.memory_stalls_per_cycle
+        kcycles = report.cycles_per_l1_refill / 1000
+        rows.append(
+            (
+                mode.value,
+                stalls,
+                PAPER[mode][0],
+                kcycles,
+                PAPER[mode][1],
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["reduction", "stalls/cycle", "paper", "cyc/L1refill[k]", "paper"],
+            rows,
+            title="Table 1: pipeline PMU counts (48 threads)",
+        )
+    )
+    for mode, (paper_stalls, paper_kcycles) in PAPER.items():
+        report = reports[mode]
+        assert abs(report.memory_stalls_per_cycle - paper_stalls) / paper_stalls < 0.15
+        assert (
+            abs(report.cycles_per_l1_refill / 1000 - paper_kcycles) / paper_kcycles
+            < 0.12
+        )
+    # The structural claims behind the numbers: offload slashes the
+    # stall fraction 5x and stretches the refill interval.
+    none, y8, y4 = (reports[m] for m in PAPER)
+    assert none.memory_stalls_per_cycle > 4 * y8.memory_stalls_per_cycle
+    assert y4.cycles_per_l1_refill > y8.cycles_per_l1_refill > none.cycles_per_l1_refill

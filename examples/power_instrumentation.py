@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fine-grained power monitoring through the open BMC (§5.5, Figure 12).
+
+Runs the full boot + diagnostic + stress scenario while the telemetry
+service samples the CPU, FPGA, and DRAM regulators every 20 ms, then
+renders the power time series as an ASCII strip chart and a per-phase
+energy budget.
+
+Run:  python examples/power_instrumentation.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.platform import run_figure12
+
+
+def strip_chart(times, watts, width=100, height=12, label=""):
+    """Render one power trace as ASCII art."""
+    if not times:
+        return label
+    t_max = times[-1] or 1.0
+    w_max = max(watts) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, w in zip(times, watts):
+        col = min(width - 1, int(t / t_max * (width - 1)))
+        row = min(height - 1, int(w / w_max * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = [f"{label}  (peak {w_max:.0f} W, {t_max:.0f} s)"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("running the Figure 12 scenario (boot, diagnostics, stress)...")
+    telemetry = run_figure12(sample_period_ms=20.0)
+
+    for label in ("CPU", "FPGA", "DRAM0", "DRAM1"):
+        trace = telemetry.trace(label)
+        print()
+        print(strip_chart(trace.times, trace.watts, label=label))
+
+    print("\nper-phase energy budget:")
+    cpu = telemetry.trace("CPU")
+    fpga = telemetry.trace("FPGA")
+    for mark in telemetry.marks:
+        cpu_mean = cpu.mean_watts(mark.t_start_s, mark.t_end_s)
+        fpga_mean = fpga.mean_watts(mark.t_start_s, mark.t_end_s)
+        duration = mark.t_end_s - mark.t_start_s
+        print(
+            f"  {mark.name:<22} {duration:5.1f}s  CPU {cpu_mean:6.1f} W  "
+            f"FPGA {fpga_mean:6.1f} W  ~{(cpu_mean + fpga_mean) * duration:7.0f} J"
+        )
+
+    total_j = cpu.energy_j() + fpga.energy_j()
+    print(f"\ntotal CPU+FPGA energy over the run: {total_j / 1000:.2f} kJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Analysis and reporting helpers for the benchmark harness."""
+
+from .report import ratio_summary, render_series, render_table
+from .series import (
+    SeriesError,
+    Step,
+    detect_steps,
+    integrate,
+    moving_average,
+    resample,
+    summarize,
+)
+
+__all__ = [
+    "SeriesError",
+    "Step",
+    "detect_steps",
+    "integrate",
+    "moving_average",
+    "ratio_summary",
+    "render_series",
+    "render_table",
+    "resample",
+    "summarize",
+]

@@ -1,0 +1,58 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and diff-able.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    rendered_rows = [
+        [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Columnar multi-series output (one row per x value)."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def ratio_summary(name: str, measured: float, paper: float) -> str:
+    """One paper-vs-measured comparison line for EXPERIMENTS.md."""
+    ratio = measured / paper if paper else float("inf")
+    return f"{name}: paper={paper:g} measured={measured:g} (x{ratio:.2f})"

@@ -1,0 +1,141 @@
+"""Time-series utilities for telemetry analysis.
+
+The §5.5 artifact workflow post-processes logged power samples "with
+scripts for processing into plots"; these are those scripts' building
+blocks: resampling, smoothing, step/phase detection, and summary
+statistics over (time, value) series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class SeriesError(ValueError):
+    """Malformed series inputs."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """One detected level change in a series."""
+
+    time: float
+    before: float
+    after: float
+
+    @property
+    def magnitude(self) -> float:
+        return self.after - self.before
+
+
+def _validate(times: Sequence[float], values: Sequence[float]) -> None:
+    if len(times) != len(values):
+        raise SeriesError("times and values must have equal length")
+    if len(times) < 1:
+        raise SeriesError("series is empty")
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise SeriesError("times must be non-decreasing")
+
+
+def resample(
+    times: Sequence[float], values: Sequence[float], period: float
+) -> Tuple[List[float], List[float]]:
+    """Uniform resampling by linear interpolation."""
+    _validate(times, values)
+    if period <= 0:
+        raise SeriesError("period must be positive")
+    out_times: List[float] = []
+    out_values: List[float] = []
+    t = times[0]
+    i = 0
+    while t <= times[-1] + 1e-12:
+        while i + 1 < len(times) and times[i + 1] < t:
+            i += 1
+        if i + 1 >= len(times):
+            value = values[-1]
+        else:
+            t0, t1 = times[i], times[i + 1]
+            if t1 == t0:
+                value = values[i + 1]
+            else:
+                frac = (t - t0) / (t1 - t0)
+                frac = min(1.0, max(0.0, frac))
+                value = values[i] + frac * (values[i + 1] - values[i])
+        out_times.append(t)
+        out_values.append(value)
+        t += period
+    return out_times, out_values
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Centered moving average with edge shrinkage."""
+    if window < 1:
+        raise SeriesError("window must be >= 1")
+    n = len(values)
+    half = window // 2
+    out = []
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out.append(sum(values[lo:hi]) / (hi - lo))
+    return out
+
+
+def detect_steps(
+    times: Sequence[float],
+    values: Sequence[float],
+    threshold: float,
+    settle: int = 3,
+) -> List[Step]:
+    """Find sustained level changes of at least ``threshold``.
+
+    A step is reported at boundary ``i`` when the means of the
+    ``settle`` samples before and after differ by at least the
+    threshold *and* both windows are internally stable (spread below
+    half the threshold) -- robust against single-sample spikes and
+    gradual ramps.
+    """
+    _validate(times, values)
+    if settle < 1:
+        raise SeriesError("settle must be >= 1")
+
+    def window_stats(lo: int, hi: int) -> tuple[float, float]:
+        window = values[lo:hi]
+        return sum(window) / len(window), max(window) - min(window)
+
+    steps: List[Step] = []
+    i = settle
+    while i + settle <= len(values):
+        before, before_spread = window_stats(i - settle, i)
+        after, after_spread = window_stats(i, i + settle)
+        stable = before_spread <= threshold / 2 and after_spread <= threshold / 2
+        if stable and abs(after - before) >= threshold:
+            steps.append(Step(times[i], before, after))
+            i += settle  # skip past the transition
+        else:
+            i += 1
+    return steps
+
+
+def integrate(times: Sequence[float], values: Sequence[float]) -> float:
+    """Trapezoidal integral (energy from power, bytes from rate, ...)."""
+    _validate(times, values)
+    total = 0.0
+    for i in range(1, len(times)):
+        total += 0.5 * (values[i] + values[i - 1]) * (times[i] - times[i - 1])
+    return total
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Mean / min / max / p95 summary of a series."""
+    if not values:
+        raise SeriesError("series is empty")
+    ordered = sorted(values)
+    p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+    return {
+        "mean": sum(values) / len(values),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p95": ordered[p95_index],
+    }

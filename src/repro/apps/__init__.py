@@ -1,0 +1,1 @@
+"""Evaluation workloads: GBDT inference, vision pipeline, stress tests."""

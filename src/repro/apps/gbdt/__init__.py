@@ -1,0 +1,24 @@
+"""Gradient-boosted decision-tree inference (the §5.3 workload)."""
+
+from .accel import (
+    CYCLES_PER_TUPLE,
+    FIGURE9_PLATFORMS,
+    EnginePlatform,
+    GbdtAccelerator,
+    figure9_throughputs,
+)
+from .model import DecisionTree, GradientBoostedEnsemble, TreeNode
+from .streaming import StreamingResult, run_streaming_inference
+
+__all__ = [
+    "CYCLES_PER_TUPLE",
+    "DecisionTree",
+    "EnginePlatform",
+    "FIGURE9_PLATFORMS",
+    "GbdtAccelerator",
+    "GradientBoostedEnsemble",
+    "StreamingResult",
+    "TreeNode",
+    "run_streaming_inference",
+    "figure9_throughputs",
+]

@@ -1,0 +1,190 @@
+"""Gradient-boosted decision trees (the §5.3 workload).
+
+The paper reproduces the Coyote paper's inference experiment over
+gradient-boosting decision-tree ensembles [52, 53].  This module is a
+real implementation: CART-style regression trees fitted by greedy
+variance-reduction splits, boosted on residuals, with a flat node-array
+serialization mirroring the memory layout an FPGA engine streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class TreeNode:
+    """One node in the flat array: internal (feature, threshold) or leaf."""
+
+    feature: int = -1            # -1 marks a leaf
+    threshold: float = 0.0
+    left: int = -1               # child indices into the node array
+    right: int = -1
+    value: float = 0.0           # leaf prediction
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class DecisionTree:
+    """A regression tree over dense float features."""
+
+    def __init__(self, max_depth: int = 4, min_samples: int = 2):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self.nodes: List[TreeNode] = []
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTree":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D (samples x features)")
+        if len(features) != len(targets):
+            raise ValueError("features/targets length mismatch")
+        if len(features) == 0:
+            raise ValueError("cannot fit on empty data")
+        self.nodes = []
+        self._grow(features, targets, depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> int:
+        index = len(self.nodes)
+        node = TreeNode(value=float(targets.mean()))
+        self.nodes.append(node)
+        if depth >= self.max_depth or len(targets) < self.min_samples:
+            return index
+        split = self._best_split(features, targets)
+        if split is None:
+            return index
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return index
+
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> Optional[tuple[int, float]]:
+        best_gain = 1e-12
+        best: Optional[tuple[int, float]] = None
+        parent_sse = float(((targets - targets.mean()) ** 2).sum())
+        for feature in range(features.shape[1]):
+            column = features[:, feature]
+            candidates = np.quantile(column, np.linspace(0.1, 0.9, 9))
+            for threshold in np.unique(candidates):
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == len(targets):
+                    continue
+                left, right = targets[mask], targets[~mask]
+                child_sse = float(((left - left.mean()) ** 2).sum()) + float(
+                    ((right - right.mean()) ** 2).sum()
+                )
+                gain = parent_sse - child_sse
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        return best
+
+    # -- inference -----------------------------------------------------------
+
+    def predict_one(self, sample: np.ndarray) -> float:
+        index = 0
+        while True:
+            node = self.nodes[index]
+            if node.is_leaf:
+                return node.value
+            index = node.left if sample[node.feature] <= node.threshold else node.right
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        return np.array([self.predict_one(row) for row in features])
+
+    @property
+    def depth(self) -> int:
+        def node_depth(index: int) -> int:
+            node = self.nodes[index]
+            if node.is_leaf:
+                return 1
+            return 1 + max(node_depth(node.left), node_depth(node.right))
+
+        return node_depth(0) if self.nodes else 0
+
+    # -- flat serialization (the FPGA memory layout) ---------------------------
+
+    def to_flat(self) -> np.ndarray:
+        """(n_nodes, 5) float64 array: feature, threshold, left, right, value."""
+        return np.array(
+            [[n.feature, n.threshold, n.left, n.right, n.value] for n in self.nodes],
+            dtype=np.float64,
+        )
+
+    @classmethod
+    def from_flat(cls, flat: np.ndarray) -> "DecisionTree":
+        tree = cls()
+        tree.nodes = [
+            TreeNode(int(f), float(t), int(l), int(r), float(v))
+            for f, t, l, r, v in np.asarray(flat, dtype=np.float64)
+        ]
+        return tree
+
+
+class GradientBoostedEnsemble:
+    """Squared-loss gradient boosting: trees fitted to residuals."""
+
+    def __init__(
+        self,
+        n_trees: int = 16,
+        max_depth: int = 4,
+        learning_rate: float = 0.3,
+    ):
+        if n_trees < 1:
+            raise ValueError("need at least one tree")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.base_prediction = 0.0
+        self.trees: List[DecisionTree] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostedEnsemble":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        self.base_prediction = float(targets.mean())
+        predictions = np.full(len(targets), self.base_prediction)
+        self.trees = []
+        for _ in range(self.n_trees):
+            residuals = targets - predictions
+            tree = DecisionTree(max_depth=self.max_depth).fit(features, residuals)
+            self.trees.append(tree)
+            predictions = predictions + self.learning_rate * tree.predict(features)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        out = np.full(len(features), self.base_prediction)
+        for tree in self.trees:
+            out = out + self.learning_rate * tree.predict(features)
+        return out
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(len(t.nodes) for t in self.trees)
+
+    def to_flat(self) -> List[np.ndarray]:
+        """Per-tree flat arrays, as offloaded to FPGA memory (§A.6.3
+        step one: 'offloading the model is not part of measurements')."""
+        return [tree.to_flat() for tree in self.trees]

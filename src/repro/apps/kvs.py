@@ -1,0 +1,166 @@
+"""A hardware-accelerated key-value store (§5.2: "how Enzian can be
+used to implement, e.g., hardware-accelerated key-value stores [40]").
+
+KV-Direct-style: the FPGA terminates the network protocol and executes
+GET/PUT/DELETE/ATOMIC-ADD directly against DRAM, bypassing the CPU.
+Functional side: a real open-addressing hash table over a byte arena
+(fixed-size slots, linear probing, tombstones).  Performance side: a
+request-throughput model contrasting the FPGA path (pipeline bound)
+with a CPU software server (per-request kernel + stack cost).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+import zlib
+
+MAX_KEY_BYTES = 32
+MAX_VALUE_BYTES = 120
+_SLOT_HEADER = struct.Struct("<BBH")  # state, key_len, value_len
+SLOT_BYTES = _SLOT_HEADER.size + MAX_KEY_BYTES + MAX_VALUE_BYTES
+
+_EMPTY, _FULL, _TOMBSTONE = 0, 1, 2
+
+
+class KvError(RuntimeError):
+    """Capacity exhausted or malformed keys/values."""
+
+
+class HashTableStore:
+    """Open-addressing hash table in a flat byte arena (FPGA DRAM)."""
+
+    def __init__(self, n_slots: int = 4096):
+        if n_slots < 8:
+            raise ValueError("need at least 8 slots")
+        self.n_slots = n_slots
+        self.arena = bytearray(n_slots * SLOT_BYTES)
+        self.items = 0
+        self.stats = {"probes": 0, "gets": 0, "puts": 0, "deletes": 0}
+
+    def _hash(self, key: bytes) -> int:
+        return zlib.crc32(key) % self.n_slots
+
+    def _slot(self, index: int) -> tuple[int, bytes, bytes]:
+        base = index * SLOT_BYTES
+        state, key_len, value_len = _SLOT_HEADER.unpack_from(self.arena, base)
+        key_off = base + _SLOT_HEADER.size
+        key = bytes(self.arena[key_off : key_off + key_len])
+        value_off = key_off + MAX_KEY_BYTES
+        value = bytes(self.arena[value_off : value_off + value_len])
+        return state, key, value
+
+    def _write_slot(self, index: int, state: int, key: bytes, value: bytes) -> None:
+        base = index * SLOT_BYTES
+        _SLOT_HEADER.pack_into(self.arena, base, state, len(key), len(value))
+        key_off = base + _SLOT_HEADER.size
+        self.arena[key_off : key_off + MAX_KEY_BYTES] = key.ljust(MAX_KEY_BYTES, b"\0")
+        value_off = key_off + MAX_KEY_BYTES
+        self.arena[value_off : value_off + MAX_VALUE_BYTES] = value.ljust(
+            MAX_VALUE_BYTES, b"\0"
+        )
+
+    def _validate(self, key: bytes, value: Optional[bytes] = None) -> None:
+        if not key or len(key) > MAX_KEY_BYTES:
+            raise KvError(f"key must be 1..{MAX_KEY_BYTES} bytes")
+        if value is not None and len(value) > MAX_VALUE_BYTES:
+            raise KvError(f"value must be <= {MAX_VALUE_BYTES} bytes")
+
+    # -- operations -------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._validate(key, value)
+        self.stats["puts"] += 1
+        first_tombstone = None
+        index = self._hash(key)
+        for _ in range(self.n_slots):
+            self.stats["probes"] += 1
+            state, slot_key, _ = self._slot(index)
+            if state == _FULL and slot_key == key:
+                self._write_slot(index, _FULL, key, value)
+                return
+            if state == _TOMBSTONE and first_tombstone is None:
+                first_tombstone = index
+            if state == _EMPTY:
+                target = first_tombstone if first_tombstone is not None else index
+                self._write_slot(target, _FULL, key, value)
+                self.items += 1
+                return
+            index = (index + 1) % self.n_slots
+        if first_tombstone is not None:
+            self._write_slot(first_tombstone, _FULL, key, value)
+            self.items += 1
+            return
+        raise KvError("table full")
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._validate(key)
+        self.stats["gets"] += 1
+        index = self._hash(key)
+        for _ in range(self.n_slots):
+            self.stats["probes"] += 1
+            state, slot_key, value = self._slot(index)
+            if state == _EMPTY:
+                return None
+            if state == _FULL and slot_key == key:
+                return value
+            index = (index + 1) % self.n_slots
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        self._validate(key)
+        self.stats["deletes"] += 1
+        index = self._hash(key)
+        for _ in range(self.n_slots):
+            state, slot_key, _ = self._slot(index)
+            if state == _EMPTY:
+                return False
+            if state == _FULL and slot_key == key:
+                self._write_slot(index, _TOMBSTONE, b"", b"")
+                self.items -= 1
+                return True
+            index = (index + 1) % self.n_slots
+        return False
+
+    def atomic_add(self, key: bytes, delta: int) -> int:
+        """Fetch-and-add on an 8-byte counter value (KV-Direct's
+        signature in-memory operation)."""
+        current = self.get(key)
+        value = int.from_bytes(current, "little", signed=True) if current else 0
+        value += delta
+        self.put(key, value.to_bytes(8, "little", signed=True))
+        return value
+
+    @property
+    def load_factor(self) -> float:
+        return self.items / self.n_slots
+
+
+@dataclass(frozen=True)
+class KvsPerformanceParams:
+    """Request-rate model: FPGA pipeline vs CPU software server."""
+
+    fpga_clock_mhz: float = 300.0
+    #: Pipeline initiation interval per request (hash, probe, DRAM access).
+    fpga_cycles_per_request: float = 12.0
+    #: CPU path: kernel network stack + hash table walk per request (ns).
+    cpu_ns_per_request: float = 2_300.0
+    cpu_cores: int = 48
+    link_gbps: float = 100.0
+    request_bytes: int = 64
+
+
+def fpga_requests_per_s(params: KvsPerformanceParams | None = None) -> float:
+    p = params or KvsPerformanceParams()
+    pipeline = p.fpga_clock_mhz * 1e6 / p.fpga_cycles_per_request
+    wire = p.link_gbps * 1e9 / 8 / p.request_bytes
+    return min(pipeline, wire)
+
+
+def cpu_requests_per_s(params: KvsPerformanceParams | None = None) -> float:
+    p = params or KvsPerformanceParams()
+    cpu = p.cpu_cores * 1e9 / p.cpu_ns_per_request
+    wire = p.link_gbps * 1e9 / 8 / p.request_bytes
+    return min(cpu, wire)

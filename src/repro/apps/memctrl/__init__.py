@@ -1,0 +1,9 @@
+"""The FPGA as a custom memory controller (Figure 10, §5.4)."""
+
+from .reduction import (
+    ReductionEngine,
+    ReductionHomeAgent,
+    ViewWindow,
+)
+
+__all__ = ["ReductionEngine", "ReductionHomeAgent", "ViewWindow"]

@@ -1,0 +1,145 @@
+"""The coherent data-reduction pipeline of Figure 10 (§5.4).
+
+The FPGA acts as a *custom memory controller*: the CPU's L2 issues
+ordinary remote refill requests (RLDD) for addresses in a "logical
+view" window; the engine transforms each into a larger sequential burst
+read of raw RGBA from FPGA DRAM, runs RGB2Y (optionally quantizing to
+4 bpp), packs the result into a single 128-byte cache line, and returns
+it as the refill response.  "The pipeline is thus invisible to the CPU
+beyond an increase in latency.  Loads appear exactly like NUMA-remote
+L2 refills in a 2-socket system would."
+
+Implementation: a :class:`HomeAgent` subclass whose line reads inside a
+view window are synthesized on the fly -- the real MOESI machinery
+(directory, forwards, writebacks) is untouched, which is precisely the
+paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...eci.messages import CACHE_LINE_BYTES
+from ...eci.protocol import HomeAgent, LineStore
+from ..vision.pipeline import ReductionMode
+from ..vision.rgb2y import pack4, quantize4, rgb_to_y
+
+
+@dataclass(frozen=True)
+class ViewWindow:
+    """One logical view: a base address exposing a reduced frame."""
+
+    base: int
+    mode: ReductionMode
+
+    def __post_init__(self):
+        if self.base % CACHE_LINE_BYTES:
+            raise ValueError("view base must be cache-line aligned")
+        if self.mode is ReductionMode.NONE:
+            raise ValueError("a view without reduction is just DRAM")
+
+
+class ReductionEngine:
+    """The RLDD -> burst-read -> reduce -> pack datapath of Figure 10."""
+
+    def __init__(self, frame: np.ndarray):
+        if frame.dtype != np.uint8 or frame.ndim != 3 or frame.shape[2] != 4:
+            raise ValueError("frame must be (h, w, 4) uint8 RGBA")
+        self.frame = frame
+        self.luma = rgb_to_y(frame).reshape(-1)
+        self.packed4 = pack4(quantize4(rgb_to_y(frame)).reshape(-1))
+        self.stats = {"lines_served": 0, "dram_bytes_read": 0}
+
+    def pixels_per_line(self, mode: ReductionMode) -> int:
+        """32 raw RGBA, 128 at 8 bpp, 256 at 4 bpp (§5.4)."""
+        if mode is ReductionMode.NONE:
+            return CACHE_LINE_BYTES // 4
+        if mode is ReductionMode.Y8:
+            return CACHE_LINE_BYTES
+        return CACHE_LINE_BYTES * 2
+
+    def burst_bytes(self, mode: ReductionMode) -> int:
+        """Source DRAM read per refill: 512 B at 8 bpp, 1 KiB at 4 bpp."""
+        return self.pixels_per_line(mode) * 4
+
+    def synthesize_line(self, offset: int, mode: ReductionMode) -> bytes:
+        """Produce the 128-byte view line at byte ``offset``."""
+        if offset % CACHE_LINE_BYTES:
+            raise ValueError("offset must be line-aligned")
+        self.stats["lines_served"] += 1
+        self.stats["dram_bytes_read"] += self.burst_bytes(mode)
+        if mode is ReductionMode.Y8:
+            start = offset  # one view byte per pixel
+            chunk = self.luma[start : start + CACHE_LINE_BYTES]
+        else:
+            start = offset  # one view byte per two pixels
+            chunk = self.packed4[start : start + CACHE_LINE_BYTES]
+        out = bytes(chunk)
+        if len(out) < CACHE_LINE_BYTES:
+            out = out + bytes(CACHE_LINE_BYTES - len(out))
+        return out
+
+    def view_bytes(self, mode: ReductionMode) -> int:
+        """Total size of the view window for this frame."""
+        total_px = self.frame.shape[0] * self.frame.shape[1]
+        if mode is ReductionMode.Y8:
+            return total_px
+        return total_px // 2
+
+
+class ReductionHomeAgent(HomeAgent):
+    """A home node whose address space includes synthesized views.
+
+    Addresses outside every view behave exactly like normal FPGA DRAM.
+    Writes to a view are rejected: the engine is a read-only transform.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._views: Dict[ViewWindow, ReductionEngine] = {}
+        self.store = _ViewStore(self._views, self.store)
+
+    def attach_view(self, window: ViewWindow, engine: ReductionEngine) -> None:
+        for existing in self._views:
+            e_size = self._views[existing].view_bytes(existing.mode)
+            n_size = engine.view_bytes(window.mode)
+            if (window.base < existing.base + e_size
+                    and existing.base < window.base + n_size):
+                raise ValueError("view windows overlap")
+        self._views[window] = engine
+
+    def detach_view(self, window: ViewWindow) -> None:
+        del self._views[window]
+
+
+class _ViewStore(LineStore):
+    """LineStore routing view-window reads to the reduction engines."""
+
+    def __init__(self, views: Dict[ViewWindow, ReductionEngine], backing: LineStore):
+        super().__init__()
+        self._views = views
+        self._backing = backing
+
+    def _find(self, addr: int) -> Optional[tuple[ViewWindow, ReductionEngine]]:
+        for window, engine in self._views.items():
+            size = engine.view_bytes(window.mode)
+            if window.base <= addr < window.base + size:
+                return window, engine
+        return None
+
+    def read(self, addr: int) -> bytes:
+        hit = self._find(addr)
+        if hit is None:
+            return self._backing.read(addr)
+        window, engine = hit
+        return engine.synthesize_line(addr - window.base, window.mode)
+
+    def write(self, addr: int, data: bytes) -> None:
+        if self._find(addr) is not None:
+            raise PermissionError(
+                f"logical view at {addr:#x} is read-only"
+            )
+        self._backing.write(addr, data)

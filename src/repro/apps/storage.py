@@ -1,0 +1,138 @@
+"""The FPGA as a smart programmable storage controller (§6).
+
+"The FPGA side of Enzian can also be used as a smart programmable
+storage controller, either with persistent storage connected via the
+NVMe connector or PCIe x16 slot, or instead using the large DRAM to
+emulate non-volatile memory.  This enables experimentation at high
+performance with 'in-storage' functionality."
+
+Functional side: a block device over a byte arena with an in-storage
+scan engine (predicate evaluation next to the blocks, returning only
+matching records).  Performance side: latency/throughput of NVMe flash
+vs DRAM-emulated NVM behind the same interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+BLOCK_BYTES = 4096
+RECORD_DTYPE = np.int64
+RECORDS_PER_BLOCK = BLOCK_BYTES // 8
+
+
+class StorageError(RuntimeError):
+    """Bad block addresses or malformed writes."""
+
+
+class BlockDevice:
+    """A linear array of 4 KiB blocks over a byte arena."""
+
+    def __init__(self, n_blocks: int = 1024):
+        if n_blocks < 1:
+            raise ValueError("need at least one block")
+        self.n_blocks = n_blocks
+        self.arena = bytearray(n_blocks * BLOCK_BYTES)
+        self.stats = {"reads": 0, "writes": 0, "scans": 0, "bytes_returned": 0}
+
+    def _check(self, lba: int) -> None:
+        if not 0 <= lba < self.n_blocks:
+            raise StorageError(f"LBA {lba} out of range")
+
+    def write_block(self, lba: int, data: bytes) -> None:
+        self._check(lba)
+        if len(data) != BLOCK_BYTES:
+            raise StorageError(f"block writes must be {BLOCK_BYTES} B")
+        self.stats["writes"] += 1
+        offset = lba * BLOCK_BYTES
+        self.arena[offset : offset + BLOCK_BYTES] = data
+
+    def read_block(self, lba: int) -> bytes:
+        self._check(lba)
+        self.stats["reads"] += 1
+        self.stats["bytes_returned"] += BLOCK_BYTES
+        offset = lba * BLOCK_BYTES
+        return bytes(self.arena[offset : offset + BLOCK_BYTES])
+
+    # -- in-storage processing ---------------------------------------------
+
+    def scan(
+        self, lba_from: int, lba_to: int, low: int, high: int
+    ) -> np.ndarray:
+        """In-storage filter: return records in [low, high) from a block
+        range, without shipping the blocks."""
+        self._check(lba_from)
+        self._check(lba_to - 1)
+        if lba_to <= lba_from:
+            raise StorageError("empty scan range")
+        self.stats["scans"] += 1
+        start = lba_from * BLOCK_BYTES
+        end = lba_to * BLOCK_BYTES
+        records = np.frombuffer(self.arena[start:end], dtype=RECORD_DTYPE)
+        matches = records[(records >= low) & (records < high)]
+        self.stats["bytes_returned"] += matches.nbytes
+        return matches.copy()
+
+
+@dataclass(frozen=True)
+class MediaParams:
+    """One storage medium behind the controller."""
+
+    name: str
+    read_latency_us: float
+    write_latency_us: float
+    bandwidth_gbps: float      # GB/s sustained
+
+    def read_block_us(self) -> float:
+        return self.read_latency_us + BLOCK_BYTES / (self.bandwidth_gbps * 1000)
+
+    def write_block_us(self) -> float:
+        return self.write_latency_us + BLOCK_BYTES / (self.bandwidth_gbps * 1000)
+
+
+#: NVMe TLC flash behind the FPGA's NVMe connector.
+NVME_FLASH = MediaParams("nvme-flash", read_latency_us=80.0,
+                         write_latency_us=20.0, bandwidth_gbps=3.5)
+#: FPGA DRAM emulating non-volatile memory.
+EMULATED_NVM = MediaParams("dram-emulated-nvm", read_latency_us=0.35,
+                           write_latency_us=0.35, bandwidth_gbps=55.0)
+
+
+class SmartStorageController:
+    """The FPGA controller: device + media timing + offload accounting."""
+
+    def __init__(self, device: Optional[BlockDevice] = None,
+                 media: MediaParams = EMULATED_NVM):
+        self.device = device or BlockDevice()
+        self.media = media
+
+    def read_us(self, n_blocks: int) -> float:
+        """Host-visible time to fetch ``n_blocks`` (no offload)."""
+        if n_blocks < 1:
+            raise StorageError("need at least one block")
+        return self.media.read_latency_us + n_blocks * BLOCK_BYTES / (
+            self.media.bandwidth_gbps * 1000
+        )
+
+    def scan_us(self, n_blocks: int, selectivity: float) -> float:
+        """Host-visible time for an in-storage scan: media streaming at
+        full bandwidth inside the controller, only matches shipped."""
+        if not 0.0 <= selectivity <= 1.0:
+            raise StorageError("selectivity must be in [0, 1]")
+        stream_us = self.media.read_latency_us + n_blocks * BLOCK_BYTES / (
+            self.media.bandwidth_gbps * 1000
+        )
+        # Results cross PCIe/ECI to the host at ~10 GB/s.
+        ship_us = selectivity * n_blocks * BLOCK_BYTES / 10_000
+        return stream_us + ship_us
+
+    def offload_speedup(self, n_blocks: int, selectivity: float,
+                        host_link_gbps: float = 10.0) -> float:
+        """Classic path (ship everything, filter on host) vs offload."""
+        classic_us = self.read_us(n_blocks) + n_blocks * BLOCK_BYTES / (
+            host_link_gbps * 1000
+        )
+        return classic_us / self.scan_us(n_blocks, selectivity)

@@ -1,0 +1,131 @@
+"""Undervolt characterization (§4.3).
+
+"The ability to independently monitor and control voltage regulators at
+fine granularity makes Enzian a worthy experimental platform for
+examining the undervolt behavior of FPGAs [59], CPUs [71], and
+DRAM [12]."
+
+The experiment: lower a domain's VOUT through PMBus in small steps,
+run a self-checking workload at each point, and record the error rate
+-- mapping the *guardband* between the nominal voltage and the first
+failures.  The fault model follows the published undervolting studies:
+no errors inside the guardband, then an exponential error-rate ramp as
+timing paths start to fail, then crash.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..bmc.pmbus import PmbusCommand, VOUT_MODE_DEFAULT, linear16_encode
+from ..bmc.power_manager import PowerManager
+
+
+@dataclass(frozen=True)
+class UndervoltFaultModel:
+    """Error behaviour of one voltage domain."""
+
+    nominal_v: float
+    #: Fraction of nominal below which errors begin (the guardband edge).
+    guardband: float = 0.10
+    #: Fraction of nominal below which the domain crashes outright.
+    crash_margin: float = 0.17
+    #: Error-rate scale: errors per operation right at the crash edge.
+    max_error_rate: float = 1e-2
+
+    def __post_init__(self):
+        if not 0 < self.guardband < self.crash_margin < 1:
+            raise ValueError("need 0 < guardband < crash_margin < 1")
+
+    def error_rate(self, vout: float) -> float:
+        """Expected errors per operation at ``vout``."""
+        margin = (self.nominal_v - vout) / self.nominal_v
+        if margin <= self.guardband:
+            return 0.0
+        if margin >= self.crash_margin:
+            return float("inf")  # crash
+        # Exponential ramp between guardband edge and crash.
+        span = self.crash_margin - self.guardband
+        x = (margin - self.guardband) / span
+        return self.max_error_rate * (math.exp(5.0 * x) - 1.0) / (math.exp(5.0) - 1.0)
+
+
+@dataclass(frozen=True)
+class UndervoltPoint:
+    """One step of the characterization sweep."""
+
+    vout: float
+    margin_fraction: float
+    errors: int
+    operations: int
+    crashed: bool
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.operations if self.operations else 0.0
+
+
+class UndervoltExperiment:
+    """Sweeps a rail downward through the real PMBus control path."""
+
+    def __init__(
+        self,
+        manager: PowerManager,
+        rail: str,
+        fault_model: Optional[UndervoltFaultModel] = None,
+        seed: int = 1,
+    ):
+        self.manager = manager
+        self.rail = rail
+        nominal = manager.regulators[rail].rail.nominal_v
+        self.fault_model = fault_model or UndervoltFaultModel(nominal_v=nominal)
+        self._rng = random.Random(seed)
+
+    def _set_vout(self, volts: float) -> None:
+        address = self.manager._addresses[self.rail]
+        word = linear16_encode(volts, VOUT_MODE_DEFAULT)
+        self.manager.smbus.write_word_data(address, PmbusCommand.VOUT_COMMAND, word)
+
+    def run_point(self, vout: float, operations: int = 100_000) -> UndervoltPoint:
+        """Set the voltage, run the self-checking workload, count errors."""
+        self._set_vout(vout)
+        measured = self.manager.read_vout(self.rail)
+        rate = self.fault_model.error_rate(measured)
+        nominal = self.fault_model.nominal_v
+        margin = (nominal - measured) / nominal
+        if rate == float("inf"):
+            return UndervoltPoint(measured, margin, 0, 0, crashed=True)
+        # Sample the binomial via its expectation + noise (operations is
+        # large); deterministic given the seed.
+        expected = rate * operations
+        noise = self._rng.gauss(0.0, max(expected, 1.0) ** 0.5) if expected else 0.0
+        errors = max(0, round(expected + noise))
+        return UndervoltPoint(measured, margin, errors, operations, crashed=False)
+
+    def sweep(
+        self, step_fraction: float = 0.01, max_margin: float = 0.25
+    ) -> List[UndervoltPoint]:
+        """Step the rail down until crash (or ``max_margin``), restore
+        the nominal setpoint afterwards."""
+        nominal = self.fault_model.nominal_v
+        points = []
+        steps = int(max_margin / step_fraction)
+        try:
+            for i in range(steps + 1):
+                vout = nominal * (1.0 - i * step_fraction)
+                point = self.run_point(vout)
+                points.append(point)
+                if point.crashed:
+                    break
+        finally:
+            self._set_vout(nominal)
+        return points
+
+
+def guardband_fraction(points: List[UndervoltPoint]) -> float:
+    """Measured guardband: the largest error-free margin."""
+    safe = [p.margin_fraction for p in points if not p.crashed and p.errors == 0]
+    return max(safe) if safe else 0.0

@@ -1,0 +1,42 @@
+"""3x3 Gaussian blur -- the compute stage that stays on the CPU (§5.4).
+
+Integer kernel [[1,2,1],[2,4,2],[1,2,1]] / 16 with edge replication,
+implemented with shifted adds exactly as the scalar CPU code would be.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+KERNEL = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.uint16)
+
+
+def gaussian_blur3(image: np.ndarray) -> np.ndarray:
+    """(h, w) uint8 -> (h, w) uint8, 3x3 Gaussian, replicated edges."""
+    if image.dtype != np.uint8 or image.ndim != 2:
+        raise ValueError("expected (h, w) uint8")
+    padded = np.pad(image, 1, mode="edge").astype(np.uint16)
+    acc = np.zeros(image.shape, dtype=np.uint16)
+    for dy in range(3):
+        for dx in range(3):
+            weight = KERNEL[dy, dx]
+            acc += weight * padded[dy : dy + image.shape[0], dx : dx + image.shape[1]]
+    return ((acc + 8) >> 4).astype(np.uint8)
+
+
+def edge_detect(image: np.ndarray) -> np.ndarray:
+    """Optional third stage (§A.6.4 mentions edge detect): 3x3 Sobel
+    magnitude, saturated to uint8."""
+    if image.dtype != np.uint8 or image.ndim != 2:
+        raise ValueError("expected (h, w) uint8")
+    padded = np.pad(image, 1, mode="edge").astype(np.int32)
+    gx = (
+        padded[:-2, 2:] + 2 * padded[1:-1, 2:] + padded[2:, 2:]
+        - padded[:-2, :-2] - 2 * padded[1:-1, :-2] - padded[2:, :-2]
+    )
+    gy = (
+        padded[2:, :-2] + 2 * padded[2:, 1:-1] + padded[2:, 2:]
+        - padded[:-2, :-2] - 2 * padded[:-2, 1:-1] - padded[:-2, 2:]
+    )
+    magnitude = np.abs(gx) + np.abs(gy)
+    return np.minimum(magnitude, 255).astype(np.uint8)

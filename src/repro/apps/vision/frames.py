@@ -1,0 +1,56 @@
+"""Synthetic video frames for the §5.4 machine-vision pipeline.
+
+"Input data is uncompressed 1024x576 RGB video frames with 8 bits per
+channel pixels padded to 32 bits, preloaded into FPGA-side DRAM."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WIDTH = 1024
+HEIGHT = 576
+BYTES_PER_PIXEL = 4  # RGB + pad
+
+
+def synthetic_frame(
+    width: int = WIDTH, height: int = HEIGHT, seed: int = 0
+) -> np.ndarray:
+    """A deterministic (height, width, 4) uint8 RGBA frame.
+
+    Structured content (gradients + a few rectangles) rather than pure
+    noise, so blur actually has edges to smooth.
+    """
+    rng = np.random.default_rng(seed)
+    y_ramp = np.linspace(0, 255, height, dtype=np.float64)[:, None]
+    x_ramp = np.linspace(0, 255, width, dtype=np.float64)[None, :]
+    red = (y_ramp + 0 * x_ramp) % 256
+    green = (x_ramp + 0 * y_ramp) % 256
+    blue = (y_ramp + x_ramp) / 2 % 256
+    frame = np.zeros((height, width, 4), dtype=np.uint8)
+    frame[..., 0] = red.astype(np.uint8)
+    frame[..., 1] = green.astype(np.uint8)
+    frame[..., 2] = blue.astype(np.uint8)
+    box = min(32, height // 2, width // 2)
+    if box >= 1:
+        for _ in range(8):
+            top = int(rng.integers(0, max(1, height - box)))
+            left = int(rng.integers(0, max(1, width - box)))
+            frame[top : top + box, left : left + box, :3] = rng.integers(
+                0, 256, size=3, dtype=np.uint8
+            )
+    return frame
+
+
+def frame_to_bytes(frame: np.ndarray) -> bytes:
+    """The in-DRAM layout: row-major RGBA bytes."""
+    if frame.dtype != np.uint8 or frame.ndim != 3 or frame.shape[2] != 4:
+        raise ValueError("frame must be (h, w, 4) uint8")
+    return frame.tobytes()
+
+
+def frame_from_bytes(data: bytes, width: int = WIDTH, height: int = HEIGHT) -> np.ndarray:
+    expected = width * height * BYTES_PER_PIXEL
+    if len(data) != expected:
+        raise ValueError(f"need {expected} bytes, got {len(data)}")
+    return np.frombuffer(data, dtype=np.uint8).reshape(height, width, 4).copy()

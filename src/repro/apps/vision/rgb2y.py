@@ -1,0 +1,64 @@
+"""RGB -> luminance conversion and 4-bit quantization.
+
+The data-reduction stage of the §5.4 pipeline, in the integer
+arithmetic an FPGA datapath would use (BT.601 luma, fixed-point 8.8):
+
+    Y = (66 R + 129 G + 25 B + 128) >> 8 + 16
+
+The same function implements both the *soft* (CPU) stage and the
+*hard* (FPGA) stage, which is what makes the §5.4 substitution safe:
+"Pointing the input of the blur filter at the FPGA-backed addresses
+rather than the software output buffer makes the swap.  Nothing else
+needs to be changed."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rgb_to_y(frame: np.ndarray) -> np.ndarray:
+    """(h, w, 4) uint8 RGBA -> (h, w) uint8 luminance (BT.601 integer)."""
+    if frame.dtype != np.uint8 or frame.ndim != 3 or frame.shape[2] < 3:
+        raise ValueError("expected (h, w, >=3) uint8")
+    r = frame[..., 0].astype(np.uint32)
+    g = frame[..., 1].astype(np.uint32)
+    b = frame[..., 2].astype(np.uint32)
+    return (((66 * r + 129 * g + 25 * b + 128) >> 8) + 16).astype(np.uint8)
+
+
+def quantize4(y: np.ndarray) -> np.ndarray:
+    """8-bit luminance -> 4-bit codes (top nibble)."""
+    if y.dtype != np.uint8:
+        raise ValueError("expected uint8 luminance")
+    return (y >> 4).astype(np.uint8)
+
+
+def dequantize4(codes: np.ndarray) -> np.ndarray:
+    """4-bit codes -> 8-bit luminance (midpoint reconstruction)."""
+    return ((codes.astype(np.uint16) << 4) | 0x8).astype(np.uint8)
+
+
+def pack4(codes: np.ndarray) -> np.ndarray:
+    """Pack pairs of 4-bit codes into bytes, row-major; even pixel in
+    the low nibble (the FPGA packs little-endian within the byte)."""
+    flat = codes.reshape(-1)
+    if len(flat) % 2:
+        raise ValueError("pixel count must be even to pack")
+    low = flat[0::2].astype(np.uint8)
+    high = flat[1::2].astype(np.uint8)
+    return (low | (high << 4)).astype(np.uint8)
+
+
+def unpack4(packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack4` (flat code array, length 2x input)."""
+    packed = packed.astype(np.uint8)
+    out = np.empty(packed.size * 2, dtype=np.uint8)
+    out[0::2] = packed & 0x0F
+    out[1::2] = packed >> 4
+    return out
+
+
+def quantization_error_bound() -> int:
+    """Max abs error of quantize4 -> dequantize4 reconstruction."""
+    return 8

@@ -1,0 +1,67 @@
+"""UART console multiplexer (§4.6).
+
+Enzian routes four serial consoles (two CPU, one FPGA, one BMC) through
+the BMC's Zynq fabric to a single USB socket, so an OS developer can
+reach every console with one cable.  The model: named ring-buffered
+UARTs behind a mux, with the ``console zuestollXX-...`` selection
+semantics the artifact workflow uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class Uart:
+    """One serial console endpoint with a bounded history."""
+
+    def __init__(self, name: str, history_lines: int = 1000):
+        if history_lines < 1:
+            raise ValueError("history must hold at least one line")
+        self.name = name
+        self._lines: Deque[str] = deque(maxlen=history_lines)
+        self._input: Deque[str] = deque()
+
+    def emit(self, line: str) -> None:
+        """The device behind the UART prints a line."""
+        self._lines.append(line)
+
+    def history(self) -> List[str]:
+        return list(self._lines)
+
+    def send(self, line: str) -> None:
+        """Host-side input (keystrokes) to the device."""
+        self._input.append(line)
+
+    def pending_input(self) -> Optional[str]:
+        return self._input.popleft() if self._input else None
+
+
+class ConsoleMux:
+    """The Zynq-routed 4-to-1 serial mux."""
+
+    STANDARD_CONSOLES = ("cpu0", "cpu1", "fpga", "bmc")
+
+    def __init__(self, names: tuple = STANDARD_CONSOLES):
+        self.uarts: Dict[str, Uart] = {name: Uart(name) for name in names}
+        self._selected: str = names[0]
+
+    def select(self, name: str) -> Uart:
+        """Take a console (the workflow's ``console zuestollXX-bmc``)."""
+        if name not in self.uarts:
+            raise KeyError(f"no console {name!r}; have {sorted(self.uarts)}")
+        self._selected = name
+        return self.uarts[name]
+
+    @property
+    def selected(self) -> Uart:
+        return self.uarts[self._selected]
+
+    def attach(self, name: str) -> Uart:
+        """Add an extra console (e.g. a debug UART on the FMC)."""
+        if name in self.uarts:
+            raise KeyError(f"console {name!r} already exists")
+        uart = Uart(name)
+        self.uarts[name] = uart
+        return uart

@@ -1,0 +1,111 @@
+"""I2C bus model.
+
+I2C is the base of the board's control network (§4.3): PMBus is a
+superset of SMBus, which is in turn built on I2C.  The model is
+transaction-level -- START, 7-bit address, R/W bit, per-byte ACK/NACK,
+STOP -- with bus timing derived from the clock rate, so higher layers
+see both realistic semantics (NACK from absent devices, per-byte
+handshakes) and realistic latency ("each regulator can be independently
+controlled or queried in approximately 5 ms", §4.3, which includes
+firmware overhead on top of the wire time modelled here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class I2cError(RuntimeError):
+    """Bus-level failures: address NACK, data NACK, arbitration loss."""
+
+
+class I2cDevice:
+    """A slave device: receives written bytes, supplies read bytes.
+
+    Subclasses implement :meth:`write_bytes` and :meth:`read_bytes`.
+    Returning False from ``write_bytes`` NACKs the transfer.
+    """
+
+    def write_bytes(self, data: bytes) -> bool:
+        raise NotImplementedError
+
+    def read_bytes(self, length: int) -> bytes:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class I2cTiming:
+    """Wire timing for one transaction."""
+
+    clock_hz: int = 400_000  # Fast-mode
+
+    def transaction_ns(self, written: int, read: int) -> float:
+        """START + address byte(s) + data bytes (9 bit-times each) + STOP.
+
+        A combined write-then-read transfer needs a repeated START and a
+        second address byte.
+        """
+        bit_ns = 1e9 / self.clock_hz
+        address_bytes = 1 + (1 if read else 0)
+        bits = 9 * (address_bytes + written + read)
+        overhead_bits = 2 + (1 if read and written else 0)  # START/STOP/Sr
+        return (bits + overhead_bits) * bit_ns
+
+
+class I2cBus:
+    """One I2C segment with up to 127 addressable devices."""
+
+    def __init__(self, name: str = "i2c0", timing: Optional[I2cTiming] = None):
+        self.name = name
+        self.timing = timing or I2cTiming()
+        self._devices: Dict[int, I2cDevice] = {}
+        self.stats = {"transactions": 0, "nacks": 0, "bytes": 0}
+        self.busy_until_ns = 0.0
+
+    def attach(self, address: int, device: I2cDevice) -> None:
+        if not 0x08 <= address <= 0x77:
+            raise ValueError(f"address {address:#x} outside valid 7-bit range")
+        if address in self._devices:
+            raise ValueError(f"address {address:#x} already in use on {self.name}")
+        self._devices[address] = device
+
+    def detach(self, address: int) -> None:
+        if address not in self._devices:
+            raise ValueError(f"no device at {address:#x}")
+        del self._devices[address]
+
+    def scan(self) -> List[int]:
+        """Addresses that ACK (the classic ``i2cdetect`` sweep)."""
+        return sorted(self._devices)
+
+    def transfer(
+        self, address: int, write: bytes = b"", read_len: int = 0, now_ns: float = 0.0
+    ) -> tuple[bytes, float]:
+        """One transaction; returns (read bytes, completion time in ns).
+
+        Raises :class:`I2cError` when the address or a data byte NACKs.
+        """
+        self.stats["transactions"] += 1
+        start = max(now_ns, self.busy_until_ns)
+        duration = self.timing.transaction_ns(len(write), read_len)
+        self.busy_until_ns = start + duration
+        device = self._devices.get(address)
+        if device is None:
+            self.stats["nacks"] += 1
+            raise I2cError(f"{self.name}: address {address:#x} NACKed")
+        if write:
+            if not device.write_bytes(bytes(write)):
+                self.stats["nacks"] += 1
+                raise I2cError(f"{self.name}: device {address:#x} NACKed data")
+            self.stats["bytes"] += len(write)
+        data = b""
+        if read_len:
+            data = device.read_bytes(read_len)
+            if len(data) != read_len:
+                raise I2cError(
+                    f"{self.name}: device {address:#x} returned {len(data)} "
+                    f"of {read_len} bytes"
+                )
+            self.stats["bytes"] += read_len
+        return data, start + duration

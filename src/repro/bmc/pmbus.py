@@ -1,0 +1,124 @@
+"""PMBus: the power-management command set and its number formats.
+
+The majority of Enzian's 25 regulators are controlled via PMBus (§4.3).
+This module implements the command vocabulary the firmware uses plus
+the two PMBus number encodings:
+
+* **LINEAR11** -- one 16-bit word holding a 5-bit two's-complement
+  exponent and an 11-bit two's-complement mantissa (``value = m * 2^e``),
+  used for currents, temperatures, and input voltages;
+* **LINEAR16** -- a 16-bit unsigned mantissa with the exponent carried
+  separately in VOUT_MODE, used for output voltages.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PmbusCommand(enum.IntEnum):
+    """The subset of the PMBus command space Enzian's firmware uses."""
+
+    PAGE = 0x00
+    OPERATION = 0x01
+    CLEAR_FAULTS = 0x03
+    VOUT_MODE = 0x20
+    VOUT_COMMAND = 0x21
+    VOUT_OV_FAULT_LIMIT = 0x40
+    IOUT_OC_FAULT_LIMIT = 0x46
+    OT_FAULT_LIMIT = 0x4F
+    STATUS_WORD = 0x79
+    READ_VIN = 0x88
+    READ_VOUT = 0x8B
+    READ_IOUT = 0x8C
+    READ_TEMPERATURE_1 = 0x8D
+    READ_POUT = 0x96
+    MFR_MODEL = 0x9A
+
+
+class Operation(enum.IntEnum):
+    """OPERATION command values (immediate off / soft off / on)."""
+
+    OFF = 0x00
+    SOFT_OFF = 0x40
+    ON = 0x80
+
+
+class StatusBit(enum.IntEnum):
+    """STATUS_WORD bits (low byte of the standard assignment)."""
+
+    NONE_OF_THE_ABOVE = 1 << 0
+    CML = 1 << 1
+    TEMPERATURE = 1 << 2
+    VIN_UV = 1 << 3
+    IOUT_OC = 1 << 4
+    VOUT_OV = 1 << 5
+    OFF = 1 << 6
+    BUSY = 1 << 7
+
+
+class PmbusFormatError(ValueError):
+    """Value not representable in the requested format."""
+
+
+def _twos_complement(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def linear11_decode(word: int) -> float:
+    """Decode a LINEAR11 word to a float."""
+    if not 0 <= word <= 0xFFFF:
+        raise PmbusFormatError(f"word {word:#x} out of range")
+    exponent = _twos_complement(word >> 11, 5)
+    mantissa = _twos_complement(word & 0x7FF, 11)
+    return mantissa * 2.0**exponent
+
+
+def linear11_encode(value: float) -> int:
+    """Encode a float as LINEAR11, choosing the exponent for precision.
+
+    Picks the smallest exponent (finest resolution) whose mantissa still
+    fits in 11 signed bits.
+    """
+    for exponent in range(-16, 16):
+        mantissa = round(value / 2.0**exponent)
+        if -1024 <= mantissa <= 1023:
+            return ((exponent & 0x1F) << 11) | (mantissa & 0x7FF)
+    raise PmbusFormatError(f"value {value} not representable in LINEAR11")
+
+
+def linear16_decode(word: int, vout_mode: int) -> float:
+    """Decode a LINEAR16 word given the VOUT_MODE exponent byte."""
+    if not 0 <= word <= 0xFFFF:
+        raise PmbusFormatError(f"word {word:#x} out of range")
+    if vout_mode >> 5 != 0:
+        raise PmbusFormatError(f"VOUT_MODE {vout_mode:#x} is not linear mode")
+    exponent = _twos_complement(vout_mode & 0x1F, 5)
+    return word * 2.0**exponent
+
+
+def linear16_encode(value: float, vout_mode: int) -> int:
+    """Encode a float as LINEAR16 under the given VOUT_MODE exponent."""
+    if value < 0:
+        raise PmbusFormatError("LINEAR16 is unsigned")
+    if vout_mode >> 5 != 0:
+        raise PmbusFormatError(f"VOUT_MODE {vout_mode:#x} is not linear mode")
+    exponent = _twos_complement(vout_mode & 0x1F, 5)
+    word = round(value / 2.0**exponent)
+    if not 0 <= word <= 0xFFFF:
+        raise PmbusFormatError(
+            f"value {value} not representable with exponent {exponent}"
+        )
+    return word
+
+
+#: VOUT_MODE used by Enzian's regulators: linear mode, exponent -12
+#: (resolution ~0.24 mV).
+VOUT_MODE_DEFAULT = 0x14  # -12 in 5-bit two's complement
+
+def linear11_resolution(word: int) -> float:
+    """The representable step size at this word's exponent."""
+    exponent = _twos_complement(word >> 11, 5)
+    return 2.0**exponent

@@ -1,0 +1,216 @@
+"""The BMC power manager: firmware driving regulators over PMBus.
+
+This is the control surface the artifact appendix exposes
+(``common_power_up()``, ``cpu_power_up()``, ``print_current_all()``):
+a firmware object that owns the I2C bus, the regulator devices, and the
+solved power sequences, and that advances board time as it waits for
+rails to settle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .i2c import I2cBus
+from .pmbus import Operation, PmbusCommand, StatusBit, VOUT_MODE_DEFAULT, linear11_decode, linear16_decode
+from .regulators import BoardClock, LoadBook, PowerRail, RegulatorParams, VoltageRegulator
+from .sequencing import (
+    ALL_RAILS,
+    COMMON_RAILS,
+    CPU_RAILS,
+    FPGA_RAILS,
+    RailRequirement,
+    power_down_order,
+    solve_sequence,
+    verify_sequence,
+)
+from .smbus import SmbusController
+
+#: Electrical definition of every rail: (nominal volts, max amps, idle watts).
+RAIL_ELECTRICAL: Dict[str, tuple[float, float, float]] = {
+    "12V_SB": (12.0, 8.0, 2.0),
+    "3V3_BMC": (3.3, 3.0, 2.5),
+    "1V8_BMC": (1.8, 2.0, 0.8),
+    "12V_MAIN": (12.0, 80.0, 3.0),
+    "5V_MAIN": (5.0, 20.0, 1.5),
+    "3V3_MAIN": (3.3, 20.0, 1.5),
+    "CLK_MAIN": (3.3, 2.0, 0.7),
+    "VDD_CORE": (0.98, 160.0, 6.0),      # the >150 A CPU core rail
+    "VDD_09_CPU": (0.9, 30.0, 1.0),
+    "VDD_15_CPU": (1.5, 20.0, 1.0),
+    "VDD_CPU_IO": (1.8, 10.0, 0.5),
+    "VDD_DDRCPU01": (1.2, 30.0, 1.5),
+    "VTT_DDRCPU01": (0.6, 6.0, 0.3),
+    "VDD_DDRCPU23": (1.2, 30.0, 1.5),
+    "VTT_DDRCPU23": (0.6, 6.0, 0.3),
+    "VCCINT": (0.85, 120.0, 4.0),        # FPGA core rail
+    "VCCINT_IO": (0.85, 20.0, 0.8),
+    "VCCBRAM": (0.9, 10.0, 0.5),
+    "VCCAUX": (1.8, 10.0, 0.8),
+    "VCC1V8_FPGA": (1.8, 10.0, 0.5),
+    "MGTAVCC": (0.9, 20.0, 1.0),
+    "MGTAVTT": (1.2, 20.0, 1.0),
+    "VDD_DDRFPGA01": (1.2, 30.0, 1.5),
+    "VTT_DDRFPGA01": (0.6, 6.0, 0.3),
+    "VDD_DDRFPGA23": (1.2, 30.0, 1.5),
+    "VTT_DDRFPGA23": (0.6, 6.0, 0.3),
+}
+
+#: The four regulator groups Figure 12 plots.
+PRIMARY_DOMAINS = {
+    "CPU": "VDD_CORE",
+    "FPGA": "VCCINT",
+    "DRAM0": "VDD_DDRCPU01",
+    "DRAM1": "VDD_DDRCPU23",
+}
+
+
+class PowerManagerError(RuntimeError):
+    """A rail failed to come up or a sequence was rejected."""
+
+
+class PowerManager:
+    """The BMC firmware's power-control stack."""
+
+    def __init__(
+        self,
+        clock: Optional[BoardClock] = None,
+        loads: Optional[LoadBook] = None,
+        requirements: Sequence[RailRequirement] = ALL_RAILS,
+        regulator_params: Optional[RegulatorParams] = None,
+    ):
+        self.clock = clock or BoardClock()
+        self.loads = loads or LoadBook()
+        self.bus = I2cBus("pmbus0")
+        self.smbus = SmbusController(self.bus)
+        self.requirements = {r.rail: r for r in requirements}
+        self.regulators: Dict[str, VoltageRegulator] = {}
+        self._addresses: Dict[str, int] = {}
+        params = regulator_params or RegulatorParams()
+        for index, req in enumerate(requirements):
+            volts, amps, idle = RAIL_ELECTRICAL[req.rail]
+            address = 0x20 + index
+            regulator = VoltageRegulator(
+                address,
+                PowerRail(req.rail, volts, amps, idle_w=idle),
+                self.clock,
+                self.loads,
+                params=params,
+                requires=req.after,
+                rail_lookup=lambda name: self.regulators[name],
+            )
+            self.bus.attach(address, regulator)
+            self.regulators[req.rail] = regulator
+            self._addresses[req.rail] = address
+        self.events: List[tuple[float, str]] = []
+
+    # -- PMBus primitives ---------------------------------------------------
+
+    def _operation(self, rail: str, value: Operation) -> None:
+        self.smbus.write_byte_data(
+            self._addresses[rail], PmbusCommand.OPERATION, int(value)
+        )
+
+    def read_vout(self, rail: str) -> float:
+        word = self.smbus.read_word_data(self._addresses[rail], PmbusCommand.READ_VOUT)
+        return linear16_decode(word, VOUT_MODE_DEFAULT)
+
+    def read_iout(self, rail: str) -> float:
+        word = self.smbus.read_word_data(self._addresses[rail], PmbusCommand.READ_IOUT)
+        return linear11_decode(word)
+
+    def read_temperature(self, rail: str) -> float:
+        word = self.smbus.read_word_data(
+            self._addresses[rail], PmbusCommand.READ_TEMPERATURE_1
+        )
+        return linear11_decode(word)
+
+    def read_status(self, rail: str) -> int:
+        return self.smbus.read_word_data(
+            self._addresses[rail], PmbusCommand.STATUS_WORD
+        )
+
+    def read_power_w(self, rail: str) -> float:
+        return self.read_vout(rail) * self.read_iout(rail)
+
+    def clear_faults(self, rail: str) -> None:
+        self.smbus.send_byte(self._addresses[rail], PmbusCommand.CLEAR_FAULTS)
+
+    # -- sequences ------------------------------------------------------------
+
+    def _bring_up(self, rails: Sequence[RailRequirement]) -> None:
+        """Enable a rail group in solver order, verifying before acting."""
+        group = {r.rail for r in rails}
+        order = [r for r in solve_sequence(self.requirements.values()) if r in group]
+        verify_sequence(
+            order,
+            [
+                RailRequirement(
+                    r.rail,
+                    tuple(d for d in r.after if d in group),
+                    r.settle_ms,
+                )
+                for r in rails
+            ],
+        )
+        for rail in order:
+            self._operation(rail, Operation.ON)
+            self.clock.advance(self.requirements[rail].settle_ms / 1000.0)
+            status = self.read_status(rail)
+            if status & int(StatusBit.IOUT_OC) or status & int(StatusBit.VOUT_OV):
+                raise PowerManagerError(f"rail {rail} faulted during bring-up")
+            if not self.regulators[rail].live:
+                raise PowerManagerError(f"rail {rail} failed to reach regulation")
+            self.events.append((self.clock.now_s, f"on:{rail}"))
+
+    def _bring_down(self, rails: Sequence[RailRequirement]) -> None:
+        group = {r.rail for r in rails}
+        up_order = [r for r in solve_sequence(self.requirements.values()) if r in group]
+        for rail in power_down_order(up_order):
+            self._operation(rail, Operation.OFF)
+            self.clock.advance(0.002)
+            self.events.append((self.clock.now_s, f"off:{rail}"))
+
+    def common_power_up(self) -> None:
+        """PSU plugged in: standby, main, and clock domains."""
+        self._bring_up(COMMON_RAILS)
+
+    def fpga_power_up(self) -> None:
+        self._bring_up(FPGA_RAILS)
+
+    def cpu_power_up(self) -> None:
+        self._bring_up(CPU_RAILS)
+
+    def cpu_power_down(self) -> None:
+        self._bring_down(CPU_RAILS)
+
+    def fpga_power_down(self) -> None:
+        self._bring_down(FPGA_RAILS)
+
+    def power_down(self) -> None:
+        """Full power-off: reverse of the full power-up order."""
+        self._bring_down(CPU_RAILS)
+        self._bring_down(FPGA_RAILS)
+        self._bring_down(COMMON_RAILS)
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def rails_live(self, rails: Sequence[RailRequirement]) -> bool:
+        return all(self.regulators[r.rail].live for r in rails)
+
+    def print_current_all(self) -> str:
+        """The BMC console command from the artifact appendix."""
+        lines = [f"{'rail':<16}{'V':>8}{'A':>9}{'W':>9}{'degC':>7}  status"]
+        for rail in self.regulators:
+            vout = self.read_vout(rail)
+            iout = self.read_iout(rail)
+            temp = self.read_temperature(rail)
+            status = self.read_status(rail)
+            flag = "OFF" if status & int(StatusBit.OFF) else "on"
+            if status & int(StatusBit.IOUT_OC):
+                flag = "OCP-FAULT"
+            lines.append(
+                f"{rail:<16}{vout:>8.3f}{iout:>9.2f}{vout * iout:>9.2f}"
+                f"{temp:>7.1f}  {flag}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Declarative power sequencing (§4.2, after Schult et al. [60]).
+
+"Given the precise thresholds and sequencing requirements of the system
+components, finding a correct sequence and configuration for the 25
+regulators requires non-trivial engineering.  To bring assurance to
+this process, we developed a technique of declarative power sequencing
+in which powering requirements are specified, and then a solver is used
+to generate a provably correct sequence."
+
+Here the requirements are :class:`RailRequirement` records, the solver
+is a deterministic topological sort (networkx) and
+:func:`verify_sequence` is the independent checker that the generated
+(or any hand-written) sequence satisfies every requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import networkx as nx
+
+
+class SequencingError(RuntimeError):
+    """Unsatisfiable requirements or an invalid sequence."""
+
+
+@dataclass(frozen=True)
+class RailRequirement:
+    """Declarative powering requirement for one rail.
+
+    ``after`` lists rails that must be *live* before this one may be
+    enabled.  ``settle_ms`` is the dwell after enabling before dependent
+    rails may proceed (soft-start plus margin).
+    """
+
+    rail: str
+    after: tuple[str, ...] = ()
+    settle_ms: float = 10.0
+
+    def __post_init__(self):
+        if self.settle_ms < 0:
+            raise ValueError("settle_ms must be non-negative")
+        if self.rail in self.after:
+            raise ValueError(f"rail {self.rail} cannot depend on itself")
+
+
+def solve_sequence(requirements: Iterable[RailRequirement]) -> List[str]:
+    """Generate a correct power-up order, or raise on cycles.
+
+    Deterministic: ties broken lexicographically, so the output is a
+    stable artifact that can be reviewed and version-controlled (as the
+    real firmware's generated sequences are).
+    """
+    reqs = list(requirements)
+    names = [r.rail for r in reqs]
+    if len(set(names)) != len(names):
+        raise SequencingError("duplicate rail in requirements")
+    known = set(names)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(names)
+    for r in reqs:
+        for dep in r.after:
+            if dep not in known:
+                raise SequencingError(f"{r.rail} depends on unknown rail {dep!r}")
+            graph.add_edge(dep, r.rail)
+    try:
+        return list(nx.lexicographical_topological_sort(graph))
+    except nx.NetworkXUnfeasible as exc:
+        cycle = nx.find_cycle(graph)
+        raise SequencingError(f"dependency cycle: {cycle}") from exc
+
+
+def verify_sequence(
+    order: Sequence[str], requirements: Iterable[RailRequirement]
+) -> None:
+    """Check that ``order`` satisfies every requirement; raise otherwise.
+
+    This is the independent checker: it must not share logic with the
+    solver beyond the requirement records themselves.
+    """
+    reqs = {r.rail: r for r in requirements}
+    position = {rail: i for i, rail in enumerate(order)}
+    if len(position) != len(order):
+        raise SequencingError("sequence repeats a rail")
+    missing = set(reqs) - set(position)
+    if missing:
+        raise SequencingError(f"sequence omits rails: {sorted(missing)}")
+    extra = set(position) - set(reqs)
+    if extra:
+        raise SequencingError(f"sequence contains unknown rails: {sorted(extra)}")
+    for rail, req in reqs.items():
+        for dep in req.after:
+            if position[dep] >= position[rail]:
+                raise SequencingError(
+                    f"{rail} enabled before its prerequisite {dep}"
+                )
+
+
+def power_down_order(order: Sequence[str]) -> List[str]:
+    """Power-down is the exact reverse of a correct power-up sequence."""
+    return list(reversed(order))
+
+
+# -- the Enzian power network ------------------------------------------------
+
+#: Power domains, grouped as the power manager drives them.
+COMMON_RAILS = (
+    RailRequirement("12V_SB", settle_ms=20.0),
+    RailRequirement("3V3_BMC", after=("12V_SB",), settle_ms=10.0),
+    RailRequirement("1V8_BMC", after=("3V3_BMC",), settle_ms=5.0),
+    RailRequirement("12V_MAIN", after=("12V_SB",), settle_ms=25.0),
+    RailRequirement("5V_MAIN", after=("12V_MAIN",), settle_ms=10.0),
+    RailRequirement("3V3_MAIN", after=("5V_MAIN",), settle_ms=10.0),
+    RailRequirement("CLK_MAIN", after=("3V3_MAIN",), settle_ms=5.0),
+)
+
+CPU_RAILS = (
+    RailRequirement("VDD_CORE", after=("12V_MAIN", "CLK_MAIN"), settle_ms=15.0),
+    RailRequirement("VDD_09_CPU", after=("VDD_CORE",), settle_ms=5.0),
+    RailRequirement("VDD_15_CPU", after=("VDD_09_CPU",), settle_ms=5.0),
+    RailRequirement("VDD_DDRCPU01", after=("VDD_15_CPU",), settle_ms=10.0),
+    RailRequirement("VTT_DDRCPU01", after=("VDD_DDRCPU01",), settle_ms=5.0),
+    RailRequirement("VDD_DDRCPU23", after=("VDD_15_CPU",), settle_ms=10.0),
+    RailRequirement("VTT_DDRCPU23", after=("VDD_DDRCPU23",), settle_ms=5.0),
+    RailRequirement("VDD_CPU_IO", after=("VDD_15_CPU",), settle_ms=5.0),
+)
+
+FPGA_RAILS = (
+    RailRequirement("VCCINT", after=("12V_MAIN", "CLK_MAIN"), settle_ms=20.0),
+    RailRequirement("VCCINT_IO", after=("VCCINT",), settle_ms=5.0),
+    RailRequirement("VCCBRAM", after=("VCCINT_IO",), settle_ms=5.0),
+    RailRequirement("VCCAUX", after=("VCCBRAM",), settle_ms=5.0),
+    RailRequirement("VCC1V8_FPGA", after=("VCCAUX",), settle_ms=5.0),
+    RailRequirement("MGTAVCC", after=("VCCAUX",), settle_ms=10.0),
+    RailRequirement("MGTAVTT", after=("MGTAVCC",), settle_ms=10.0),
+    RailRequirement("VDD_DDRFPGA01", after=("VCC1V8_FPGA",), settle_ms=10.0),
+    RailRequirement("VTT_DDRFPGA01", after=("VDD_DDRFPGA01",), settle_ms=5.0),
+    RailRequirement("VDD_DDRFPGA23", after=("VCC1V8_FPGA",), settle_ms=10.0),
+    RailRequirement("VTT_DDRFPGA23", after=("VDD_DDRFPGA23",), settle_ms=5.0),
+)
+
+ALL_RAILS: tuple[RailRequirement, ...] = COMMON_RAILS + CPU_RAILS + FPGA_RAILS

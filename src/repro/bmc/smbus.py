@@ -1,0 +1,192 @@
+"""SMBus protocol layer over I2C, including Packet Error Checking.
+
+SMBus defines typed command transactions (read/write byte, word, and
+block) over raw I2C, plus an optional CRC-8 Packet Error Code (PEC)
+appended to each transfer.  PMBus builds directly on these.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from .i2c import I2cBus, I2cDevice, I2cError
+
+
+class SmbusError(I2cError):
+    """Protocol-layer failures (PEC mismatch, malformed block)."""
+
+
+def crc8(data: bytes) -> int:
+    """SMBus PEC: CRC-8 with polynomial x^8 + x^2 + x + 1 (0x07)."""
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ 0x07) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+    return crc
+
+
+class SmbusController:
+    """Master-side SMBus command transactions on one I2C bus."""
+
+    def __init__(self, bus: I2cBus, use_pec: bool = True):
+        self.bus = bus
+        self.use_pec = use_pec
+        self._now_ns = 0.0
+
+    @property
+    def now_ns(self) -> float:
+        """Completion time of the most recent transaction."""
+        return self._now_ns
+
+    def _write(self, address: int, payload: bytes) -> None:
+        if self.use_pec:
+            # PEC covers the slave address (write) and the payload.
+            pec = crc8(bytes([address << 1]) + payload)
+            payload = payload + bytes([pec])
+        _, self._now_ns = self.bus.transfer(
+            address, write=payload, now_ns=self._now_ns
+        )
+
+    def _write_read(self, address: int, command: int, read_len: int) -> bytes:
+        extra = 1 if self.use_pec else 0
+        data, self._now_ns = self.bus.transfer(
+            address,
+            write=bytes([command]),
+            read_len=read_len + extra,
+            now_ns=self._now_ns,
+        )
+        if self.use_pec:
+            body, received_pec = data[:-1], data[-1]
+            expected = crc8(
+                bytes([address << 1, command, (address << 1) | 1]) + body
+            )
+            if received_pec != expected:
+                raise SmbusError(
+                    f"PEC mismatch at {address:#x} cmd {command:#x}: "
+                    f"{received_pec:#x} != {expected:#x}"
+                )
+            return body
+        return data
+
+    # -- SMBus command set -------------------------------------------------
+
+    def send_byte(self, address: int, command: int) -> None:
+        """Send-byte transaction: the command byte alone (no PEC)."""
+        _, self._now_ns = self.bus.transfer(
+            address, write=bytes([command]), now_ns=self._now_ns
+        )
+
+    def write_byte_data(self, address: int, command: int, value: int) -> None:
+        self._write(address, bytes([command, value & 0xFF]))
+
+    def read_byte_data(self, address: int, command: int) -> int:
+        return self._write_read(address, command, 1)[0]
+
+    def write_word_data(self, address: int, command: int, value: int) -> None:
+        self._write(address, bytes([command]) + struct.pack("<H", value & 0xFFFF))
+
+    def read_word_data(self, address: int, command: int) -> int:
+        return struct.unpack("<H", self._write_read(address, command, 2))[0]
+
+    def write_block_data(self, address: int, command: int, data: bytes) -> None:
+        if len(data) > 32:
+            raise SmbusError("SMBus block is limited to 32 bytes")
+        self._write(address, bytes([command, len(data)]) + data)
+
+    def read_block_data(self, address: int, command: int) -> bytes:
+        # Length-prefixed: first returned byte is the count.
+        raw = self._write_read_block(address, command)
+        return raw
+
+    def _write_read_block(self, address: int, command: int) -> bytes:
+        extra = 1 if self.use_pec else 0
+        data, self._now_ns = self.bus.transfer(
+            address, write=bytes([command]), read_len=33 + extra, now_ns=self._now_ns
+        )
+        count = data[0]
+        if count > 32:
+            raise SmbusError(f"block count {count} exceeds 32")
+        body = data[1 : 1 + count]
+        if self.use_pec:
+            received_pec = data[1 + count]
+            expected = crc8(
+                bytes([address << 1, command, (address << 1) | 1, count]) + body
+            )
+            if received_pec != expected:
+                raise SmbusError("PEC mismatch on block read")
+        return body
+
+
+class SmbusDevice(I2cDevice):
+    """Slave-side adapter: routes SMBus commands to handler methods.
+
+    Subclasses implement :meth:`handle_write` / :meth:`handle_read`.
+    The adapter strips/append PEC bytes and the block length prefix.
+    """
+
+    def __init__(self, address: int, use_pec: bool = True):
+        self.address = address
+        self.use_pec = use_pec
+        self._last_command: Optional[int] = None
+
+    # -- to be implemented by concrete devices ----------------------------
+
+    def handle_write(self, command: int, data: bytes) -> bool:
+        raise NotImplementedError
+
+    def handle_read(self, command: int, length: int) -> bytes:
+        raise NotImplementedError
+
+    def block_length(self, command: int) -> Optional[int]:
+        """Length of a block-read response, or None for fixed commands."""
+        return None
+
+    def handle_send(self, command: int) -> bool:
+        """A send-byte transaction (command with no data); default no-op."""
+        return True
+
+    # -- I2cDevice plumbing -------------------------------------------------
+
+    def write_bytes(self, data: bytes) -> bool:
+        if not data:
+            return False
+        if len(data) == 1:
+            # Command byte only: either a send-byte action or the setup
+            # phase of a subsequent read.
+            self._last_command = data[0]
+            return self.handle_send(data[0])
+        command, payload = data[0], data[1:]
+        if self.use_pec and len(payload) >= 2:
+            expected = crc8(bytes([self.address << 1]) + data[:-1])
+            if payload[-1] != expected:
+                return False
+            payload = payload[:-1]
+        self._last_command = command
+        return self.handle_write(command, payload)
+
+    def read_bytes(self, length: int) -> bytes:
+        if self._last_command is None:
+            return b"\xFF" * length
+        command = self._last_command
+        block_len = self.block_length(command)
+        if block_len is not None:
+            body = self.handle_read(command, block_len)
+            payload = bytes([len(body)]) + body
+        else:
+            want = length - (1 if self.use_pec else 0)
+            payload = self.handle_read(command, want)
+        if self.use_pec:
+            pec = crc8(
+                bytes([self.address << 1, command, (self.address << 1) | 1])
+                + payload
+            )
+            payload = payload + bytes([pec])
+        # Pad to the requested length (masters over-read for blocks).
+        if len(payload) < length:
+            payload = payload + b"\xFF" * (length - len(payload))
+        return payload[:length]

@@ -1,0 +1,32 @@
+"""Boot substrate: BDK diagnostics, firmware chain, device tree, orchestration."""
+
+from .bdk import Bdk, BdkResult, EciLinkState, MemoryFault, SimulatedDram
+from .devicetree import (
+    EnzianTopology,
+    NumaNodeDesc,
+    enzian_topology,
+    parse_numa_nodes,
+    render_dts,
+)
+from .firmware import BootError, BootRecord, BootStage, FirmwareChain, standard_stages
+from .sequence import BootOrchestrator, BootTimeline
+
+__all__ = [
+    "Bdk",
+    "BdkResult",
+    "BootError",
+    "BootOrchestrator",
+    "BootRecord",
+    "BootStage",
+    "BootTimeline",
+    "EciLinkState",
+    "EnzianTopology",
+    "FirmwareChain",
+    "MemoryFault",
+    "NumaNodeDesc",
+    "SimulatedDram",
+    "enzian_topology",
+    "parse_numa_nodes",
+    "render_dts",
+    "standard_stages",
+]

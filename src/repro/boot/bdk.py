@@ -1,0 +1,248 @@
+"""The Board Development Kit (BDK) environment.
+
+The BDK runs before the processor fully boots (§4.1/§4.4): it checks
+DRAM, brings up the ECI protocol (and can dial lanes/speed up and
+down), and offers diagnostics.  Figure 12's workload script is mostly
+BDK phases: DRAM check, data-bus test, address-bus test, and two
+memtests (marching rows, random data).
+
+The memory tests are real algorithms run against a byte array standing
+in for physical DRAM -- the classic Barr-style suite: walking-ones on
+the data bus, power-of-two offsets on the address bus, then full
+device tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class MemoryFault(RuntimeError):
+    """A memory test found a mismatch."""
+
+    def __init__(self, test: str, address: int, expected: int, actual: int):
+        super().__init__(
+            f"{test}: at {address:#x} expected {expected:#04x} got {actual:#04x}"
+        )
+        self.test = test
+        self.address = address
+        self.expected = expected
+        self.actual = actual
+
+
+class SimulatedDram:
+    """A byte array with optional injected stuck-at / aliasing faults."""
+
+    def __init__(self, size: int):
+        if size < 16:
+            raise ValueError("DRAM must be at least 16 bytes")
+        self.size = size
+        self.data = bytearray(size)
+        self.stuck_bits: dict[int, int] = {}     # address -> OR-mask of stuck-at-1
+        self.address_alias_mask: Optional[int] = None  # wired-together address line
+
+    def write(self, addr: int, value: int) -> None:
+        addr = self._effective(addr)
+        self.data[addr] = (value | self.stuck_bits.get(addr, 0)) & 0xFF
+
+    def read(self, addr: int) -> int:
+        addr = self._effective(addr)
+        return self.data[addr] | self.stuck_bits.get(addr, 0)
+
+    def _effective(self, addr: int) -> int:
+        if not 0 <= addr < self.size:
+            raise IndexError(f"address {addr:#x} out of range")
+        if self.address_alias_mask is not None:
+            # A shorted address line: the masked bit is forced to zero,
+            # so two addresses alias.
+            addr &= ~self.address_alias_mask
+        return addr
+
+
+@dataclass
+class EciLinkState:
+    """Link training state the BDK controls (§4.4: lanes/speed dialing)."""
+
+    lanes: int = 24
+    speed_gbps: float = 10.0
+    trained: bool = False
+
+    def configure(self, lanes: int, speed_gbps: float) -> None:
+        if lanes not in (4, 8, 12, 24):
+            raise ValueError(f"unsupported lane configuration {lanes}")
+        if not 1.0 <= speed_gbps <= 10.3125:
+            raise ValueError(f"speed {speed_gbps} Gb/s out of range")
+        self.lanes = lanes
+        self.speed_gbps = speed_gbps
+        self.trained = False
+
+    def train(self, remote_ready: bool) -> bool:
+        """Link training succeeds only when the FPGA shell is loaded
+        (§4.5: the initial image must exist before the CPU boots)."""
+        self.trained = bool(remote_ready)
+        return self.trained
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.lanes * self.speed_gbps if self.trained else 0.0
+
+
+@dataclass
+class BdkResult:
+    """Outcome of one diagnostic, with the duration it took."""
+
+    name: str
+    passed: bool
+    duration_s: float
+    detail: str = ""
+
+
+class Bdk:
+    """The pre-boot environment: diagnostics and ECI bring-up."""
+
+    #: Time per byte touched, seconds (one CPU doing uncached accesses).
+    SECONDS_PER_BYTE = 4e-9
+
+    def __init__(self, dram: SimulatedDram, console=None):
+        self.dram = dram
+        self.console = console
+        self.eci = EciLinkState()
+        self.results: List[BdkResult] = []
+
+    def _log(self, message: str) -> None:
+        if self.console is not None:
+            self.console.emit(message)
+
+    def _record(self, name: str, passed: bool, bytes_touched: int, detail: str = ""):
+        result = BdkResult(
+            name, passed, duration_s=bytes_touched * self.SECONDS_PER_BYTE, detail=detail
+        )
+        self.results.append(result)
+        self._log(f"BDK: {name}: {'PASS' if passed else 'FAIL'} {detail}")
+        return result
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def dram_check(self) -> BdkResult:
+        """Quick presence check: write/read one byte per 1 MiB row."""
+        step = max(1, min(1 << 20, self.dram.size // 16))
+        touched = 0
+        try:
+            for addr in range(0, self.dram.size, step):
+                self.dram.write(addr, 0xA5)
+                touched += 2
+                if self.dram.read(addr) != 0xA5:
+                    raise MemoryFault("dram_check", addr, 0xA5, self.dram.read(addr))
+        except MemoryFault as fault:
+            return self._record("dram_check", False, touched, str(fault))
+        return self._record("dram_check", True, touched)
+
+    def data_bus_test(self, addr: int = 0) -> BdkResult:
+        """Walking-ones at a fixed address: finds stuck data bits."""
+        touched = 0
+        for bit in range(8):
+            pattern = 1 << bit
+            self.dram.write(addr, pattern)
+            actual = self.dram.read(addr)
+            touched += 2
+            if actual != pattern:
+                return self._record(
+                    "data_bus_test",
+                    False,
+                    touched,
+                    str(MemoryFault("data_bus", addr, pattern, actual)),
+                )
+        return self._record("data_bus_test", True, touched)
+
+    def address_bus_test(self) -> BdkResult:
+        """Power-of-two offsets: finds shorted/open address lines."""
+        offsets = [1 << bit for bit in range(self.dram.size.bit_length() - 1)]
+        touched = 0
+        # Write a default everywhere we probe, a marker at each offset.
+        for offset in offsets:
+            self.dram.write(offset, 0xAA)
+            touched += 1
+        self.dram.write(0, 0x55)
+        touched += 1
+        for offset in offsets:
+            actual = self.dram.read(offset)
+            touched += 1
+            if actual != 0xAA:
+                return self._record(
+                    "address_bus_test",
+                    False,
+                    touched,
+                    f"aliasing at offset {offset:#x}: {actual:#04x}",
+                )
+        return self._record("address_bus_test", True, touched)
+
+    def memtest_marching_rows(self, row_bytes: int = 4096) -> BdkResult:
+        """March C- style element over rows: up-write, up-verify-invert,
+        down-verify."""
+        touched = 0
+        size = self.dram.size
+        for base in range(0, size, row_bytes):
+            end = min(base + row_bytes, size)
+            for addr in range(base, end):
+                self.dram.write(addr, 0x55)
+            touched += end - base
+        for base in range(0, size, row_bytes):
+            end = min(base + row_bytes, size)
+            for addr in range(base, end):
+                if self.dram.read(addr) != 0x55:
+                    return self._record(
+                        "memtest_marching_rows", False, touched,
+                        f"at {addr:#x}",
+                    )
+                self.dram.write(addr, 0xAA)
+            touched += 2 * (end - base)
+        for base in range(size - row_bytes, -1, -row_bytes):
+            end = min(base + row_bytes, size)
+            for addr in range(end - 1, base - 1, -1):
+                if self.dram.read(addr) != 0xAA:
+                    return self._record(
+                        "memtest_marching_rows", False, touched,
+                        f"at {addr:#x}",
+                    )
+            touched += end - base
+        return self._record("memtest_marching_rows", True, touched)
+
+    def memtest_random(self, seed: int = 0xE721A7, passes: int = 1) -> BdkResult:
+        """Pseudo-random data over the whole device, then verify."""
+        touched = 0
+        for pass_index in range(passes):
+            rng = random.Random(seed + pass_index)
+            for addr in range(self.dram.size):
+                self.dram.write(addr, rng.randrange(256))
+            touched += self.dram.size
+            rng = random.Random(seed + pass_index)
+            for addr in range(self.dram.size):
+                expected = rng.randrange(256)
+                actual = self.dram.read(addr)
+                if actual != expected:
+                    return self._record(
+                        "memtest_random", False, touched,
+                        str(MemoryFault("memtest_random", addr, expected, actual)),
+                    )
+            touched += self.dram.size
+        return self._record("memtest_random", True, touched)
+
+    # -- ECI bring-up ---------------------------------------------------------
+
+    def bring_up_eci(
+        self, fpga_shell_ready: bool, lanes: int = 24, speed_gbps: float = 10.0
+    ) -> bool:
+        """Configure and train the coherent link; the FPGA must already
+        hold a shell with the ECI lower layers."""
+        self.eci.configure(lanes, speed_gbps)
+        trained = self.eci.train(remote_ready=fpga_shell_ready)
+        self._log(
+            f"BDK: ECI {lanes} lanes @ {speed_gbps} Gb/s: "
+            f"{'up' if trained else 'no remote node'}"
+        )
+        return trained
+
+    def all_passed(self) -> bool:
+        return all(r.passed for r in self.results)

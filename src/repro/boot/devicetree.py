@@ -1,0 +1,145 @@
+"""Device-tree generation for Enzian's asymmetric NUMA topology.
+
+§4.4: "Enzian requires a special DeviceTree specification since, of the
+two NUMA nodes, only one actually has CPU cores and the other may or
+may not appear to have memory."  This module renders that DTS from the
+machine configuration, so the asymmetry is generated rather than
+hand-maintained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class NumaNodeDesc:
+    """One NUMA node as Linux should see it."""
+
+    node_id: int
+    n_cpus: int
+    memory_base: int
+    memory_bytes: int          # 0 = node exposes no memory
+
+    def __post_init__(self):
+        if self.node_id < 0 or self.n_cpus < 0 or self.memory_bytes < 0:
+            raise ValueError("node description fields must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnzianTopology:
+    """The two-socket asymmetric configuration."""
+
+    cpu_node: NumaNodeDesc
+    fpga_node: NumaNodeDesc
+
+    def validate(self) -> None:
+        if self.cpu_node.n_cpus == 0:
+            raise ValueError("the CPU node must have cores")
+        if self.fpga_node.n_cpus != 0:
+            raise ValueError("the FPGA node must expose no CPU cores")
+
+
+def enzian_topology(
+    cpu_cores: int = 48,
+    cpu_dram_bytes: int = 128 << 30,
+    fpga_dram_bytes: int = 512 << 30,
+    expose_fpga_memory: bool = True,
+) -> EnzianTopology:
+    """The stock configuration; FPGA memory exposure is configurable
+    ("the other may or may not appear to have memory")."""
+    topology = EnzianTopology(
+        cpu_node=NumaNodeDesc(0, cpu_cores, 0x0, cpu_dram_bytes),
+        fpga_node=NumaNodeDesc(
+            1, 0, 1 << 40, fpga_dram_bytes if expose_fpga_memory else 0
+        ),
+    )
+    topology.validate()
+    return topology
+
+
+def _memory_node(desc: NumaNodeDesc) -> List[str]:
+    if desc.memory_bytes == 0:
+        return []
+    return [
+        f"\tmemory@{desc.memory_base:x} {{",
+        '\t\tdevice_type = "memory";',
+        f"\t\treg = <{_cells(desc.memory_base)} {_cells(desc.memory_bytes)}>;",
+        f"\t\tnuma-node-id = <{desc.node_id}>;",
+        "\t};",
+    ]
+
+
+def _cells(value: int) -> str:
+    """Render a 64-bit value as two 32-bit DT cells."""
+    return f"0x{value >> 32:x} 0x{value & 0xFFFFFFFF:x}"
+
+
+def render_dts(topology: EnzianTopology, model: str = "eth,enzian") -> str:
+    """Render the device-tree source for this topology."""
+    topology.validate()
+    lines = [
+        "/dts-v1/;",
+        "",
+        "/ {",
+        f'\tmodel = "{model}";',
+        '\tcompatible = "cavium,thunder-88xx";',
+        "\t#address-cells = <2>;",
+        "\t#size-cells = <2>;",
+        "",
+        "\tcpus {",
+        "\t\t#address-cells = <2>;",
+        "\t\t#size-cells = <0>;",
+    ]
+    for cpu in range(topology.cpu_node.n_cpus):
+        lines += [
+            f"\t\tcpu@{cpu:x} {{",
+            '\t\t\tdevice_type = "cpu";',
+            '\t\t\tcompatible = "cavium,thunder", "arm,armv8";',
+            f"\t\t\treg = <0x0 0x{cpu:x}>;",
+            f"\t\t\tnuma-node-id = <{topology.cpu_node.node_id}>;",
+            "\t\t};",
+        ]
+    lines.append("\t};")
+    lines.append("")
+    lines += _memory_node(topology.cpu_node)
+    fpga_memory = _memory_node(topology.fpga_node)
+    if fpga_memory:
+        lines.append("")
+        lines += fpga_memory
+    lines += [
+        "",
+        "\tdistance-map {",
+        '\t\tcompatible = "numa-distance-map-v1";',
+        "\t\tdistance-matrix = <0 0 10>, <0 1 20>, <1 0 20>, <1 1 10>;",
+        "\t};",
+        "};",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def parse_numa_nodes(dts: str) -> dict[int, dict]:
+    """Minimal DTS introspection: extract per-node cpu/memory counts.
+
+    Used by tests and by the boot sequence to confirm what Linux would
+    see.  Not a general DTS parser -- just enough for our own output.
+    """
+    nodes: dict[int, dict] = {}
+    current_is_cpu = False
+    current_is_memory = False
+    for line in dts.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("cpu@"):
+            current_is_cpu, current_is_memory = True, False
+        elif stripped.startswith("memory@"):
+            current_is_cpu, current_is_memory = False, True
+        elif stripped.startswith("numa-node-id"):
+            node_id = int(stripped.split("<")[1].split(">")[0])
+            entry = nodes.setdefault(node_id, {"cpus": 0, "memory_regions": 0})
+            if current_is_cpu:
+                entry["cpus"] += 1
+            elif current_is_memory:
+                entry["memory_regions"] += 1
+    return nodes

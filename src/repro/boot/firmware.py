@@ -1,0 +1,85 @@
+"""Firmware stages after the BDK: ATF, UEFI, and the Linux handoff.
+
+§4.4: "The CPU loads the BDK which, in turn, loads the ARM Trusted
+Firmware (ATF) and UEFI environment.  From UEFI, the CPU can boot
+Linux."  Each stage here is a named step with a duration and
+prerequisites, so the boot orchestrator can run, time, and fault-check
+the whole chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+class BootError(RuntimeError):
+    """A stage's prerequisite was unmet or the stage failed."""
+
+
+@dataclass
+class BootStage:
+    """One stage of the boot chain."""
+
+    name: str
+    duration_s: float
+    #: Returns None on success, or a failure reason.
+    check: Optional[Callable[[], Optional[str]]] = None
+
+    def run(self) -> None:
+        if self.check is not None:
+            reason = self.check()
+            if reason is not None:
+                raise BootError(f"stage {self.name!r} failed: {reason}")
+
+
+@dataclass
+class BootRecord:
+    name: str
+    t_start_s: float
+    t_end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end_s - self.t_start_s
+
+
+class FirmwareChain:
+    """Runs stages in order against a clock, recording the timeline."""
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.records: List[BootRecord] = []
+
+    def run_stage(self, stage: BootStage) -> BootRecord:
+        start = self.clock.now_s
+        stage.run()
+        self.clock.advance(stage.duration_s)
+        record = BootRecord(stage.name, start, self.clock.now_s)
+        self.records.append(record)
+        return record
+
+    def timeline(self) -> List[tuple[str, float, float]]:
+        return [(r.name, r.t_start_s, r.t_end_s) for r in self.records]
+
+
+def standard_stages(
+    eci_trained: Callable[[], bool],
+    dram_ok: Callable[[], bool],
+) -> List[BootStage]:
+    """The ATF -> UEFI -> Linux chain with its real prerequisites."""
+    return [
+        BootStage(
+            "atf",
+            duration_s=1.2,
+            check=lambda: None if dram_ok() else "DRAM not initialized",
+        ),
+        BootStage(
+            "uefi",
+            duration_s=4.0,
+            check=lambda: None
+            if eci_trained()
+            else "second NUMA node absent (ECI link down)",
+        ),
+        BootStage("linux", duration_s=11.0),
+    ]

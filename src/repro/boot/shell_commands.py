@@ -1,0 +1,155 @@
+"""The BDK/BMC command interpreter behind the serial consoles.
+
+The artifact workflow drives the machine through console commands
+(``common_power_up()``, ``cpu_power_up()``, ``print_current_all()``,
+breaking into the BDK menu, running memtests).  This module implements
+that interpreter: a small command registry bound to the power manager,
+the BDK, and the boot orchestrator, reading from and writing to the
+simulated UARTs.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List
+
+from ..bmc.console import Uart
+from .sequence import BootOrchestrator
+
+
+class CommandError(RuntimeError):
+    """Unknown command or bad arguments."""
+
+
+class CommandShell:
+    """A registry of named commands writing to one UART."""
+
+    def __init__(self, uart: Uart, prompt: str = "> "):
+        self.uart = uart
+        self.prompt = prompt
+        self._commands: Dict[str, Callable[[List[str]], str]] = {}
+        self.register("help", self._help, "list available commands")
+        self._help_text: Dict[str, str] = {"help": "list available commands"}
+
+    def register(
+        self, name: str, handler: Callable[[List[str]], str], help_text: str = ""
+    ) -> None:
+        if name in self._commands and name != "help":
+            raise CommandError(f"command {name!r} already registered")
+        self._commands[name] = handler
+        if help_text:
+            if not hasattr(self, "_help_text"):
+                self._help_text = {}
+            self._help_text[name] = help_text
+
+    def _help(self, args: List[str]) -> str:
+        lines = [f"{name}: {text}" for name, text in sorted(self._help_text.items())]
+        return "\n".join(lines)
+
+    def execute(self, line: str) -> str:
+        """Run one command line; output is returned and echoed."""
+        self.uart.emit(self.prompt + line)
+        parts = shlex.split(line)
+        if not parts:
+            return ""
+        name, args = parts[0], parts[1:]
+        handler = self._commands.get(name)
+        if handler is None:
+            message = f"unknown command: {name!r} (try 'help')"
+            self.uart.emit(message)
+            raise CommandError(message)
+        try:
+            output = handler(args)
+        except CommandError:
+            raise
+        except Exception as exc:
+            message = f"{name}: {exc}"
+            self.uart.emit(message)
+            raise CommandError(message) from exc
+        for out_line in output.splitlines():
+            self.uart.emit(out_line)
+        return output
+
+    def run_pending(self) -> List[str]:
+        """Drain queued UART input lines through the interpreter."""
+        outputs = []
+        while True:
+            line = self.uart.pending_input()
+            if line is None:
+                return outputs
+            outputs.append(self.execute(line))
+
+
+def make_bmc_shell(boot: BootOrchestrator) -> CommandShell:
+    """The BMC power-manager console of the artifact appendix."""
+    shell = CommandShell(boot.consoles.uarts["bmc"], prompt="bmc# ")
+    power = boot.power
+
+    def cmd(f):
+        return lambda args: f() or "ok"
+
+    shell.register("common_power_up", cmd(power.common_power_up),
+                   "bring up standby/main/clock rails")
+    shell.register("fpga_power_up", cmd(power.fpga_power_up),
+                   "bring up the FPGA domain")
+    shell.register("cpu_power_up", cmd(power.cpu_power_up),
+                   "bring up the CPU domain")
+    shell.register("power_down", cmd(power.power_down), "full power-off")
+    shell.register(
+        "print_current_all",
+        lambda args: power.print_current_all(),
+        "voltage/current/power/temperature of every rail",
+    )
+
+    def read_rail(args):
+        if len(args) != 1:
+            raise CommandError("usage: read_rail <name>")
+        rail = args[0]
+        if rail not in power.regulators:
+            raise CommandError(f"no rail {rail!r}")
+        return (
+            f"{rail}: {power.read_vout(rail):.3f} V "
+            f"{power.read_iout(rail):.2f} A {power.read_temperature(rail):.1f} C"
+        )
+
+    shell.register("read_rail", read_rail, "read one rail: read_rail VDD_CORE")
+    return shell
+
+
+def make_bdk_shell(boot: BootOrchestrator) -> CommandShell:
+    """The BDK boot-menu console: diagnostics and ECI control."""
+    shell = CommandShell(boot.consoles.uarts["cpu0"], prompt="BDK> ")
+    bdk = boot.bdk
+
+    def run_test(runner):
+        def handler(args):
+            result = runner()
+            return f"{result.name}: {'PASS' if result.passed else 'FAIL'} {result.detail}"
+
+        return handler
+
+    shell.register("dram_check", run_test(bdk.dram_check), "quick DRAM presence check")
+    shell.register("data_bus_test", run_test(bdk.data_bus_test), "walking-ones data bus test")
+    shell.register("address_bus_test", run_test(bdk.address_bus_test),
+                   "power-of-two address bus test")
+    shell.register("memtest_marching", run_test(bdk.memtest_marching_rows),
+                   "marching-rows memtest")
+    shell.register("memtest_random", run_test(bdk.memtest_random), "random-data memtest")
+
+    def eci(args):
+        lanes = int(args[0]) if args else 24
+        speed = float(args[1]) if len(args) > 1 else 10.0
+        shell_ready = boot.fpga_bitstream is not None and boot.fpga_bitstream.is_shell
+        trained = bdk.bring_up_eci(shell_ready, lanes=lanes, speed_gbps=speed)
+        return (
+            f"ECI {lanes} lanes @ {speed} Gb/s: "
+            f"{'trained, ' + str(bdk.eci.bandwidth_gbps) + ' Gb/s' if trained else 'DOWN'}"
+        )
+
+    shell.register("eci", eci, "train the coherent link: eci [lanes] [Gb/s]")
+    shell.register(
+        "boot",
+        lambda args: (boot.boot_to_linux(), "booting Linux")[1],
+        "continue ATF -> UEFI -> Linux",
+    )
+    return shell

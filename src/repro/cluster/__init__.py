@@ -1,0 +1,25 @@
+"""Multi-board use-cases (§6): coherence bridging, disaggregated memory."""
+
+from .bridge import BridgeError, BridgePort, bridge_domains
+from .disagg import (
+    PAGE_BYTES,
+    ROWS_PER_PAGE,
+    BufferCacheClient,
+    DisaggError,
+    MemoryServer,
+    PushdownResult,
+    traffic_savings,
+)
+
+__all__ = [
+    "BridgeError",
+    "BridgePort",
+    "BufferCacheClient",
+    "DisaggError",
+    "MemoryServer",
+    "PAGE_BYTES",
+    "PushdownResult",
+    "ROWS_PER_PAGE",
+    "bridge_domains",
+    "traffic_savings",
+]

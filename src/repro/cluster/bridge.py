@@ -1,0 +1,121 @@
+"""Extending cache coherence across machines: the ECI network bridge.
+
+§6: "the DRAM of the FPGA is made available as network attached memory
+and accessible either through RDMA, or on Enzian by extending the
+cache coherency protocol via a 'bridge' implemented on the FPGA."
+
+The bridge joins two protocol domains (two boards) into one: each side
+runs a :class:`BridgePort` attached to its local transport under a
+proxy node id; messages addressed to remote node ids are serialized
+with the ECI wire format (:mod:`repro.eci.serialization` -- the same
+interoperability format the tools use), carried in Ethernet frames,
+and re-injected into the peer's local transport.  The MOESI agents are
+completely unaware they are talking across a network; they just see
+higher latency -- which is exactly the paper's framing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..eci.messages import Message
+from ..eci.protocol import ProtocolNode, Transport
+from ..eci.serialization import decode, encode
+from ..net.ethernet import EthernetLink, Frame
+from ..sim import Kernel
+
+
+class BridgeError(RuntimeError):
+    """Misconfigured bridge topology."""
+
+
+class BridgePort(ProtocolNode):
+    """One end of the coherence bridge.
+
+    Attached to the local transport as a *range proxy*: every remote
+    node id is registered to route here.  Frames from the peer are
+    decoded and re-injected locally.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        transport: Transport,
+        link: EthernetLink,
+        local_address: str,
+        remote_address: str,
+        remote_node_ids: Iterable[int],
+        proxy_id: int,
+    ):
+        # Register as proxy for every remote node id on the local side.
+        self.kernel = kernel
+        self.transport = transport
+        self.remote_node_ids = frozenset(remote_node_ids)
+        if not self.remote_node_ids:
+            raise BridgeError("bridge needs at least one remote node id")
+        self.node_id = proxy_id
+        for node_id in self.remote_node_ids:
+            self._attach_as(transport, node_id)
+        self.link = link
+        self.local_address = local_address
+        self.remote_address = remote_address
+        link.attach(f"{local_address}#eci", self._on_frame)
+        self.stats = {"tunneled_out": 0, "tunneled_in": 0, "bytes": 0}
+
+    def _attach_as(self, transport: Transport, node_id: int) -> None:
+        if node_id in transport._nodes:
+            raise BridgeError(f"node id {node_id} already exists locally")
+        transport._nodes[node_id] = self
+
+    # -- local -> remote -------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """A local agent sent a message to a remote node: tunnel it."""
+        wire = encode(message)
+        self.stats["tunneled_out"] += 1
+        self.stats["bytes"] += len(wire)
+        self.link.send(
+            Frame(
+                src=f"{self.local_address}#eci",
+                dst=f"{self.remote_address}#eci",
+                payload=wire,
+                size_bytes=len(wire) + 14,  # tunnel header
+            )
+        )
+
+    # -- remote -> local -------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        message = decode(frame.payload)
+        self.stats["tunneled_in"] += 1
+        self.transport._handoff(message)
+
+
+def bridge_domains(
+    kernel: Kernel,
+    transport_a: Transport,
+    transport_b: Transport,
+    link_a: EthernetLink,
+    link_b: EthernetLink,
+    nodes_a: Iterable[int],
+    nodes_b: Iterable[int],
+    address_a: str = "enzianA",
+    address_b: str = "enzianB",
+) -> tuple[BridgePort, BridgePort]:
+    """Join two boards into one coherence domain.
+
+    ``nodes_a``/``nodes_b`` are the node ids living on each board; ids
+    must be globally unique across the cluster.
+    """
+    nodes_a, nodes_b = set(nodes_a), set(nodes_b)
+    if nodes_a & nodes_b:
+        raise BridgeError(f"node ids overlap: {sorted(nodes_a & nodes_b)}")
+    proxy_a = max(nodes_a | nodes_b) + 1
+    proxy_b = proxy_a + 1
+    port_a = BridgePort(
+        kernel, transport_a, link_a, address_a, address_b, nodes_b, proxy_a
+    )
+    port_b = BridgePort(
+        kernel, transport_b, link_b, address_b, address_a, nodes_a, proxy_b
+    )
+    return port_a, port_b

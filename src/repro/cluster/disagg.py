@@ -1,0 +1,153 @@
+"""Smart disaggregated memory with operator off-loading (§6, Farview [37]).
+
+An Enzian's FPGA-side DRAM is exposed as network-attached memory.
+Clients use it as a database buffer cache; instead of shipping whole
+pages back, *operators* (selection, projection, aggregation) can be
+pushed down and executed by the FPGA next to the memory, returning
+only results.  This module implements both sides functionally:
+
+* :class:`MemoryServer` -- pages in FPGA DRAM, RDMA-style read/write,
+  and an operator engine executing push-downs over real numpy rows;
+* :class:`BufferCacheClient` -- a fixed-size page cache with push-down
+  routing and traffic accounting, so the benefit (bytes moved with vs
+  without push-down) is measurable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+PAGE_BYTES = 8192
+ROW_DTYPE = np.int64
+ROWS_PER_PAGE = PAGE_BYTES // 8
+
+
+class DisaggError(RuntimeError):
+    """Bad page ids, misuse of operators."""
+
+
+@dataclass(frozen=True)
+class PushdownResult:
+    """What the server returns for an off-loaded operator."""
+
+    payload: np.ndarray
+    bytes_on_wire: int
+
+
+class MemoryServer:
+    """The FPGA side: pages plus an operator engine."""
+
+    def __init__(self, capacity_pages: int = 1024):
+        if capacity_pages < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity_pages = capacity_pages
+        self._pages: Dict[int, np.ndarray] = {}
+        self.stats = {"reads": 0, "writes": 0, "pushdowns": 0, "bytes_out": 0}
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < self.capacity_pages:
+            raise DisaggError(f"page {page_id} out of range")
+
+    def write_page(self, page_id: int, rows: np.ndarray) -> None:
+        self._check(page_id)
+        rows = np.asarray(rows, dtype=ROW_DTYPE)
+        if rows.size != ROWS_PER_PAGE:
+            raise DisaggError(
+                f"page must hold {ROWS_PER_PAGE} rows, got {rows.size}"
+            )
+        self.stats["writes"] += 1
+        self._pages[page_id] = rows.copy()
+
+    def read_page(self, page_id: int) -> np.ndarray:
+        self._check(page_id)
+        self.stats["reads"] += 1
+        self.stats["bytes_out"] += PAGE_BYTES
+        return self._pages.get(page_id, np.zeros(ROWS_PER_PAGE, dtype=ROW_DTYPE)).copy()
+
+    # -- operator push-down (the "smart" in smart memory) ---------------------
+
+    def pushdown_filter(self, page_id: int, low: int, high: int) -> PushdownResult:
+        """SELECT rows WHERE low <= value < high."""
+        self._check(page_id)
+        self.stats["pushdowns"] += 1
+        page = self._pages.get(page_id, np.zeros(ROWS_PER_PAGE, dtype=ROW_DTYPE))
+        selected = page[(page >= low) & (page < high)]
+        wire = selected.nbytes + 16
+        self.stats["bytes_out"] += wire
+        return PushdownResult(selected.copy(), wire)
+
+    def pushdown_aggregate(self, page_id: int, op: str) -> PushdownResult:
+        """SUM/MIN/MAX/COUNT over one page: 8 bytes back instead of 8 KiB."""
+        self._check(page_id)
+        self.stats["pushdowns"] += 1
+        page = self._pages.get(page_id, np.zeros(ROWS_PER_PAGE, dtype=ROW_DTYPE))
+        ops: Dict[str, Callable[[np.ndarray], int]] = {
+            "sum": lambda p: int(p.sum()),
+            "min": lambda p: int(p.min()),
+            "max": lambda p: int(p.max()),
+            "count": lambda p: int(p.size),
+        }
+        if op not in ops:
+            raise DisaggError(f"unknown aggregate {op!r}")
+        value = ops[op](page)
+        self.stats["bytes_out"] += 24
+        return PushdownResult(np.array([value], dtype=ROW_DTYPE), 24)
+
+
+class BufferCacheClient:
+    """The CPU side: an LRU page cache over the remote memory."""
+
+    def __init__(self, server: MemoryServer, cache_pages: int = 16):
+        if cache_pages < 1:
+            raise ValueError("cache must hold at least one page")
+        self.server = server
+        self.cache_pages = cache_pages
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0, "bytes_moved": 0}
+
+    def get_page(self, page_id: int) -> np.ndarray:
+        cached = self._cache.get(page_id)
+        if cached is not None:
+            self._cache.move_to_end(page_id)
+            self.stats["hits"] += 1
+            return cached
+        self.stats["misses"] += 1
+        page = self.server.read_page(page_id)
+        self.stats["bytes_moved"] += PAGE_BYTES
+        self._cache[page_id] = page
+        while len(self._cache) > self.cache_pages:
+            self._cache.popitem(last=False)
+        return page
+
+    def invalidate(self, page_id: int) -> None:
+        self._cache.pop(page_id, None)
+
+    # -- query execution -------------------------------------------------------
+
+    def filter_local(self, page_id: int, low: int, high: int) -> np.ndarray:
+        """Classic path: fetch the page, filter on the CPU."""
+        page = self.get_page(page_id)
+        return page[(page >= low) & (page < high)]
+
+    def filter_pushdown(self, page_id: int, low: int, high: int) -> np.ndarray:
+        """Off-loaded path: the server filters next to the memory."""
+        result = self.server.pushdown_filter(page_id, low, high)
+        self.stats["bytes_moved"] += result.bytes_on_wire
+        return result.payload
+
+    def aggregate_pushdown(self, page_id: int, op: str) -> int:
+        result = self.server.pushdown_aggregate(page_id, op)
+        self.stats["bytes_moved"] += result.bytes_on_wire
+        return int(result.payload[0])
+
+
+def traffic_savings(selectivity: float) -> float:
+    """Modelled wire-traffic ratio pushdown/full-page for a filter of
+    given selectivity (fraction of rows passing)."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must be in [0, 1]")
+    return (selectivity * PAGE_BYTES + 16) / PAGE_BYTES

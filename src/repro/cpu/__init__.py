@@ -1,0 +1,25 @@
+"""CPU-side models: caches, cores, PMU, and the ThunderX-1 SoC."""
+
+from .caches import CacheGeometry, SetAssociativeCache
+from .core import CoreParams, ExecutionResult, InOrderCore, WorkloadSlice
+from .matchaction import Action, Match, MatchActionTable, Rule, Verdict
+from .pmu import PmuCounters, PmuReport
+from .thunderx import ThunderXSoC, ThunderXSpec
+
+__all__ = [
+    "Action",
+    "CacheGeometry",
+    "Match",
+    "MatchActionTable",
+    "Rule",
+    "Verdict",
+    "CoreParams",
+    "ExecutionResult",
+    "InOrderCore",
+    "PmuCounters",
+    "PmuReport",
+    "SetAssociativeCache",
+    "ThunderXSoC",
+    "ThunderXSpec",
+    "WorkloadSlice",
+]

@@ -1,0 +1,131 @@
+"""The ThunderX-1 'networking' variant's match-action table switch (§4).
+
+The CN88xx networking part includes a programmable match-action packet
+classifier on die.  Real implementation: ternary (value/mask) matching
+over packet header fields with priorities, bound to actions (forward,
+drop, set-field, count), applied to header dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+MATCHABLE_FIELDS = ("dst_ip", "src_ip", "dst_port", "src_port", "proto", "vlan")
+
+
+class TableError(RuntimeError):
+    """Capacity or rule-validation failures."""
+
+
+@dataclass(frozen=True)
+class Match:
+    """Ternary match on one field: (packet[field] & mask) == value."""
+
+    field: str
+    value: int
+    mask: int = 0xFFFFFFFF
+
+    def __post_init__(self):
+        if self.field not in MATCHABLE_FIELDS:
+            raise TableError(f"unmatchable field {self.field!r}")
+        if self.value & ~self.mask:
+            raise TableError("value has bits outside the mask")
+
+    def hits(self, packet: Dict[str, int]) -> bool:
+        return (packet.get(self.field, 0) & self.mask) == self.value
+
+
+@dataclass(frozen=True)
+class Action:
+    """What to do with a matching packet."""
+
+    kind: str                      # 'forward' | 'drop' | 'set_field'
+    port: Optional[int] = None     # forward target
+    field: Optional[str] = None    # set_field target
+    value: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in ("forward", "drop", "set_field"):
+            raise TableError(f"unknown action {self.kind!r}")
+        if self.kind == "forward" and self.port is None:
+            raise TableError("forward needs a port")
+        if self.kind == "set_field" and (self.field is None or self.value is None):
+            raise TableError("set_field needs field and value")
+
+
+@dataclass
+class Rule:
+    """Priority-ordered match-action entry with a hit counter."""
+
+    priority: int
+    matches: List[Match]
+    actions: List[Action]
+    hits: int = 0
+
+    def matches_packet(self, packet: Dict[str, int]) -> bool:
+        return all(m.hits(packet) for m in self.matches)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Classification outcome for one packet."""
+
+    action: str                   # 'forward' | 'drop' | 'default'
+    port: Optional[int]
+    packet: Dict[str, int]
+
+
+class MatchActionTable:
+    """The on-die classifier: TCAM-style longest-priority match."""
+
+    def __init__(self, capacity: int = 256, default_port: int = 0):
+        if capacity < 1:
+            raise TableError("capacity must be positive")
+        self.capacity = capacity
+        self.default_port = default_port
+        self._rules: List[Rule] = []
+        self.stats = {"packets": 0, "dropped": 0, "defaulted": 0}
+
+    def add_rule(self, priority: int, matches: List[Match], actions: List[Action]) -> Rule:
+        if len(self._rules) >= self.capacity:
+            raise TableError("table full")
+        rule = Rule(priority, list(matches), list(actions))
+        self._rules.append(rule)
+        # Highest priority first; stable for equal priorities.
+        self._rules.sort(key=lambda r: -r.priority)
+        return rule
+
+    def remove_rule(self, rule: Rule) -> None:
+        try:
+            self._rules.remove(rule)
+        except ValueError:
+            raise TableError("rule not in table") from None
+
+    @property
+    def rules(self) -> List[Rule]:
+        return list(self._rules)
+
+    def classify(self, packet: Dict[str, int]) -> Verdict:
+        """Apply the highest-priority matching rule."""
+        self.stats["packets"] += 1
+        packet = dict(packet)
+        for rule in self._rules:
+            if not rule.matches_packet(packet):
+                continue
+            rule.hits += 1
+            port = None
+            for action in rule.actions:
+                if action.kind == "drop":
+                    self.stats["dropped"] += 1
+                    return Verdict("drop", None, packet)
+                if action.kind == "set_field":
+                    packet[action.field] = action.value
+                elif action.kind == "forward":
+                    port = action.port
+            if port is not None:
+                return Verdict("forward", port, packet)
+            # Match with only set_field actions falls through to default.
+            break
+        self.stats["defaulted"] += 1
+        return Verdict("default", self.default_port, packet)

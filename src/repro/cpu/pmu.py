@@ -1,0 +1,80 @@
+"""Performance Monitoring Unit: the counters Table 1 reports.
+
+The artifact appendix lists the metrics collected: stall cycles,
+instructions retired, cycles, L1 refills.  :class:`PmuCounters` is the
+raw counter file; :class:`PmuReport` computes the derived quantities
+the paper prints (memory stalls per cycle, cycles per L1 refill).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+class PmuCounters:
+    """A bank of named monotonic counters."""
+
+    STANDARD = (
+        "cycles",
+        "instructions_retired",
+        "memory_stall_cycles",
+        "l1_refills",
+        "l2_refills_local",
+        "l2_refills_remote",
+    )
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {name: 0 for name in self.STANDARD}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters are monotonic; got {amount}")
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def read(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        for name in list(self._counts):
+            self._counts[name] = 0
+
+    def delta_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
+        return {
+            name: self._counts.get(name, 0) - snapshot.get(name, 0)
+            for name in set(self._counts) | set(snapshot)
+        }
+
+
+@dataclass(frozen=True)
+class PmuReport:
+    """Derived metrics as Table 1 reports them."""
+
+    cycles: int
+    instructions_retired: int
+    memory_stall_cycles: int
+    l1_refills: int
+
+    @classmethod
+    def from_counters(cls, pmu: PmuCounters) -> "PmuReport":
+        return cls(
+            cycles=pmu.read("cycles"),
+            instructions_retired=pmu.read("instructions_retired"),
+            memory_stall_cycles=pmu.read("memory_stall_cycles"),
+            l1_refills=pmu.read("l1_refills"),
+        )
+
+    @property
+    def memory_stalls_per_cycle(self) -> float:
+        return self.memory_stall_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def cycles_per_l1_refill(self) -> float:
+        return self.cycles / self.l1_refills if self.l1_refills else float("inf")
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions_retired / self.cycles if self.cycles else 0.0

@@ -1,0 +1,58 @@
+"""The Marvell (Cavium) ThunderX-1 SoC, as configured in Enzian.
+
+48 ARMv8-A cores at 2.0 GHz, four DDR4-2133 channels, two 40 GbE NICs,
+on-die accelerators, and the CCPI inter-socket interconnect that ECI
+speaks to (§4).  The "networking" CN88xx variant adds a programmable
+match-action switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..memory.dram import DramConfig, enzian_cpu_dram
+from .caches import CacheGeometry
+from .core import CoreParams, InOrderCore
+
+
+@dataclass(frozen=True)
+class ThunderXSpec:
+    """Static configuration of the SoC."""
+
+    n_cores: int = 48
+    core: CoreParams = CoreParams(freq_ghz=2.0)
+    l1i: CacheGeometry = CacheGeometry(size_bytes=78 * 1024, ways=39, line_bytes=128)
+    l1d: CacheGeometry = CacheGeometry(size_bytes=32 * 1024, ways=32, line_bytes=128)
+    l2: CacheGeometry = CacheGeometry(size_bytes=16 * 1024 * 1024, ways=16, line_bytes=128)
+    nic_ports_40g: int = 2
+    sata_ports: int = 4
+    has_match_action_switch: bool = True  # 'networking' CN88xx variant
+    on_die_accelerators: tuple = ("crypto", "compression", "nic")
+
+    @property
+    def aggregate_ghz(self) -> float:
+        return self.n_cores * self.core.freq_ghz
+
+
+class ThunderXSoC:
+    """A live SoC instance: cores plus memory configuration."""
+
+    def __init__(self, spec: ThunderXSpec | None = None, dram: DramConfig | None = None):
+        self.spec = spec or ThunderXSpec()
+        self.dram = dram or enzian_cpu_dram()
+        self.cores: List[InOrderCore] = [
+            InOrderCore(self.spec.core, core_id=i) for i in range(self.spec.n_cores)
+        ]
+
+    def pmu_totals(self) -> dict:
+        """Sum PMU counters across all cores."""
+        totals: dict = {}
+        for core in self.cores:
+            for name, value in core.pmu.snapshot().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def reset_pmus(self) -> None:
+        for core in self.cores:
+            core.pmu.reset()

@@ -1,0 +1,97 @@
+"""The Enzian Coherence Interface (ECI): a MOESI inter-socket protocol.
+
+Public surface:
+
+* message vocabulary and wire format (:mod:`.messages`, :mod:`.serialization`)
+* protocol agents (:mod:`.protocol`)
+* the specification + runtime checkers (:mod:`.spec`)
+* trace capture and decoding (:mod:`.trace`)
+* the physical link and bulk-transfer models (:mod:`.link`, :mod:`.transfer`)
+"""
+
+from .messages import (
+    CACHE_LINE_BYTES,
+    HEADER_BYTES,
+    Message,
+    MessageType,
+    VirtualCircuit,
+    line_address,
+    vc_for,
+)
+from .serialization import (
+    SerializationError,
+    decode,
+    decode_stream,
+    encode,
+    encode_stream,
+)
+from .protocol import (
+    CacheAgent,
+    CacheState,
+    HomeAgent,
+    InstantTransport,
+    LineStore,
+    ProtocolError,
+    Transport,
+)
+from .spec import (
+    ALLOWED_TRANSITIONS,
+    CoherenceChecker,
+    InvariantViolation,
+    MessageRuleChecker,
+    transition_allowed,
+)
+from .analysis import Transaction, TransactionAnalyzer
+from .cosim import CosimCoordinator, CosimError, CosimSide
+from .trace import TraceRecord, TraceRecorder
+from .link import EciLinkParams, EciLinkTransport
+from .transfer import (
+    TransferEngineParams,
+    TransferResult,
+    dual_socket_reference,
+    dual_socket_reference_bandwidth_gibps,
+    simulate_transfer,
+    sweep_transfer_sizes,
+)
+
+__all__ = [
+    "ALLOWED_TRANSITIONS",
+    "CACHE_LINE_BYTES",
+    "CacheAgent",
+    "CacheState",
+    "CoherenceChecker",
+    "CosimCoordinator",
+    "CosimError",
+    "CosimSide",
+    "EciLinkParams",
+    "EciLinkTransport",
+    "HEADER_BYTES",
+    "HomeAgent",
+    "InstantTransport",
+    "InvariantViolation",
+    "LineStore",
+    "Message",
+    "MessageRuleChecker",
+    "MessageType",
+    "ProtocolError",
+    "SerializationError",
+    "TraceRecord",
+    "Transaction",
+    "TransactionAnalyzer",
+    "TraceRecorder",
+    "TransferEngineParams",
+    "TransferResult",
+    "Transport",
+    "VirtualCircuit",
+    "decode",
+    "decode_stream",
+    "dual_socket_reference",
+    "dual_socket_reference_bandwidth_gibps",
+    "encode",
+    "encode_stream",
+    "line_address",
+    "simulate_transfer",
+    "sweep_transfer_sizes",
+    "transition_allowed",
+    "vc_for",
+]

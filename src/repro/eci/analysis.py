@@ -1,0 +1,125 @@
+"""Transaction-level analysis of protocol traces.
+
+The trace decoder (:mod:`repro.eci.trace`) gives per-message records;
+this module reconstructs *transactions* from them -- request to final
+response -- and computes the latency statistics the §5.1 bring-up work
+needed when debugging ECI with logic analyzers and protocol traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .messages import (
+    FORWARD_TYPES,
+    MessageType,
+    REQUEST_TYPES,
+    WRITEBACK_TYPES,
+)
+from .trace import TraceRecord, TraceRecorder
+
+_COMPLETING = {
+    MessageType.PSHA,
+    MessageType.PEMD,
+    MessageType.PACK,
+    MessageType.HAKD,
+}
+
+
+@dataclass
+class Transaction:
+    """One reconstructed request->response exchange."""
+
+    requester: int
+    addr: int
+    request_type: MessageType
+    start_ns: float
+    end_ns: Optional[float] = None
+    messages: List[TraceRecord] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def latency_ns(self) -> float:
+        if self.end_ns is None:
+            raise ValueError("transaction never completed")
+        return self.end_ns - self.start_ns
+
+    @property
+    def had_forward(self) -> bool:
+        return any(r.message.mtype in FORWARD_TYPES for r in self.messages)
+
+
+class TransactionAnalyzer:
+    """Reconstructs transactions from a recorded trace.
+
+    Matching rule: a request from node R for line A opens a transaction;
+    it closes at the first completing response addressed to R for A.
+    Per-line home serialization makes this unambiguous for REQ-class
+    transactions; writebacks close on their HAKD.
+    """
+
+    def __init__(self, recorder: TraceRecorder):
+        self.transactions: List[Transaction] = []
+        open_by_key: Dict[tuple, Transaction] = {}
+        for record in recorder:
+            message = record.message
+            if message.mtype in REQUEST_TYPES or message.mtype in WRITEBACK_TYPES:
+                transaction = Transaction(
+                    requester=message.src,
+                    addr=message.addr,
+                    request_type=message.mtype,
+                    start_ns=record.timestamp,
+                )
+                transaction.messages.append(record)
+                open_by_key[(message.src, message.addr)] = transaction
+                self.transactions.append(transaction)
+                continue
+            # Attach intermediate traffic to the open transaction on
+            # this line, if any.
+            for key, transaction in list(open_by_key.items()):
+                _, addr = key
+                if addr == message.addr:
+                    transaction.messages.append(record)
+            if message.mtype in _COMPLETING:
+                key = (message.dst, message.addr)
+                transaction = open_by_key.pop(key, None)
+                if transaction is not None:
+                    transaction.end_ns = record.timestamp
+
+    @property
+    def completed(self) -> List[Transaction]:
+        return [t for t in self.transactions if t.complete]
+
+    @property
+    def incomplete(self) -> List[Transaction]:
+        return [t for t in self.transactions if not t.complete]
+
+    def latency_stats(self) -> dict:
+        """min/mean/max latency over completed transactions."""
+        latencies = [t.latency_ns for t in self.completed]
+        if not latencies:
+            return {"count": 0}
+        return {
+            "count": len(latencies),
+            "min_ns": min(latencies),
+            "mean_ns": sum(latencies) / len(latencies),
+            "max_ns": max(latencies),
+        }
+
+    def by_type(self) -> Dict[MessageType, List[Transaction]]:
+        groups: Dict[MessageType, List[Transaction]] = {}
+        for transaction in self.completed:
+            groups.setdefault(transaction.request_type, []).append(transaction)
+        return groups
+
+    def forwarded_fraction(self) -> float:
+        """Fraction of completed transactions that required a probe --
+        the cache-to-cache transfer rate of the workload."""
+        completed = self.completed
+        if not completed:
+            return 0.0
+        return sum(1 for t in completed if t.had_forward) / len(completed)

@@ -1,0 +1,148 @@
+"""Distributed co-simulation of the two ECI endpoints (§4.1, [80]).
+
+The Enzian team "built a simulation environment which glued together a
+model ... of the CPU's L2 cache (running as part of ARM's FAST models
+simulation suite) and a Verilog simulator for the FPGA hardware running
+on a different machine over a network", using the ECI serialization
+format as the interoperability standard between the tools.
+
+This module is that harness: two *independent* simulation kernels (the
+"CPU-side simulator" and the "FPGA-side simulator"), each owning its
+protocol agents, coupled only by byte streams of serialized ECI
+messages.  A conservative lockstep coordinator advances both kernels in
+quanta no larger than the channel latency, so causality can never be
+violated -- the standard conservative parallel-DES argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+from ..sim import Kernel
+from .messages import Message
+from .protocol import Transport
+from .serialization import decode, encode
+
+
+class CosimError(RuntimeError):
+    """Topology errors or causality violations."""
+
+
+@dataclass
+class _InFlight:
+    """A serialized message crossing the simulator boundary."""
+
+    deliver_at: float
+    wire: bytes
+
+
+class CosimSide:
+    """One simulator: a kernel, a transport, and its local node ids."""
+
+    def __init__(self, name: str, local_nodes: Iterable[int], latency_ns: float = 50.0):
+        self.name = name
+        self.kernel = Kernel()
+        self.local_nodes: Set[int] = set(local_nodes)
+        if not self.local_nodes:
+            raise CosimError(f"side {name!r} needs at least one local node")
+        self.transport = _CosimTransport(self.kernel, self, latency_ns)
+        self.outbox: List[_InFlight] = []
+        self.stats = {"sent_across": 0, "received_across": 0, "bytes": 0}
+
+    def _enqueue_cross(self, message: Message, channel_latency_ns: float) -> None:
+        wire = encode(message)
+        self.outbox.append(_InFlight(self.kernel.now + channel_latency_ns, wire))
+        self.stats["sent_across"] += 1
+        self.stats["bytes"] += len(wire)
+
+    def _inject(self, item: _InFlight) -> None:
+        if item.deliver_at < self.kernel.now:
+            raise CosimError(
+                f"causality violation on {self.name}: deliver at "
+                f"{item.deliver_at} < now {self.kernel.now}"
+            )
+        message = decode(item.wire)
+        self.stats["received_across"] += 1
+        self.kernel.call_at(
+            item.deliver_at, lambda _: self.transport._handoff(message)
+        )
+
+
+class _CosimTransport(Transport):
+    """Delivers locally with fixed latency; ships the rest across."""
+
+    def __init__(self, kernel: Kernel, side: CosimSide, latency_ns: float):
+        super().__init__(kernel)
+        self.side = side
+        self.latency_ns = latency_ns
+
+    def _deliver(self, message: Message) -> None:
+        if message.dst in self.side.local_nodes:
+            self.kernel.call_after(self.latency_ns, lambda _: self._handoff(message))
+        else:
+            self.side._enqueue_cross(message, self.side.coordinator.channel_latency_ns)
+
+
+class CosimCoordinator:
+    """Conservative lockstep execution of two coupled simulators."""
+
+    def __init__(
+        self,
+        side_a: CosimSide,
+        side_b: CosimSide,
+        channel_latency_ns: float = 200.0,
+    ):
+        if side_a.local_nodes & side_b.local_nodes:
+            raise CosimError("node ids must be disjoint between sides")
+        if channel_latency_ns <= 0:
+            raise CosimError("channel latency must be positive (lookahead)")
+        self.side_a = side_a
+        self.side_b = side_b
+        self.channel_latency_ns = channel_latency_ns
+        side_a.coordinator = self
+        side_b.coordinator = self
+        self.quanta = 0
+
+    def _exchange(self) -> None:
+        for source, sink in ((self.side_a, self.side_b), (self.side_b, self.side_a)):
+            pending, source.outbox = source.outbox, []
+            for item in pending:
+                sink._inject(item)
+
+    def run(self, until_ns: float) -> None:
+        """Advance both simulators to ``until_ns`` in lockstep quanta.
+
+        The quantum equals the channel latency (the lookahead): any
+        message sent during a quantum is delivered at least one quantum
+        later, so delivering at quantum boundaries is always safe.
+        """
+        quantum = self.channel_latency_ns
+        t = min(self.side_a.kernel.now, self.side_b.kernel.now)
+        while t < until_ns:
+            t = min(t + quantum, until_ns)
+            self.side_a.kernel.run(until=t)
+            self.side_b.kernel.run(until=t)
+            self._exchange()
+            self.quanta += 1
+        # Final drain: deliver anything still queued and settle both sides.
+        while self.side_a.outbox or self.side_b.outbox:
+            self._exchange()
+            t += quantum
+            self.side_a.kernel.run(until=t)
+            self.side_b.kernel.run(until=t)
+
+    def run_until_idle(self, max_ns: float = 10_000_000.0, step_ns: float = 10_000.0):
+        """Advance until neither side has pending work (or ``max_ns``)."""
+        t = min(self.side_a.kernel.now, self.side_b.kernel.now)
+        while t < max_ns:
+            t += step_ns
+            self.run(t)
+            if (
+                not self.side_a.kernel._queue
+                and not self.side_b.kernel._queue
+                and not self.side_a.outbox
+                and not self.side_b.outbox
+            ):
+                return t
+        raise CosimError(f"simulators still busy after {max_ns} ns")

@@ -1,0 +1,215 @@
+"""Formal specification and exhaustive checking of the MOESI layer.
+
+§4.1: "We also formally specified several layers of the protocol, and
+generated formatters and assertion checkers from the specifications."
+
+This module carries the *abstract* protocol model: one line, N caches,
+atomic home-serialized transactions (matching the implementation's
+per-line blocking directory).  Because transactions are atomic at this
+level, the state space is finite and small, and :func:`explore`
+enumerates **all** reachable states, checking every MOESI invariant and
+the data-value property in each -- a model check, not a test.
+
+The abstract transitions intentionally mirror
+:mod:`repro.eci.protocol`'s behaviour (E-on-sole-read optimization,
+owner forwarding, dirty upgrades keeping M); the correspondence tests
+in ``tests/eci/test_formal.py`` replay abstract traces against the
+concrete agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .protocol import CacheState
+
+M = CacheState.MODIFIED
+O = CacheState.OWNED
+E = CacheState.EXCLUSIVE
+S = CacheState.SHARED
+I = CacheState.INVALID
+
+
+@dataclass(frozen=True)
+class AbstractState:
+    """One line's global state.
+
+    ``caches[i]``: (MOESI state, value id held).  ``memory``: the value
+    id in the home's DRAM.  ``next_value`` numbers writes so the
+    data-value invariant is checkable.
+    """
+
+    caches: Tuple[Tuple[CacheState, int], ...]
+    memory: int
+    next_value: int
+
+    def cache_state(self, i: int) -> CacheState:
+        return self.caches[i][0]
+
+    def cache_value(self, i: int) -> int:
+        return self.caches[i][1]
+
+    def with_cache(self, i: int, state: CacheState, value: int) -> "AbstractState":
+        caches = list(self.caches)
+        caches[i] = (state, value)
+        return AbstractState(tuple(caches), self.memory, self.next_value)
+
+    def with_memory(self, value: int) -> "AbstractState":
+        return AbstractState(self.caches, value, self.next_value)
+
+    def bump_value(self) -> Tuple["AbstractState", int]:
+        value = self.next_value
+        return (
+            AbstractState(self.caches, self.memory, value + 1),
+            value,
+        )
+
+
+def initial_state(n_caches: int) -> AbstractState:
+    return AbstractState(tuple((I, 0) for _ in range(n_caches)), memory=0, next_value=1)
+
+
+class SpecViolation(AssertionError):
+    """An invariant failed during exploration."""
+
+
+def current_value(state: AbstractState) -> int:
+    """The architecturally-current value of the line."""
+    for cache_state, value in state.caches:
+        if cache_state in (M, O, E):
+            # M/O hold the authoritative copy; E matches memory.
+            if cache_state in (M, O):
+                return value
+    return state.memory
+
+
+def check_invariants(state: AbstractState) -> None:
+    """The MOESI invariants, on one abstract state."""
+    states = [c[0] for c in state.caches]
+    writers = [s for s in states if s in (M, E)]
+    owners = [s for s in states if s is O]
+    valid = [s for s in states if s is not I]
+    if len(writers) > 1:
+        raise SpecViolation(f"multiple writers: {state}")
+    if writers and len(valid) > 1:
+        raise SpecViolation(f"writer with other copies: {state}")
+    if len(owners) > 1:
+        raise SpecViolation(f"multiple owners: {state}")
+    # Data-value: every S copy matches the authoritative value; E
+    # matches memory.
+    authoritative = current_value(state)
+    for cache_state, value in state.caches:
+        if cache_state in (S, O, M, E) and value != authoritative:
+            raise SpecViolation(
+                f"stale copy: {cache_state.value} holds {value}, "
+                f"current is {authoritative}: {state}"
+            )
+    if E in states and state.memory != authoritative:
+        raise SpecViolation(f"E copy diverges from memory: {state}")
+
+
+# -- atomic transactions -------------------------------------------------
+
+def read(state: AbstractState, i: int) -> AbstractState:
+    """Cache ``i`` performs a load (hit or home-serialized miss)."""
+    cache_state = state.cache_state(i)
+    if cache_state in (M, O, E, S):
+        return state  # hit
+    # Miss: find an owner/forwarder.
+    holder = next(
+        (j for j, (cs, _) in enumerate(state.caches) if cs in (M, O, E)), None
+    )
+    if holder is not None:
+        holder_state = state.cache_state(holder)
+        value = state.cache_value(holder)
+        dirty = holder_state in (M, O)
+        new = state.with_cache(holder, O if dirty else S, value)
+        return new.with_cache(i, S, value)
+    sharers = [j for j, (cs, _) in enumerate(state.caches) if cs is S]
+    if sharers:
+        return state.with_cache(i, S, state.memory)
+    # Sole reader: exclusive-clean optimization.
+    return state.with_cache(i, E, state.memory)
+
+
+def write(state: AbstractState, i: int) -> AbstractState:
+    """Cache ``i`` performs a store (atomic invalidate + update)."""
+    state, value = state.bump_value()
+    new = state
+    for j, (cache_state, held) in enumerate(state.caches):
+        if j == i:
+            continue
+        if cache_state is not I:
+            # Dirty copies are transferred (FLDX) rather than written
+            # back, matching the implementation; memory stays stale.
+            new = new.with_cache(j, I, held)
+    return new.with_cache(i, M, value)
+
+
+def evict(state: AbstractState, i: int) -> AbstractState:
+    """Cache ``i`` drops the line (VICD writes dirty data home)."""
+    cache_state = state.cache_state(i)
+    if cache_state is I:
+        return state
+    value = state.cache_value(i)
+    new = state.with_cache(i, I, value)
+    if cache_state in (M, O):
+        new = new.with_memory(value)
+    return new
+
+
+TRANSACTIONS = {"read": read, "write": write, "evict": evict}
+
+
+@dataclass
+class ExplorationResult:
+    states_visited: int
+    transitions_checked: int
+    max_depth: int
+
+
+def explore(n_caches: int = 2, max_states: int = 200_000) -> ExplorationResult:
+    """BFS over the whole reachable state space, checking every state.
+
+    Value ids are canonicalized (renumbered by first appearance) so the
+    space is finite despite the monotone write counter.
+    """
+
+    def canonical(state: AbstractState) -> AbstractState:
+        mapping: Dict[int, int] = {}
+
+        def rename(value: int) -> int:
+            if value not in mapping:
+                mapping[value] = len(mapping)
+            return mapping[value]
+
+        caches = tuple((cs, rename(v)) for cs, v in state.caches)
+        memory = rename(state.memory)
+        return AbstractState(caches, memory, len(mapping))
+
+    start = canonical(initial_state(n_caches))
+    seen = {start}
+    frontier: List[Tuple[AbstractState, int]] = [(start, 0)]
+    transitions = 0
+    max_depth = 0
+    while frontier:
+        state, depth = frontier.pop()
+        max_depth = max(max_depth, depth)
+        for name, transaction in TRANSACTIONS.items():
+            for i in range(n_caches):
+                successor = canonical(transaction(state, i))
+                transitions += 1
+                check_invariants(successor)
+                if successor not in seen:
+                    if len(seen) >= max_states:
+                        raise SpecViolation(
+                            f"state space exceeded {max_states} states"
+                        )
+                    seen.add(successor)
+                    frontier.append((successor, depth + 1))
+    return ExplorationResult(
+        states_visited=len(seen),
+        transitions_checked=transitions,
+        max_depth=max_depth,
+    )

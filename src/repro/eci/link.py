@@ -1,0 +1,149 @@
+"""Timed transport: the physical ECI link model.
+
+ECI runs over 24 serdes lanes of 10 Gb/s, organized as two links of 12
+lanes (§5.1).  Transactions can use either link; the CPU's
+load-balancing strategy is configurable at boot time.  The model
+captures per-link serialization (a link transmits one message at a
+time, at the aggregate lane rate), encoding efficiency, propagation
+delay, and the link-selection policy.
+
+The same class also models the degraded configurations used during
+bring-up ("early debugging of ECI was done with 4 lanes rather than the
+full 24", §4.4) via ``lanes_per_link`` and ``links``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..sim import Kernel
+from ..sim.units import gbps_to_bytes_per_ns
+from .messages import Message, VirtualCircuit, line_address
+from .protocol import Transport
+
+
+@dataclass
+class EciLinkParams:
+    """Physical parameters of the ECI interconnect."""
+
+    links: int = 2
+    lanes_per_link: int = 12
+    lane_gbps: float = 10.0
+    encoding_efficiency: float = 0.96  # 64b/66b line coding + framing
+    propagation_ns: float = 40.0       # serdes, wire, deskew
+    policy: str = "address"            # 'address' | 'round_robin' | 'fixed'
+    fixed_link: int = 0
+    #: Credits per (link, destination, VC); 0 disables flow control.
+    credits_per_vc: int = 0
+    #: Receiver-side buffer drain time per message (credit return delay).
+    credit_return_ns: float = 20.0
+
+    def __post_init__(self):
+        if self.links < 1:
+            raise ValueError("need at least one link")
+        if self.lanes_per_link < 1:
+            raise ValueError("need at least one lane per link")
+        if not 0 < self.encoding_efficiency <= 1:
+            raise ValueError("encoding_efficiency must be in (0, 1]")
+        if self.policy not in ("address", "round_robin", "fixed"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.credits_per_vc < 0:
+            raise ValueError("credits_per_vc must be non-negative")
+
+    @property
+    def link_rate_bytes_per_ns(self) -> float:
+        """Effective per-link serialization rate."""
+        raw = gbps_to_bytes_per_ns(self.lane_gbps * self.lanes_per_link)
+        return raw * self.encoding_efficiency
+
+    @property
+    def total_rate_bytes_per_ns(self) -> float:
+        return self.link_rate_bytes_per_ns * self.links
+
+
+class EciLinkTransport(Transport):
+    """Transport delivering messages over modelled ECI links.
+
+    Each (link, direction) pair is an independent serializer: a message
+    occupies it for ``wire_bytes / link_rate`` and arrives after an
+    additional propagation delay.  Per-line ordering is preserved under
+    the default ``address`` policy because a line's traffic always picks
+    the same link.
+    """
+
+    def __init__(self, kernel: Kernel, params: Optional[EciLinkParams] = None):
+        super().__init__(kernel)
+        self.params = params or EciLinkParams()
+        # (link index, src, dst) -> time the serializer frees up
+        self._free_at: Dict[Tuple[int, int, int], float] = {}
+        self._round_robin = itertools.count()
+        # Credit-based flow control, per (dst, VC): independent buffer
+        # classes so requests can never block responses.
+        self._credits: Dict[Tuple[int, VirtualCircuit], int] = {}
+        self._waiting: Dict[Tuple[int, VirtualCircuit], list] = {}
+        self.stats = {
+            "messages": 0,
+            "bytes_per_link": [0] * self.params.links,
+            "queueing_ns": 0.0,
+            "credit_stalls": 0,
+        }
+
+    def select_link(self, message: Message) -> int:
+        policy = self.params.policy
+        if policy == "fixed":
+            return self.params.fixed_link
+        if policy == "round_robin":
+            return next(self._round_robin) % self.params.links
+        # Address-interleaved: consecutive lines alternate links.
+        return (line_address(message.addr) // 128) % self.params.links
+
+    def _deliver(self, message: Message) -> None:
+        if self.params.credits_per_vc:
+            vc_key = (message.dst, message.vc)
+            available = self._credits.setdefault(vc_key, self.params.credits_per_vc)
+            if available <= 0:
+                # No buffer at the receiver for this VC: park the message.
+                self.stats["credit_stalls"] += 1
+                self._waiting.setdefault(vc_key, []).append(message)
+                return
+            self._credits[vc_key] = available - 1
+        self._transmit(message)
+
+    def _transmit(self, message: Message) -> None:
+        link = self.select_link(message)
+        key = (link, message.src, message.dst)
+        now = self.kernel.now
+        start = max(now, self._free_at.get(key, 0.0))
+        ser = message.wire_bytes / self.params.link_rate_bytes_per_ns
+        self._free_at[key] = start + ser
+        arrival = start + ser + self.params.propagation_ns
+        self.stats["messages"] += 1
+        self.stats["bytes_per_link"][link] += message.wire_bytes
+        self.stats["queueing_ns"] += start - now
+        self.kernel.call_at(arrival, lambda _: self._consume(message))
+
+    def _consume(self, message: Message) -> None:
+        self._handoff(message)
+        if self.params.credits_per_vc:
+            # The receive buffer drains and its credit returns.
+            self.kernel.call_after(
+                self.params.credit_return_ns,
+                lambda _: self._return_credit((message.dst, message.vc)),
+            )
+
+    def _return_credit(self, vc_key: Tuple[int, VirtualCircuit]) -> None:
+        waiting = self._waiting.get(vc_key)
+        if waiting:
+            # Hand the credit straight to the oldest parked message.
+            self._transmit(waiting.pop(0))
+        else:
+            self._credits[vc_key] = self._credits.get(vc_key, 0) + 1
+
+    def utilization(self, wall_ns: float) -> list[float]:
+        """Fraction of each link's one-direction capacity used so far."""
+        if wall_ns <= 0:
+            return [0.0] * self.params.links
+        rate = self.params.link_rate_bytes_per_ns
+        return [b / (rate * wall_ns) for b in self.stats["bytes_per_link"]]

@@ -1,0 +1,190 @@
+"""ECI message vocabulary.
+
+The Enzian Coherence Interface (ECI) is a MOESI-based inter-socket
+protocol with 128-byte cache lines, derived from the ThunderX-1's CCPI.
+Messages travel on *virtual circuits* (VCs) so that requests can never
+block responses (deadlock freedom).  Opcode names follow the public
+Enzian documentation where available (``RLDD``, ``PEMD``, ``VICD`` all
+appear in the paper's Figure 10); the remainder are named in the same
+style.
+
+Message classes
+---------------
+* requests (cache -> home):       RLDS, RLDD, RSTD
+* writebacks (cache -> home):     VICD, VICC
+* forwards/probes (home -> cache): FLDS, FLDX, FINV
+* responses:                      PSHA, PEMD, PACK, HAKD, FNAK, IACK
+* uncached I/O:                   IOBLD, IOBST, IOBRSP, IOBACK
+* interrupts:                     IPI
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+CACHE_LINE_BYTES = 128
+"""ECI cache-line size, inherited from the ThunderX-1."""
+
+HEADER_BYTES = 32
+"""Wire size of a message header (command word + address + routing)."""
+
+
+class VirtualCircuit(enum.IntEnum):
+    """Independent buffering classes on the wire.
+
+    Ordering within a VC between a pair of nodes is preserved;
+    different VCs may overtake each other.
+    """
+
+    REQ = 0    # coherence requests
+    FWD = 1    # probes/forwards issued by the home node
+    RSP = 2    # responses (may carry data)
+    WB = 3     # victim writebacks (may carry data)
+    IO = 4     # uncached I/O reads and writes
+    IPI = 5    # inter-processor interrupts
+
+
+class MessageType(enum.IntEnum):
+    """ECI opcodes."""
+
+    # requests
+    RLDS = 0x01   # read, shared permission
+    RLDD = 0x02   # read, exclusive permission ("load data dirty")
+    RSTD = 0x03   # store upgrade from shared
+    # writebacks
+    VICD = 0x10   # victim dirty (carries data)
+    VICC = 0x11   # victim clean (no data)
+    # forwards
+    FLDS = 0x20   # forward read-shared to current owner
+    FLDX = 0x21   # forward read-exclusive to current owner
+    FINV = 0x22   # invalidate a sharer
+    # responses
+    PSHA = 0x30   # data response, shared permission
+    PEMD = 0x31   # data response, exclusive/modified permission
+    PACK = 0x32   # permission ack without data (upgrade grant)
+    HAKD = 0x33   # home ack for a victim writeback
+    FNAK = 0x34   # probe nack: line no longer present (victim in flight)
+    IACK = 0x35   # invalidation ack
+    # uncached I/O
+    IOBLD = 0x40  # I/O byte load
+    IOBST = 0x41  # I/O byte store (carries payload)
+    IOBRSP = 0x42 # I/O load response (carries payload)
+    IOBACK = 0x43 # I/O store ack
+    # interrupts
+    IPI = 0x50    # inter-processor interrupt
+
+
+REQUEST_TYPES = frozenset({MessageType.RLDS, MessageType.RLDD, MessageType.RSTD})
+WRITEBACK_TYPES = frozenset({MessageType.VICD, MessageType.VICC})
+FORWARD_TYPES = frozenset({MessageType.FLDS, MessageType.FLDX, MessageType.FINV})
+RESPONSE_TYPES = frozenset(
+    {
+        MessageType.PSHA,
+        MessageType.PEMD,
+        MessageType.PACK,
+        MessageType.HAKD,
+        MessageType.FNAK,
+        MessageType.IACK,
+    }
+)
+IO_TYPES = frozenset(
+    {MessageType.IOBLD, MessageType.IOBST, MessageType.IOBRSP, MessageType.IOBACK}
+)
+
+DATA_BEARING_TYPES = frozenset(
+    {
+        MessageType.VICD,
+        MessageType.PSHA,
+        MessageType.PEMD,
+        MessageType.IOBST,
+        MessageType.IOBRSP,
+    }
+)
+
+_VC_FOR_TYPE = {
+    MessageType.RLDS: VirtualCircuit.REQ,
+    MessageType.RLDD: VirtualCircuit.REQ,
+    MessageType.RSTD: VirtualCircuit.REQ,
+    MessageType.VICD: VirtualCircuit.WB,
+    MessageType.VICC: VirtualCircuit.WB,
+    MessageType.FLDS: VirtualCircuit.FWD,
+    MessageType.FLDX: VirtualCircuit.FWD,
+    MessageType.FINV: VirtualCircuit.FWD,
+    MessageType.PSHA: VirtualCircuit.RSP,
+    MessageType.PEMD: VirtualCircuit.RSP,
+    MessageType.PACK: VirtualCircuit.RSP,
+    MessageType.HAKD: VirtualCircuit.RSP,
+    MessageType.FNAK: VirtualCircuit.RSP,
+    MessageType.IACK: VirtualCircuit.RSP,
+    MessageType.IOBLD: VirtualCircuit.IO,
+    MessageType.IOBST: VirtualCircuit.IO,
+    MessageType.IOBRSP: VirtualCircuit.IO,
+    MessageType.IOBACK: VirtualCircuit.IO,
+    MessageType.IPI: VirtualCircuit.IPI,
+}
+
+
+def vc_for(mtype: MessageType) -> VirtualCircuit:
+    """The virtual circuit a message type travels on."""
+    return _VC_FOR_TYPE[mtype]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One ECI protocol message.
+
+    ``txid`` ties forwards/responses back to the originating
+    transaction.  ``payload`` is present exactly for the data-bearing
+    opcodes (a full 128-byte line, or 1..8 bytes for I/O).
+    """
+
+    mtype: MessageType
+    src: int
+    dst: int
+    addr: int
+    txid: int = 0
+    payload: Optional[bytes] = None
+    requester: Optional[int] = None  # on forwards: whom to answer
+
+    def __post_init__(self):
+        if self.addr < 0:
+            raise ValueError(f"negative address: {self.addr}")
+        bears_data = self.mtype in DATA_BEARING_TYPES
+        if bears_data and self.payload is None:
+            raise ValueError(f"{self.mtype.name} requires a payload")
+        if not bears_data and self.payload is not None:
+            raise ValueError(f"{self.mtype.name} must not carry a payload")
+        if self.mtype in (MessageType.VICD, MessageType.PSHA, MessageType.PEMD):
+            if len(self.payload) != CACHE_LINE_BYTES:
+                raise ValueError(
+                    f"{self.mtype.name} payload must be a full line "
+                    f"({CACHE_LINE_BYTES} B), got {len(self.payload)}"
+                )
+        if self.mtype in (MessageType.IOBST, MessageType.IOBRSP):
+            if not 1 <= len(self.payload) <= 8:
+                raise ValueError(
+                    f"{self.mtype.name} payload must be 1..8 B, got {len(self.payload)}"
+                )
+
+    @property
+    def vc(self) -> VirtualCircuit:
+        return vc_for(self.mtype)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes this message occupies on the wire."""
+        return HEADER_BYTES + (len(self.payload) if self.payload else 0)
+
+    def __str__(self) -> str:
+        data = f" +{len(self.payload)}B" if self.payload else ""
+        return (
+            f"{self.mtype.name}(tx={self.txid} {self.src}->{self.dst} "
+            f"addr={self.addr:#x}{data})"
+        )
+
+
+def line_address(addr: int) -> int:
+    """Align an address down to its cache line."""
+    return addr & ~(CACHE_LINE_BYTES - 1)

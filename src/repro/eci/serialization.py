@@ -1,0 +1,141 @@
+"""Wire serialization for ECI messages.
+
+The paper (§4.1) describes defining "our own serialization format for
+the messages on ECI's various virtual circuits", used both for storing
+traces and as an interoperability standard between tools (the FAST
+models / Verilog co-simulation bridge).  This module is that format:
+a fixed 32-byte header followed by an optional payload.
+
+Header layout (little-endian)::
+
+    offset  size  field
+    0       2     magic 0xEC1A
+    2       1     version (currently 1)
+    3       1     opcode (MessageType)
+    4       1     virtual circuit
+    5       1     source node id
+    6       1     destination node id
+    7       1     requester node id (0xFF = none)
+    8       8     address
+    16      4     transaction id
+    20      2     payload length in bytes
+    22      10    reserved (zero)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator
+
+from .messages import HEADER_BYTES, Message, MessageType, VirtualCircuit, vc_for
+
+MAGIC = 0xEC1A
+VERSION = 1
+_NO_REQUESTER = 0xFF
+
+_HEADER = struct.Struct("<HBBBBBBQIH10s")
+assert _HEADER.size == HEADER_BYTES
+
+
+class SerializationError(ValueError):
+    """Raised when a byte stream is not a valid ECI message."""
+
+
+def encode(message: Message) -> bytes:
+    """Serialize a message to its wire representation."""
+    payload = message.payload or b""
+    requester = _NO_REQUESTER if message.requester is None else message.requester
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        int(message.mtype),
+        int(message.vc),
+        message.src,
+        message.dst,
+        requester,
+        message.addr,
+        message.txid,
+        len(payload),
+        b"\x00" * 10,
+    )
+    return header + payload
+
+
+def decode(data: bytes) -> Message:
+    """Deserialize exactly one message; raises on trailing bytes."""
+    message, consumed = decode_prefix(data)
+    if consumed != len(data):
+        raise SerializationError(
+            f"trailing bytes: consumed {consumed} of {len(data)}"
+        )
+    return message
+
+
+def decode_prefix(data: bytes) -> tuple[Message, int]:
+    """Deserialize a message from the front of ``data``.
+
+    Returns the message and the number of bytes consumed, enabling
+    stream decoding of concatenated trace files.
+    """
+    if len(data) < HEADER_BYTES:
+        raise SerializationError(f"short header: {len(data)} < {HEADER_BYTES}")
+    (
+        magic,
+        version,
+        opcode,
+        vc,
+        src,
+        dst,
+        requester,
+        addr,
+        txid,
+        payload_len,
+        _reserved,
+    ) = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic:#x}")
+    if version != VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    try:
+        mtype = MessageType(opcode)
+    except ValueError as exc:
+        raise SerializationError(f"unknown opcode {opcode:#x}") from exc
+    try:
+        circuit = VirtualCircuit(vc)
+    except ValueError as exc:
+        raise SerializationError(f"unknown virtual circuit {vc:#x}") from exc
+    if circuit != vc_for(mtype):
+        raise SerializationError(
+            f"VC mismatch: {mtype.name} on VC {vc}, expected {vc_for(mtype)}"
+        )
+    end = HEADER_BYTES + payload_len
+    if len(data) < end:
+        raise SerializationError(f"short payload: {len(data)} < {end}")
+    payload = bytes(data[HEADER_BYTES:end]) if payload_len else None
+    try:
+        message = Message(
+            mtype=mtype,
+            src=src,
+            dst=dst,
+            addr=addr,
+            txid=txid,
+            payload=payload,
+            requester=None if requester == _NO_REQUESTER else requester,
+        )
+    except ValueError as exc:
+        raise SerializationError(str(exc)) from exc
+    return message, end
+
+
+def encode_stream(messages: Iterable[Message]) -> bytes:
+    """Concatenate the wire forms of many messages (trace file body)."""
+    return b"".join(encode(m) for m in messages)
+
+
+def decode_stream(data: bytes) -> Iterator[Message]:
+    """Yield messages from a concatenated wire stream."""
+    offset = 0
+    while offset < len(data):
+        message, consumed = decode_prefix(data[offset:])
+        yield message
+        offset += consumed

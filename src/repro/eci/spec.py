@@ -1,0 +1,167 @@
+"""Formal(ish) specification of ECI and generated assertion checkers.
+
+The paper (§4.1) describes formally specifying several layers of the
+protocol and generating formatters and assertion checkers from the
+specifications.  This module is the Python rendition: the stable-state
+transition relation is written down as data, and
+:class:`CoherenceChecker` enforces it -- together with the global MOESI
+invariants -- against live agents while a simulation runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .messages import MessageType, VirtualCircuit, vc_for
+from .protocol import CacheAgent, CacheState, ProtocolError
+
+# -- transition relation -------------------------------------------------
+
+#: Allowed stable-state transitions for a cache agent.  Self-transitions
+#: (write hits on M, repeated probes) are always allowed.
+ALLOWED_TRANSITIONS: frozenset[Tuple[CacheState, CacheState]] = frozenset(
+    {
+        (CacheState.INVALID, CacheState.SHARED),      # PSHA install
+        (CacheState.INVALID, CacheState.EXCLUSIVE),   # PEMD install
+        (CacheState.SHARED, CacheState.EXCLUSIVE),    # PACK upgrade
+        (CacheState.SHARED, CacheState.INVALID),      # FINV / eviction
+        (CacheState.EXCLUSIVE, CacheState.MODIFIED),  # write hit
+        (CacheState.EXCLUSIVE, CacheState.SHARED),    # FLDS (clean)
+        (CacheState.EXCLUSIVE, CacheState.INVALID),   # FLDX / eviction
+        (CacheState.MODIFIED, CacheState.OWNED),      # FLDS (dirty)
+        (CacheState.MODIFIED, CacheState.INVALID),    # FLDX / eviction
+        (CacheState.OWNED, CacheState.MODIFIED),      # PACK upgrade (dirty)
+        (CacheState.OWNED, CacheState.INVALID),       # FLDX / eviction
+    }
+)
+
+
+def transition_allowed(old: CacheState, new: CacheState) -> bool:
+    """Whether ``old -> new`` is in the specified transition relation."""
+    return old == new or (old, new) in ALLOWED_TRANSITIONS
+
+
+# -- message-level rules --------------------------------------------------
+
+#: For each opcode: which sender role may emit it ("cache" or "home").
+SENDER_ROLE: Dict[MessageType, str] = {
+    MessageType.RLDS: "cache",
+    MessageType.RLDD: "cache",
+    MessageType.RSTD: "cache",
+    MessageType.VICD: "cache",
+    MessageType.VICC: "cache",
+    MessageType.FLDS: "home",
+    MessageType.FLDX: "home",
+    MessageType.FINV: "home",
+    MessageType.PSHA: "either",   # home, or a forwarding owner cache
+    MessageType.PEMD: "either",
+    MessageType.PACK: "home",
+    MessageType.HAKD: "home",
+    MessageType.FNAK: "cache",
+    MessageType.IACK: "cache",
+    MessageType.IOBLD: "cache",
+    MessageType.IOBST: "cache",
+    MessageType.IOBRSP: "home",
+    MessageType.IOBACK: "home",
+    MessageType.IPI: "either",
+}
+
+
+class InvariantViolation(ProtocolError):
+    """A MOESI invariant or transition rule was broken."""
+
+
+class CoherenceChecker:
+    """Watches cache agents and asserts MOESI invariants on every transition.
+
+    Invariants enforced (per line, across all attached caches):
+
+    * **single-writer** -- at most one cache in M or E;
+    * **writer-excludes-readers** -- if some cache is in M or E, every
+      other cache is in I;
+    * **single-owner** -- at most one cache in O, and O excludes M/E;
+    * the per-cache transition relation (:data:`ALLOWED_TRANSITIONS`).
+    """
+
+    def __init__(self):
+        self._caches: List[CacheAgent] = []
+        self.transitions_checked = 0
+        self.violations: List[str] = []
+        self.strict = True
+
+    def attach(self, cache: CacheAgent) -> None:
+        cache.state_observers.append(self._on_transition)
+        self._caches.append(cache)
+
+    def attach_all(self, caches: Iterable[CacheAgent]) -> None:
+        for cache in caches:
+            self.attach(cache)
+
+    # -- enforcement -----------------------------------------------------
+
+    def _on_transition(
+        self, node_id: int, addr: int, old: CacheState, new: CacheState
+    ) -> None:
+        self.transitions_checked += 1
+        if not transition_allowed(old, new):
+            self._fail(
+                f"illegal transition {old.value}->{new.value} at node "
+                f"{node_id}, line {addr:#x}"
+            )
+        self.check_line(addr)
+
+    def check_line(self, addr: int) -> None:
+        states = [(c.node_id, c.state_of(addr)) for c in self._caches]
+        exclusive = [n for n, s in states if s in (CacheState.MODIFIED, CacheState.EXCLUSIVE)]
+        owned = [n for n, s in states if s is CacheState.OWNED]
+        valid = [n for n, s in states if s is not CacheState.INVALID]
+        if len(exclusive) > 1:
+            self._fail(f"line {addr:#x}: multiple writers {exclusive}")
+        if exclusive and len(valid) > 1:
+            self._fail(
+                f"line {addr:#x}: writer {exclusive[0]} coexists with "
+                f"copies at {sorted(set(valid) - set(exclusive))}"
+            )
+        if len(owned) > 1:
+            self._fail(f"line {addr:#x}: multiple owners {owned}")
+        if owned and exclusive:
+            self._fail(f"line {addr:#x}: owner {owned} with writer {exclusive}")
+
+    def check_all_lines(self) -> None:
+        """Sweep every line any cache currently holds."""
+        seen = set()
+        for cache in self._caches:
+            seen.update(cache.lines.keys())
+        for addr in seen:
+            self.check_line(addr)
+
+    def _fail(self, reason: str) -> None:
+        self.violations.append(reason)
+        if self.strict:
+            raise InvariantViolation(reason)
+
+
+class MessageRuleChecker:
+    """Transport observer validating per-message well-formedness rules."""
+
+    def __init__(self, home_ids: Iterable[int]):
+        self.home_ids = set(home_ids)
+        self.messages_checked = 0
+        self.violations: List[str] = []
+        self.strict = True
+
+    def __call__(self, now: float, message) -> None:
+        self.messages_checked += 1
+        role = SENDER_ROLE[message.mtype]
+        src_is_home = message.src in self.home_ids
+        if role == "home" and not src_is_home:
+            self._fail(f"{message}: only a home node may send {message.mtype.name}")
+        if role == "cache" and src_is_home:
+            self._fail(f"{message}: a home node may not send {message.mtype.name}")
+        if vc_for(message.mtype) != message.vc:
+            self._fail(f"{message}: wrong VC")
+
+    def _fail(self, reason: str) -> None:
+        self.violations.append(reason)
+        if self.strict:
+            raise InvariantViolation(reason)

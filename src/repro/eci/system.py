@@ -1,0 +1,103 @@
+"""The full two-socket coherence topology.
+
+On a real Enzian *both* nodes are homes: the CPU homes its 128 GiB and
+the FPGA homes its 512 GiB (the statically partitioned address space of
+§4.1), and each node's cache can hold lines homed on the other side.
+:class:`TwoSocketSystem` wires that up: per-node a :class:`HomeAgent`
+for the local partition and a :class:`CacheAgent` for remote accesses,
+routed by the Enzian address map.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..memory.address_space import (
+    CPU_NODE,
+    FPGA_NODE,
+    PhysicalAddressSpace,
+    enzian_address_map,
+)
+from ..sim import Kernel
+from .link import EciLinkParams, EciLinkTransport
+from .protocol import CacheAgent, HomeAgent, InstantTransport, Transport
+from .spec import CoherenceChecker
+
+# Node ids on the coherence fabric: each socket contributes a home and
+# a caching agent.
+CPU_HOME_ID = 0
+FPGA_HOME_ID = 1
+CPU_CACHE_ID = 2
+FPGA_CACHE_ID = 3
+
+
+class TwoSocketSystem:
+    """CPU and FPGA sockets, each home for its own partition.
+
+    ``use_timed_links`` routes everything over the physical ECI link
+    model; otherwise a fixed-latency transport keeps unit tests fast.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        address_space: Optional[PhysicalAddressSpace] = None,
+        use_timed_links: bool = False,
+        link_params: Optional[EciLinkParams] = None,
+        latency_ns: float = 50.0,
+        cache_lines: int = 4096,
+    ):
+        self.kernel = kernel or Kernel()
+        self.address_space = address_space or enzian_address_map()
+        if use_timed_links:
+            self.transport: Transport = EciLinkTransport(
+                self.kernel, link_params or EciLinkParams()
+            )
+        else:
+            self.transport = InstantTransport(self.kernel, latency_ns=latency_ns)
+
+        self.cpu_home = HomeAgent(
+            self.kernel, CPU_HOME_ID, self.transport, name="cpu-home"
+        )
+        self.fpga_home = HomeAgent(
+            self.kernel, FPGA_HOME_ID, self.transport, name="fpga-home"
+        )
+        home_for = self._home_for
+        self.cpu_cache = CacheAgent(
+            self.kernel,
+            CPU_CACHE_ID,
+            self.transport,
+            home_for=home_for,
+            capacity_lines=cache_lines,
+            name="cpu-l2",
+        )
+        self.fpga_cache = CacheAgent(
+            self.kernel,
+            FPGA_CACHE_ID,
+            self.transport,
+            home_for=home_for,
+            capacity_lines=cache_lines,
+            name="fpga-cache",
+        )
+        self.checker = CoherenceChecker()
+        self.checker.attach_all([self.cpu_cache, self.fpga_cache])
+
+    def _home_for(self, addr: int) -> int:
+        node = self.address_space.home_node(addr)
+        return CPU_HOME_ID if node == CPU_NODE else FPGA_HOME_ID
+
+    def home_of(self, addr: int) -> HomeAgent:
+        return self.cpu_home if self._home_for(addr) == CPU_HOME_ID else self.fpga_home
+
+    # -- convenience ---------------------------------------------------------
+
+    def cpu_address(self, offset: int = 0) -> int:
+        """An address inside the CPU's DRAM partition."""
+        return self.address_space.region("cpu-dram").base + offset
+
+    def fpga_address(self, offset: int = 0) -> int:
+        """An address inside the FPGA's DRAM partition."""
+        return self.address_space.region("fpga-dram").base + offset
+
+    def run(self, generator, name: str = ""):
+        return self.kernel.run_process(generator, name=name)

@@ -1,0 +1,133 @@
+"""Protocol trace capture and decoding.
+
+The Enzian team wrote a Wireshark plugin to decode the coherence
+protocol's upper layers and defined a serialization format for storing
+traces (§4.1).  This module provides the equivalent tooling for the
+software twin: a :class:`TraceRecorder` that observes a transport, a
+binary trace-file format built on :mod:`repro.eci.serialization`, and a
+human-readable decoder with display filters.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from .messages import Message, MessageType, VirtualCircuit
+from .serialization import decode_prefix, encode
+
+_RECORD_HEADER = struct.Struct("<dI")  # timestamp (ns, f64), record length
+TRACE_MAGIC = b"ECITRACE"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One captured message with its send timestamp."""
+
+    timestamp: float
+    message: Message
+
+    def format(self) -> str:
+        m = self.message
+        payload = f" len={len(m.payload)}" if m.payload else ""
+        return (
+            f"{self.timestamp:>12.1f} ns  {m.vc.name:<4} "
+            f"{m.mtype.name:<6} {m.src}->{m.dst} "
+            f"addr={m.addr:#012x} tx={m.txid}{payload}"
+        )
+
+
+class TraceRecorder:
+    """Attachable transport observer that accumulates trace records."""
+
+    def __init__(self, limit: Optional[int] = None):
+        self.records: List[TraceRecord] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def __call__(self, now: float, message: Message) -> None:
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(now, message))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    # -- filtering ("display filters") -----------------------------------
+
+    def filter(
+        self,
+        mtype: Optional[MessageType] = None,
+        vc: Optional[VirtualCircuit] = None,
+        addr: Optional[int] = None,
+        node: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Select records matching all given criteria."""
+        out = []
+        for record in self.records:
+            m = record.message
+            if mtype is not None and m.mtype is not mtype:
+                continue
+            if vc is not None and m.vc is not vc:
+                continue
+            if addr is not None and m.addr != addr:
+                continue
+            if node is not None and node not in (m.src, m.dst):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def transactions(self) -> dict[tuple[int, int], List[TraceRecord]]:
+        """Group records by (address, txid) for request/response pairing."""
+        groups: dict[tuple[int, int], List[TraceRecord]] = {}
+        for record in self.records:
+            key = (record.message.addr, record.message.txid)
+            groups.setdefault(key, []).append(record)
+        return groups
+
+    # -- persistence -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the trace to the on-disk format."""
+        chunks = [TRACE_MAGIC]
+        for record in self.records:
+            wire = encode(record.message)
+            chunks.append(_RECORD_HEADER.pack(record.timestamp, len(wire)))
+            chunks.append(wire)
+        return b"".join(chunks)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TraceRecorder":
+        """Load a trace from its on-disk format."""
+        if not data.startswith(TRACE_MAGIC):
+            raise ValueError("not an ECI trace file")
+        recorder = cls()
+        offset = len(TRACE_MAGIC)
+        while offset < len(data):
+            timestamp, length = _RECORD_HEADER.unpack_from(data, offset)
+            offset += _RECORD_HEADER.size
+            message, consumed = decode_prefix(data[offset : offset + length])
+            if consumed != length:
+                raise ValueError("corrupt trace record")
+            recorder.records.append(TraceRecord(timestamp, message))
+            offset += length
+        return recorder
+
+    # -- rendering ---------------------------------------------------------
+
+    def format(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        """Render records (default: all) as decoder output, one per line."""
+        source = self.records if records is None else records
+        return "\n".join(record.format() for record in source)

@@ -1,0 +1,43 @@
+"""FPGA-side models: fabric, bitstreams, the Coyote shell, and AFUs."""
+
+from .afu import Afu
+from .scheduler import ScheduledApp, SchedulerError, TemporalScheduler
+from .bitstream import Bitstream, ConfigPort, eci_shell_bitstream
+from .dma import CacheLineDma, DmaDescriptor, DmaError
+from .fabric import (
+    XCVU9P,
+    Fabric,
+    FabricError,
+    FabricResources,
+    FpgaPowerParams,
+)
+from .shell import (
+    PAGE_BYTES,
+    CoyoteShell,
+    ShellError,
+    TranslationFault,
+    VirtualFpga,
+)
+
+__all__ = [
+    "Afu",
+    "Bitstream",
+    "CacheLineDma",
+    "DmaDescriptor",
+    "DmaError",
+    "ConfigPort",
+    "CoyoteShell",
+    "Fabric",
+    "FabricError",
+    "FabricResources",
+    "FpgaPowerParams",
+    "PAGE_BYTES",
+    "ScheduledApp",
+    "SchedulerError",
+    "TemporalScheduler",
+    "ShellError",
+    "TranslationFault",
+    "VirtualFpga",
+    "XCVU9P",
+    "eci_shell_bitstream",
+]

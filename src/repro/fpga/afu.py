@@ -1,0 +1,47 @@
+"""Accelerator Function Units: application logic hosted in a vFPGA."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .fabric import FabricResources
+
+if TYPE_CHECKING:
+    from .shell import CoyoteShell, VirtualFpga
+
+
+class Afu:
+    """Base class for application logic loaded into a vFPGA slot.
+
+    Subclasses override :meth:`on_load`/:meth:`on_unload` to wire
+    themselves to shell services, and expose whatever processing
+    interface fits their role (streaming, request/response, ...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        resources: FabricResources,
+        toggle_rate: float = 0.2,
+    ):
+        self.name = name
+        self.resources = resources
+        self.toggle_rate = toggle_rate
+        self.shell: Optional["CoyoteShell"] = None
+        self.vfpga: Optional["VirtualFpga"] = None
+
+    @property
+    def loaded(self) -> bool:
+        return self.shell is not None
+
+    def on_load(self, shell: "CoyoteShell", vfpga: "VirtualFpga") -> None:
+        self.shell = shell
+        self.vfpga = vfpga
+
+    def on_unload(self) -> None:
+        self.shell = None
+        self.vfpga = None
+
+    def __repr__(self) -> str:
+        state = "loaded" if self.loaded else "unloaded"
+        return f"Afu({self.name!r}, {state})"

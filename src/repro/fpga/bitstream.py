@@ -1,0 +1,70 @@
+"""Bitstreams and the configuration port.
+
+The BMC loads an initial (shell) bitstream before the CPU leaves reset
+(§4.4/§4.5); applications are then loaded by dynamic partial
+reconfiguration.  The model tracks what is loaded and how long loading
+takes through the configuration port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fabric import FabricResources
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """A compiled FPGA configuration."""
+
+    name: str
+    resources: FabricResources
+    clock_mhz: float = 250.0
+    is_shell: bool = False
+    partial: bool = False
+    size_bytes: int = 0
+
+    def __post_init__(self):
+        if not 100.0 <= self.clock_mhz <= 450.0:
+            raise ValueError(
+                f"clock {self.clock_mhz} MHz outside plausible XCVU9P range"
+            )
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+
+    @property
+    def effective_size_bytes(self) -> int:
+        """Explicit size, or the full-device default (~ 85 MiB for a
+        VU9P full bitstream; partials are proportionally smaller)."""
+        if self.size_bytes:
+            return self.size_bytes
+        full = 85 * 1024 * 1024
+        return full // 8 if self.partial else full
+
+
+@dataclass(frozen=True)
+class ConfigPort:
+    """The configuration interface used to load bitstreams."""
+
+    bandwidth_mbps: float = 800.0  # JTAG is ~10 Mb/s; SelectMAP/ICAP ~0.8 GB/s
+
+    def load_time_s(self, bitstream: Bitstream) -> float:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        return bitstream.effective_size_bytes / (self.bandwidth_mbps * 1e6)
+
+
+def eci_shell_bitstream(clock_mhz: float = 300.0) -> Bitstream:
+    """The static shell with the lower layers of ECI (§4.5).
+
+    "All the shells we use for Enzian therefore include the lower levels
+    of ECI functionality" -- it must be present before the CPU boots.
+    """
+    return Bitstream(
+        name="coyote-eci-shell",
+        resources=FabricResources(
+            luts=210_000, ffs=380_000, bram36=420, dsp=12, transceivers=40
+        ),
+        clock_mhz=clock_mhz,
+        is_shell=True,
+    )

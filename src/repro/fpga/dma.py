@@ -1,0 +1,85 @@
+"""The shell's data mover: cache-line DMA over ECI (§4.5).
+
+Porting Coyote to Enzian meant "replacing the PCIe DMA-based interface
+between the FPGA and CPU with one using ECI and dealing in cache lines
+rather than PCIe transactions".  :class:`CacheLineDma` is that engine:
+a descriptor-driven mover that executes copies as coherent line reads
+and writes through a :class:`~repro.eci.protocol.CacheAgent`, so moved
+data is always coherent with the CPU's caches -- no explicit flushing,
+the property §5.2's RDMA experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..eci.messages import CACHE_LINE_BYTES
+from ..eci.protocol import CacheAgent
+
+
+class DmaError(RuntimeError):
+    """Bad descriptors."""
+
+
+@dataclass(frozen=True)
+class DmaDescriptor:
+    """One contiguous copy: ``length`` bytes from ``src`` to ``dst``.
+
+    Addresses and length must be line-aligned: the engine deals in
+    cache lines, exactly as the port did.
+    """
+
+    src: int
+    dst: int
+    length: int
+
+    def __post_init__(self):
+        for name, value in (("src", self.src), ("dst", self.dst)):
+            if value % CACHE_LINE_BYTES:
+                raise DmaError(f"{name} must be {CACHE_LINE_BYTES}-byte aligned")
+        if self.length <= 0 or self.length % CACHE_LINE_BYTES:
+            raise DmaError(
+                f"length must be a positive multiple of {CACHE_LINE_BYTES}"
+            )
+
+    @property
+    def lines(self) -> int:
+        return self.length // CACHE_LINE_BYTES
+
+
+class CacheLineDma:
+    """The descriptor-executing engine bound to one caching agent."""
+
+    def __init__(self, agent: CacheAgent):
+        self.agent = agent
+        self.stats = {"descriptors": 0, "lines_moved": 0, "bytes_moved": 0}
+
+    def copy(self, descriptor: DmaDescriptor):
+        """Process: execute one descriptor line by line."""
+        self.stats["descriptors"] += 1
+        for i in range(descriptor.lines):
+            offset = i * CACHE_LINE_BYTES
+            data = yield from self.agent.read(descriptor.src + offset)
+            yield from self.agent.write(descriptor.dst + offset, data)
+            self.stats["lines_moved"] += 1
+            self.stats["bytes_moved"] += CACHE_LINE_BYTES
+
+    def scatter_gather(self, descriptors: List[DmaDescriptor]):
+        """Process: execute a descriptor chain in order."""
+        if not descriptors:
+            raise DmaError("empty descriptor chain")
+        for descriptor in descriptors:
+            yield from self.copy(descriptor)
+
+    def fill(self, dst: int, length: int, pattern: bytes):
+        """Process: write a repeating pattern (device-side memset)."""
+        if length <= 0 or length % CACHE_LINE_BYTES:
+            raise DmaError("length must be a positive multiple of the line size")
+        if not pattern:
+            raise DmaError("pattern must be non-empty")
+        line = (pattern * (CACHE_LINE_BYTES // len(pattern) + 1))[:CACHE_LINE_BYTES]
+        for offset in range(0, length, CACHE_LINE_BYTES):
+            yield from self.agent.write(dst + offset, line)
+            self.stats["lines_moved"] += 1
+            self.stats["bytes_moved"] += CACHE_LINE_BYTES

@@ -1,0 +1,96 @@
+"""Temporal multiplexing of vFPGA slots (Coyote's scheduling, §4.5).
+
+Coyote provides "spatial and temporal multiplexing": more applications
+than slots are time-sliced, paying a partial-reconfiguration cost at
+every context switch.  The scheduler here implements weighted round
+robin with that cost accounted, which makes the classic FPGA-OS
+trade-off measurable: slice length vs reconfiguration overhead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List
+
+from .afu import Afu
+from .shell import CoyoteShell
+
+
+class SchedulerError(RuntimeError):
+    """Bad scheduling requests."""
+
+
+@dataclass
+class ScheduledApp:
+    """One application queued for fabric time."""
+
+    afu: Afu
+    weight: int = 1
+    runtime_s: float = 0.0        # fabric time received
+    switches: int = 0
+
+    def __post_init__(self):
+        if self.weight < 1:
+            raise SchedulerError("weight must be >= 1")
+
+
+class TemporalScheduler:
+    """Weighted round robin over one shell slot.
+
+    Each turn, the next app is loaded (partial reconfiguration, costed
+    via the shell's config port) and runs ``quantum_s * weight``.
+    """
+
+    def __init__(self, shell: CoyoteShell, slot: int = 0, quantum_s: float = 0.010):
+        if quantum_s <= 0:
+            raise SchedulerError("quantum must be positive")
+        self.shell = shell
+        self.slot = slot
+        self.quantum_s = quantum_s
+        self._queue: Deque[ScheduledApp] = deque()
+        self.wall_clock_s = 0.0
+        self.reconfig_time_s = 0.0
+
+    def submit(self, afu: Afu, weight: int = 1) -> ScheduledApp:
+        app = ScheduledApp(afu, weight)
+        self._queue.append(app)
+        return app
+
+    def remove(self, afu: Afu) -> None:
+        for app in list(self._queue):
+            if app.afu is afu:
+                self._queue.remove(app)
+                return
+        raise SchedulerError(f"{afu.name!r} is not scheduled")
+
+    @property
+    def apps(self) -> List[ScheduledApp]:
+        return list(self._queue)
+
+    def run_turns(self, turns: int) -> None:
+        """Execute ``turns`` scheduling turns."""
+        if not self._queue:
+            raise SchedulerError("nothing to schedule")
+        for _ in range(turns):
+            app = self._queue[0]
+            self._queue.rotate(-1)
+            current = self.shell.slots[self.slot].afu
+            if current is not app.afu:
+                load_time = self.shell.load_afu(self.slot, app.afu)
+                self.wall_clock_s += load_time
+                self.reconfig_time_s += load_time
+                app.switches += 1
+            slice_s = self.quantum_s * app.weight
+            app.runtime_s += slice_s
+            self.wall_clock_s += slice_s
+
+    def efficiency(self) -> float:
+        """Fraction of wall-clock spent in application logic."""
+        if self.wall_clock_s == 0:
+            return 1.0
+        return 1.0 - self.reconfig_time_s / self.wall_clock_s
+
+    def fabric_share(self, app: ScheduledApp) -> float:
+        total = sum(a.runtime_s for a in self._queue)
+        return app.runtime_s / total if total else 0.0

@@ -1,0 +1,174 @@
+"""The Coyote-style FPGA shell (§4.5).
+
+Coyote provides "a kernel of basic functionality (memory protection,
+address translation, spatial and temporal multiplexing, and a standard
+execution environment) plus additional services (virtualized DRAM
+controllers, network stacks, etc.) to applications each running in a
+Virtual FPGA (vFPGA)".  The Enzian port replaces the PCIe DMA interface
+with ECI and deals in cache lines rather than PCIe transactions.
+
+This module implements those abstractions functionally: vFPGA slots
+with per-slot page tables and protection, a service registry, and
+dynamic partial reconfiguration of application regions while the
+static (shell) region keeps ECI alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .afu import Afu
+from .bitstream import Bitstream, ConfigPort, eci_shell_bitstream
+from .fabric import Fabric, FabricError, FabricResources
+
+PAGE_BYTES = 2 * 1024 * 1024  # 2 MiB pages, as Coyote uses huge pages
+
+
+class ShellError(RuntimeError):
+    """Invalid shell operations (protection faults, bad slots, ...)."""
+
+
+class TranslationFault(ShellError):
+    """A vFPGA accessed an unmapped or forbidden virtual address."""
+
+
+@dataclass
+class PageTableEntry:
+    physical_base: int
+    writable: bool = True
+
+
+class VirtualFpga:
+    """One vFPGA slot: an isolation domain with its own translation."""
+
+    def __init__(self, slot: int, resources: FabricResources):
+        self.slot = slot
+        self.resources = resources
+        self.afu: Optional[Afu] = None
+        self._pages: Dict[int, PageTableEntry] = {}
+        self.stats = {"translations": 0, "faults": 0}
+
+    # -- address translation / protection --------------------------------
+
+    def map_page(self, virtual_base: int, physical_base: int, writable: bool = True):
+        if virtual_base % PAGE_BYTES or physical_base % PAGE_BYTES:
+            raise ShellError("page mappings must be 2 MiB aligned")
+        self._pages[virtual_base] = PageTableEntry(physical_base, writable)
+
+    def unmap_page(self, virtual_base: int) -> None:
+        if virtual_base not in self._pages:
+            raise ShellError(f"page {virtual_base:#x} not mapped")
+        del self._pages[virtual_base]
+
+    def translate(self, vaddr: int, write: bool = False) -> int:
+        """Virtual -> physical, enforcing protection."""
+        self.stats["translations"] += 1
+        base = vaddr - (vaddr % PAGE_BYTES)
+        entry = self._pages.get(base)
+        if entry is None:
+            self.stats["faults"] += 1
+            raise TranslationFault(f"slot {self.slot}: unmapped {vaddr:#x}")
+        if write and not entry.writable:
+            self.stats["faults"] += 1
+            raise TranslationFault(f"slot {self.slot}: write to read-only {vaddr:#x}")
+        return entry.physical_base + (vaddr % PAGE_BYTES)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return len(self._pages) * PAGE_BYTES
+
+
+class CoyoteShell:
+    """The shell: static region + N dynamically reconfigurable vFPGAs."""
+
+    def __init__(
+        self,
+        fabric: Optional[Fabric] = None,
+        n_slots: int = 4,
+        shell_bitstream: Optional[Bitstream] = None,
+        config_port: Optional[ConfigPort] = None,
+    ):
+        if n_slots < 1:
+            raise ValueError("need at least one vFPGA slot")
+        self.fabric = fabric or Fabric()
+        self.config_port = config_port or ConfigPort()
+        self.shell_bitstream = shell_bitstream or eci_shell_bitstream()
+        if not self.shell_bitstream.is_shell:
+            raise ShellError("the static bitstream must be a shell image")
+        self.fabric.allocate(
+            "shell-static", self.shell_bitstream.resources, toggle_rate=0.10
+        )
+        # Partition the remaining fabric evenly across slots.
+        remaining = self.fabric.capacity
+        used = self.fabric.allocated
+        per_slot = FabricResources(
+            luts=(remaining.luts - used.luts) // n_slots,
+            ffs=(remaining.ffs - used.ffs) // n_slots,
+            bram36=(remaining.bram36 - used.bram36) // n_slots,
+            dsp=(remaining.dsp - used.dsp) // n_slots,
+            transceivers=0,
+        )
+        self.slots: Dict[int, VirtualFpga] = {
+            i: VirtualFpga(i, per_slot) for i in range(n_slots)
+        }
+        self.services: Dict[str, object] = {}
+        self.reconfigurations = 0
+
+    @property
+    def clock_mhz(self) -> float:
+        return self.shell_bitstream.clock_mhz
+
+    @property
+    def eci_ready(self) -> bool:
+        """ECI lower layers live in the static region and are always up."""
+        return "shell-static" in self.fabric.regions
+
+    # -- services ---------------------------------------------------------
+
+    def register_service(self, name: str, service: object) -> None:
+        if name in self.services:
+            raise ShellError(f"service {name!r} already registered")
+        self.services[name] = service
+
+    def service(self, name: str) -> object:
+        if name not in self.services:
+            raise ShellError(f"no service {name!r}")
+        return self.services[name]
+
+    # -- dynamic partial reconfiguration ------------------------------------
+
+    def load_afu(self, slot: int, afu: Afu) -> float:
+        """Load an AFU into a vFPGA slot; returns reconfiguration time (s)."""
+        vfpga = self._slot(slot)
+        if not afu.resources.fits_in(vfpga.resources):
+            raise FabricError(
+                f"AFU {afu.name!r} does not fit in slot {slot}"
+            )
+        if vfpga.afu is not None:
+            self.unload_afu(slot)
+        region_name = f"slot{slot}:{afu.name}"
+        self.fabric.allocate(region_name, afu.resources, toggle_rate=afu.toggle_rate)
+        vfpga.afu = afu
+        afu.on_load(self, vfpga)
+        self.reconfigurations += 1
+        partial = Bitstream(
+            name=f"{afu.name}-partial",
+            resources=afu.resources,
+            clock_mhz=self.clock_mhz,
+            partial=True,
+        )
+        return self.config_port.load_time_s(partial)
+
+    def unload_afu(self, slot: int) -> None:
+        vfpga = self._slot(slot)
+        if vfpga.afu is None:
+            raise ShellError(f"slot {slot} is empty")
+        self.fabric.release(f"slot{slot}:{vfpga.afu.name}")
+        vfpga.afu.on_unload()
+        vfpga.afu = None
+
+    def _slot(self, slot: int) -> VirtualFpga:
+        if slot not in self.slots:
+            raise ShellError(f"no slot {slot}")
+        return self.slots[slot]

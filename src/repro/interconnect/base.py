@@ -1,0 +1,46 @@
+"""Common interface for CPU<->FPGA interconnect performance models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.units import GIB
+
+
+@dataclass(frozen=True)
+class TransferPoint:
+    """One (size, latency) measurement from an interconnect model."""
+
+    size_bytes: int
+    latency_ns: float
+
+    @property
+    def throughput_gibps(self) -> float:
+        return self.size_bytes / self.latency_ns * 1e9 / GIB
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_ns / 1000.0
+
+
+class InterconnectModel:
+    """A model that can predict transfer latency as a function of size.
+
+    ``direction`` is from the FPGA's perspective: ``"read"`` pulls data
+    from host memory, ``"write"`` pushes data to host memory.
+    """
+
+    name: str = "interconnect"
+
+    def transfer_latency_ns(self, size_bytes: int, direction: str) -> float:
+        raise NotImplementedError
+
+    def transfer(self, size_bytes: int, direction: str) -> TransferPoint:
+        return TransferPoint(size_bytes, self.transfer_latency_ns(size_bytes, direction))
+
+    def sweep(self, sizes: list[int], direction: str) -> list[TransferPoint]:
+        return [self.transfer(size, direction) for size in sizes]
+
+    def peak_bandwidth_gibps(self, direction: str = "read", size_bytes: int = 1 << 22) -> float:
+        """Asymptotic bandwidth measured with a large transfer."""
+        return self.transfer(size_bytes, direction).throughput_gibps

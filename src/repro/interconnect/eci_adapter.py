@@ -1,0 +1,33 @@
+"""Adapter exposing the ECI transfer model through the common interface."""
+
+from __future__ import annotations
+
+from ..eci.link import EciLinkParams
+from ..eci.transfer import TransferEngineParams, simulate_transfer
+from .base import InterconnectModel
+
+
+class EciModel(InterconnectModel):
+    """Coherent cacheline transfers over one or both ECI links."""
+
+    def __init__(
+        self,
+        links_used: int = 1,
+        link: EciLinkParams | None = None,
+        engine: TransferEngineParams | None = None,
+        name: str | None = None,
+    ):
+        self.links_used = links_used
+        self.link = link or EciLinkParams()
+        self.engine = engine or TransferEngineParams()
+        self.name = name or f"eci-{links_used}link"
+
+    def transfer_latency_ns(self, size_bytes: int, direction: str) -> float:
+        result = simulate_transfer(
+            size_bytes,
+            direction,
+            link=self.link,
+            engine=self.engine,
+            links_used=self.links_used,
+        )
+        return result.latency_ns

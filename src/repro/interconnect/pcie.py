@@ -1,0 +1,116 @@
+"""PCI Express interconnect model (the commercial-accelerator baseline).
+
+PCIe is designed for throughput: bulk DMA transfers amortize a
+substantial per-transfer setup cost (doorbell write, descriptor fetch,
+completion signalling), and the wire carries data in Transaction Layer
+Packets (TLPs) whose headers tax small payloads.  The model captures:
+
+* line rate per generation and width (Gen3 x16 = 8 GT/s x 16 lanes with
+  128b/130b encoding = 15.75 GB/s raw per direction);
+* TLP framing efficiency = mps / (mps + overhead);
+* DMA engine setup and completion latencies.
+
+This reproduces the behaviour the paper leans on in §5.1: excellent
+large-transfer bandwidth, but high time-to-last-byte for transfers in
+the sub-4-KiB range where ECI's per-cacheline pipelining wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.units import gbps_to_bytes_per_ns
+from .base import InterconnectModel
+
+#: Per-lane effective data rate in Gb/s after line coding, per generation.
+_GEN_LANE_GBPS = {
+    1: 2.5 * 8 / 10,     # 8b/10b
+    2: 5.0 * 8 / 10,     # 8b/10b
+    3: 8.0 * 128 / 130,  # 128b/130b
+    4: 16.0 * 128 / 130,
+    5: 32.0 * 128 / 130,
+}
+
+
+@dataclass(frozen=True)
+class PcieParams:
+    """Configuration of a PCIe attachment."""
+
+    generation: int = 3
+    lanes: int = 16
+    #: Maximum payload size per TLP (bytes); 256 is the common setting.
+    max_payload: int = 256
+    #: TLP header + DLLP/framing overhead per TLP (bytes).
+    tlp_overhead: int = 26
+    #: One-time DMA setup: doorbell write + descriptor fetch (ns).
+    dma_setup_ns: float = 900.0
+    #: Completion/interrupt signalling after the last TLP (ns).
+    dma_complete_ns: float = 350.0
+    #: Payload-independent per-TLP pipeline cost in the DMA engine (ns).
+    per_tlp_ns: float = 9.0
+
+    def __post_init__(self):
+        if self.generation not in _GEN_LANE_GBPS:
+            raise ValueError(f"unsupported PCIe generation {self.generation}")
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"invalid lane count {self.lanes}")
+        if self.max_payload < 64:
+            raise ValueError("max_payload must be >= 64")
+
+    @property
+    def raw_rate_bytes_per_ns(self) -> float:
+        return gbps_to_bytes_per_ns(_GEN_LANE_GBPS[self.generation] * self.lanes)
+
+    @property
+    def framing_efficiency(self) -> float:
+        return self.max_payload / (self.max_payload + self.tlp_overhead)
+
+    @property
+    def effective_rate_bytes_per_ns(self) -> float:
+        return self.raw_rate_bytes_per_ns * self.framing_efficiency
+
+
+class PcieModel(InterconnectModel):
+    """DMA-based bulk transfers over PCIe."""
+
+    def __init__(self, params: PcieParams | None = None, name: str = "pcie"):
+        self.params = params or PcieParams()
+        self.name = name
+
+    def transfer_latency_ns(self, size_bytes: int, direction: str) -> float:
+        if size_bytes < 1:
+            raise ValueError("size must be positive")
+        if direction not in ("read", "write"):
+            raise ValueError(f"direction must be 'read' or 'write', got {direction!r}")
+        p = self.params
+        tlps = -(-size_bytes // p.max_payload)  # ceil division
+        wire_ns = size_bytes / p.effective_rate_bytes_per_ns
+        pipeline_ns = tlps * p.per_tlp_ns
+        # DMA reads need an extra round trip: the read request TLP must
+        # cross before completions stream back.
+        read_turnaround = 250.0 if direction == "read" else 0.0
+        return (
+            p.dma_setup_ns
+            + read_turnaround
+            + max(wire_ns, pipeline_ns)
+            + p.dma_complete_ns
+        )
+
+
+def alveo_u250_pcie() -> PcieModel:
+    """The Xilinx Alveo u250 baseline used in Figure 6 (x16 Gen3)."""
+    return PcieModel(PcieParams(generation=3, lanes=16), name="alveo-u250-pcie")
+
+
+def crossover_size_bytes(
+    pcie: PcieModel, eci_latency_ns, sizes: list[int], direction: str = "write"
+) -> int | None:
+    """First size at which PCIe's time-to-last-byte beats ECI's.
+
+    ``eci_latency_ns`` is a callable size -> latency.  Returns None when
+    PCIe never wins within ``sizes``.
+    """
+    for size in sorted(sizes):
+        if pcie.transfer_latency_ns(size, direction) < eci_latency_ns(size):
+            return size
+    return None

@@ -1,0 +1,202 @@
+"""Platform presets: the CPU/FPGA topology landscape of Figures 2 and 3.
+
+Each :class:`PlatformSpec` encodes one platform from the survey (Choi et
+al. [13, 14], as adapted by the paper): how the FPGA attaches to the
+CPU, whether the attachment is cache coherent, the FPGA's local memory,
+and representative small-transfer latency / peak-bandwidth numbers.
+
+The Enzian entries are *derived from our own models* rather than
+transcribed, so they move consistently if the model parameters change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..eci.transfer import (
+    dual_socket_reference,
+    dual_socket_reference_bandwidth_gibps,
+)
+from .eci_adapter import EciModel
+from .pcie import PcieModel, PcieParams
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One point in the hybrid CPU/FPGA design space."""
+
+    name: str
+    category: str               # 'pcie', 'coherent', 'smartnic', 'mpsoc', 'enzian'
+    attachment: str             # human-readable interconnect description
+    coherent: bool
+    fpga_local_dram_gib: int    # 0 = no local DRAM (cache only)
+    network_gbps_fpga: float    # network bandwidth terminating at the FPGA
+    latency_us: float           # small-transfer CPU->FPGA latency
+    bandwidth_gibps: float      # peak CPU<->FPGA bandwidth
+    open_platform: bool
+
+    def dominates(self, other: "PlatformSpec") -> bool:
+        """Strictly better on both headline performance axes."""
+        return (
+            self.latency_us < other.latency_us
+            and self.bandwidth_gibps > other.bandwidth_gibps
+        )
+
+
+def _enzian_specs() -> list[PlatformSpec]:
+    one_link = EciModel(links_used=1)
+    full = EciModel(links_used=2)
+    lat_us = one_link.transfer(128, "read").latency_us
+    return [
+        PlatformSpec(
+            name="Enzian (1 ECI link)",
+            category="enzian",
+            attachment="native coherence (ECI), 12 lanes",
+            coherent=True,
+            fpga_local_dram_gib=512,
+            network_gbps_fpga=400.0,
+            latency_us=lat_us,
+            bandwidth_gibps=one_link.peak_bandwidth_gibps("write"),
+            open_platform=True,
+        ),
+        PlatformSpec(
+            name="Enzian (full ECI)",
+            category="enzian",
+            attachment="native coherence (ECI), 24 lanes",
+            coherent=True,
+            fpga_local_dram_gib=512,
+            network_gbps_fpga=400.0,
+            latency_us=lat_us,
+            bandwidth_gibps=full.peak_bandwidth_gibps("write"),
+            open_platform=True,
+        ),
+    ]
+
+
+def survey_platforms() -> list[PlatformSpec]:
+    """The comparison platforms of Figure 2/3.
+
+    Latency/bandwidth values follow Choi et al.'s measurements and the
+    vendor documentation cited by the paper; they are the literature
+    constants the paper itself plots for non-Enzian systems.
+    """
+    alpha_data = PcieModel(PcieParams(generation=3, lanes=8), name="alpha-data")
+    f1 = PcieModel(PcieParams(generation=3, lanes=16), name="f1")
+    platforms = [
+        PlatformSpec(
+            name="Alpha Data (PCIe)",
+            category="pcie",
+            attachment="PCIe x8 Gen3, OpenCL batch DMA",
+            coherent=False,
+            fpga_local_dram_gib=16,
+            network_gbps_fpga=0.0,
+            latency_us=100.0,       # OpenCL runtime batch dispatch
+            bandwidth_gibps=alpha_data.peak_bandwidth_gibps("write"),
+            open_platform=False,
+        ),
+        PlatformSpec(
+            name="Amazon F1 (PCIe)",
+            category="pcie",
+            attachment="PCIe x16 Gen3, OpenCL batch DMA",
+            coherent=False,
+            fpga_local_dram_gib=64,
+            network_gbps_fpga=0.0,
+            latency_us=160.0,
+            bandwidth_gibps=f1.peak_bandwidth_gibps("write"),
+            open_platform=False,
+        ),
+        PlatformSpec(
+            name="CAPI (POWER8)",
+            category="coherent",
+            attachment="PCIe + CAPP/PSL coherence layer",
+            coherent=True,
+            fpga_local_dram_gib=16,
+            network_gbps_fpga=0.0,
+            latency_us=5.0,
+            bandwidth_gibps=3.3,
+            open_platform=False,
+        ),
+        PlatformSpec(
+            name="Xeon+FPGA v1 (QPI)",
+            category="coherent",
+            attachment="QPI, SPL shell",
+            coherent=True,
+            fpga_local_dram_gib=0,
+            network_gbps_fpga=0.0,
+            latency_us=0.4,
+            bandwidth_gibps=5.0,
+            open_platform=False,
+        ),
+        PlatformSpec(
+            name="Broadwell+Arria (UPI)",
+            category="coherent",
+            attachment="UPI + 2x PCIe, FIU shell",
+            coherent=True,
+            fpga_local_dram_gib=0,
+            network_gbps_fpga=40.0,
+            latency_us=0.5,
+            bandwidth_gibps=17.0,
+            open_platform=False,
+        ),
+        PlatformSpec(
+            name="Catapult",
+            category="smartnic",
+            attachment="PCIe + Ethernet bump-in-the-wire",
+            coherent=False,
+            fpga_local_dram_gib=4,
+            network_gbps_fpga=40.0,
+            latency_us=10.0,
+            bandwidth_gibps=8.0,
+            open_platform=False,
+        ),
+        PlatformSpec(
+            name="Zynq MPSoC",
+            category="mpsoc",
+            attachment="on-die AXI/ACE",
+            coherent=True,
+            fpga_local_dram_gib=4,
+            network_gbps_fpga=1.0,
+            latency_us=0.3,
+            bandwidth_gibps=10.0,
+            open_platform=False,
+        ),
+    ]
+    return platforms + _enzian_specs()
+
+
+def enzian_covers_survey() -> dict[str, bool]:
+    """For each survey platform: does Enzian subsume its configuration?
+
+    Coverage means Enzian offers the same capability class (coherence if
+    coherent, local DRAM at least as large, at least as much FPGA
+    network bandwidth).  This is the paper's "convex hull" claim
+    (§1, §3) in checkable form.
+    """
+    platforms = survey_platforms()
+    enzian = next(p for p in platforms if p.name == "Enzian (full ECI)")
+    verdict = {}
+    for p in platforms:
+        if p.category == "enzian":
+            continue
+        verdict[p.name] = (
+            (enzian.coherent or not p.coherent)
+            and enzian.fpga_local_dram_gib >= p.fpga_local_dram_gib
+            and enzian.network_gbps_fpga >= p.network_gbps_fpga
+        )
+    return verdict
+
+
+def dual_socket_thunderx_reference() -> PlatformSpec:
+    """The hardware upper bound from §5.1 (19 GiB/s, 150 ns)."""
+    ref = dual_socket_reference()
+    return PlatformSpec(
+        name="2-socket ThunderX-1 (CCPI)",
+        category="coherent",
+        attachment="native CCPI, 24 lanes, hardware endpoints",
+        coherent=True,
+        fpga_local_dram_gib=0,
+        network_gbps_fpga=0.0,
+        latency_us=ref.latency_us,
+        bandwidth_gibps=dual_socket_reference_bandwidth_gibps(),
+        open_platform=False,
+    )

@@ -1,0 +1,137 @@
+"""The partitioned physical address space.
+
+§4.1: "The system's physical address space is statically partitioned
+between the CPU and FPGA."  This module models that partition: named,
+non-overlapping regions, each homed on one NUMA node, with lookup and
+validation.  The FPGA can additionally expose *logical views* --
+address windows whose contents are synthesized by fabric logic rather
+than backed by DRAM (the custom memory controller of §5.4).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..sim.units import GIB, MIB
+
+CPU_NODE = 0
+FPGA_NODE = 1
+
+
+class AddressSpaceError(ValueError):
+    """Overlapping regions or failed lookups."""
+
+
+@dataclass(frozen=True)
+class Region:
+    """One contiguous region of the physical address space."""
+
+    name: str
+    base: int
+    size: int
+    node: int                  # home NUMA node
+    kind: str = "dram"         # 'dram' | 'io' | 'logical_view'
+    cacheable: bool = True
+
+    def __post_init__(self):
+        if self.base < 0 or self.size <= 0:
+            raise ValueError(f"bad region {self.name}: base={self.base} size={self.size}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def offset_of(self, addr: int) -> int:
+        if not self.contains(addr):
+            raise AddressSpaceError(f"{addr:#x} not in region {self.name}")
+        return addr - self.base
+
+
+class PhysicalAddressSpace:
+    """A validated, searchable set of regions."""
+
+    def __init__(self, regions: Iterable[Region]):
+        self.regions: List[Region] = sorted(regions, key=lambda r: r.base)
+        self._bases = [r.base for r in self.regions]
+        for a, b in zip(self.regions, self.regions[1:]):
+            if a.end > b.base:
+                raise AddressSpaceError(f"regions {a.name} and {b.name} overlap")
+
+    def lookup(self, addr: int) -> Region:
+        """Region containing ``addr``; raises when unmapped."""
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index >= 0 and self.regions[index].contains(addr):
+            return self.regions[index]
+        raise AddressSpaceError(f"unmapped physical address {addr:#x}")
+
+    def home_node(self, addr: int) -> int:
+        return self.lookup(addr).node
+
+    def region(self, name: str) -> Region:
+        for r in self.regions:
+            if r.name == name:
+                return r
+        raise AddressSpaceError(f"no region named {name!r}")
+
+    def total_bytes(self, node: Optional[int] = None, kind: str = "dram") -> int:
+        return sum(
+            r.size
+            for r in self.regions
+            if r.kind == kind and (node is None or r.node == node)
+        )
+
+    def is_total_partition(self) -> bool:
+        """Every byte belongs to exactly one node (non-overlap is already
+        enforced; this reports whether there are no gaps)."""
+        for a, b in zip(self.regions, self.regions[1:]):
+            if a.end != b.base:
+                return False
+        return True
+
+
+def enzian_address_map(
+    cpu_dram_gib: int = 128, fpga_dram_gib: int = 512
+) -> PhysicalAddressSpace:
+    """The default Enzian partition.
+
+    CPU DRAM at the bottom, FPGA DRAM above it, then uncacheable I/O
+    windows for each node and a window reserved for FPGA logical views
+    (custom memory controllers, §5.4).
+    """
+    cpu_bytes = cpu_dram_gib * GIB
+    fpga_bytes = fpga_dram_gib * GIB
+    fpga_base = 1 << 40  # FPGA node's half of the address space
+    return PhysicalAddressSpace(
+        [
+            Region("cpu-dram", 0x0, cpu_bytes, CPU_NODE, kind="dram"),
+            Region(
+                "cpu-io",
+                0x8000_0000_00,
+                256 * MIB,
+                CPU_NODE,
+                kind="io",
+                cacheable=False,
+            ),
+            Region("fpga-dram", fpga_base, fpga_bytes, FPGA_NODE, kind="dram"),
+            Region(
+                "fpga-views",
+                fpga_base + fpga_bytes,
+                64 * GIB,
+                FPGA_NODE,
+                kind="logical_view",
+            ),
+            Region(
+                "fpga-io",
+                fpga_base + fpga_bytes + 64 * GIB,
+                256 * MIB,
+                FPGA_NODE,
+                kind="io",
+                cacheable=False,
+            ),
+        ]
+    )

@@ -1,0 +1,48 @@
+"""Network substrate: Ethernet, reliable transport, TCP models, RDMA."""
+
+from .ethernet import ETH_OVERHEAD_BYTES, EthernetLink, Frame
+from .iperf import IperfResult, run_iperf, sweep_window
+from .reliable import ReliableReceiver, ReliableSender, Segment
+from .rdma import (
+    QueuePair,
+    RdmaError,
+    RdmaOp,
+    RdmaPathParams,
+    RdmaPerformanceModel,
+    RdmaTarget,
+    figure8_paths,
+)
+from .switch import Switch, two_hosts_via_switch
+from .tcp import (
+    FpgaTcpParams,
+    FpgaTcpStack,
+    LinuxTcpParams,
+    LinuxTcpStack,
+    flows_to_saturate,
+)
+
+__all__ = [
+    "ETH_OVERHEAD_BYTES",
+    "EthernetLink",
+    "FpgaTcpParams",
+    "FpgaTcpStack",
+    "Frame",
+    "IperfResult",
+    "LinuxTcpParams",
+    "LinuxTcpStack",
+    "QueuePair",
+    "RdmaError",
+    "RdmaOp",
+    "RdmaPathParams",
+    "RdmaPerformanceModel",
+    "RdmaTarget",
+    "ReliableReceiver",
+    "ReliableSender",
+    "Segment",
+    "Switch",
+    "figure8_paths",
+    "flows_to_saturate",
+    "run_iperf",
+    "sweep_window",
+    "two_hosts_via_switch",
+]

@@ -1,0 +1,94 @@
+"""The Catapult "bump in the wire" configuration (§2.1, §5.2).
+
+Microsoft Catapult places the FPGA inline between the host NIC and the
+network, so every frame traverses reconfigurable logic.  §5.2: "Enzian
+can also subsume the use-case for Microsoft Catapult ... by connecting
+an additional networking cable between one of the 100 Gb/s interfaces
+on the XCVU9P (clocked at 10 GHz rather than 25 GHz) and one of the
+ThunderX-1's 40 Gb/s NICs."
+
+:class:`BumpInTheWire` is that inline element: frames between the host
+NIC and the network pass through a user-supplied transform (filter,
+rewrite, count) with a per-frame pipeline delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Kernel
+from .ethernet import EthernetLink, Frame
+
+#: A transform returns the (possibly rewritten) frame, or None to drop.
+FrameTransform = Callable[[Frame], Optional[Frame]]
+
+
+class BumpInTheWire:
+    """An FPGA inline between two links: host-side and network-side."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        host_link: EthernetLink,
+        net_link: EthernetLink,
+        host_address: str,
+        transform: Optional[FrameTransform] = None,
+        pipeline_ns: float = 350.0,
+    ):
+        self.kernel = kernel
+        self.host_link = host_link
+        self.net_link = net_link
+        self.host_address = host_address
+        self.transform = transform
+        self.pipeline_ns = pipeline_ns
+        # Outbound: anything the host sends beyond its own link.
+        host_link.set_uplink(self._from_host)
+        # Inbound: the network side delivers frames for the host here.
+        net_link.attach(host_address, self._from_network)
+        self.stats = {"outbound": 0, "inbound": 0, "dropped": 0, "rewritten": 0}
+
+    def _apply(self, frame: Frame) -> Optional[Frame]:
+        if self.transform is None:
+            return frame
+        result = self.transform(frame)
+        if result is None:
+            self.stats["dropped"] += 1
+        elif result is not frame:
+            self.stats["rewritten"] += 1
+        return result
+
+    def _from_host(self, frame: Frame) -> None:
+        self.stats["outbound"] += 1
+        result = self._apply(frame)
+        if result is not None:
+            self.kernel.call_after(
+                self.pipeline_ns, lambda _: self.net_link.send(result)
+            )
+
+    def _from_network(self, frame: Frame) -> None:
+        self.stats["inbound"] += 1
+        result = self._apply(frame)
+        if result is not None:
+            self.kernel.call_after(
+                self.pipeline_ns, lambda _: self.host_link.send(result)
+            )
+
+
+def catapult_topology(
+    kernel: Kernel,
+    transform: Optional[FrameTransform] = None,
+    host: str = "cpu-nic",
+    peer: str = "remote",
+    host_rate_gbps: float = 40.0,
+    net_rate_gbps: float = 100.0,
+) -> tuple[BumpInTheWire, EthernetLink, EthernetLink]:
+    """The Enzian-as-Catapult wiring: CPU 40G NIC -> FPGA -> 100G network.
+
+    Returns (bump, host_link, net_link); the host attaches to
+    ``host_link`` under ``host``, the remote peer to ``net_link`` under
+    ``peer``.
+    """
+    host_link = EthernetLink(kernel, rate_gbps=host_rate_gbps, name="nic-fpga")
+    net_link = EthernetLink(kernel, rate_gbps=net_rate_gbps, name="fpga-net")
+    bump = BumpInTheWire(kernel, host_link, net_link, host, transform)
+    return bump, host_link, net_link

@@ -1,0 +1,98 @@
+"""Ethernet links and frames for the simulated network.
+
+Both Enzian nodes are network-rich (§4): 2x40 GbE on the CPU SoC and
+16x25 Gb/s serials on the FPGA, configurable as 4x100 GbE.  The link
+model is a serializer with propagation delay and an optional loss
+process (for exercising the reliable-delivery machinery).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..sim import Kernel
+from ..sim.units import gbps_to_bytes_per_ns
+
+ETH_OVERHEAD_BYTES = 38  # preamble + MAC header + FCS + min IFG
+MTU_DEFAULT = 1500
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One Ethernet frame carrying an opaque payload."""
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    seq: int = 0
+
+    def __post_init__(self):
+        if self.size_bytes < 1:
+            raise ValueError("frame must have positive size")
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.size_bytes + ETH_OVERHEAD_BYTES
+
+
+class EthernetLink:
+    """A point-to-point full-duplex link.
+
+    ``deliver`` hands frames to a callable endpoint; per-direction
+    serialization models the line rate.  ``loss_rate`` drops frames
+    randomly (deterministic given ``seed``).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        rate_gbps: float = 100.0,
+        propagation_ns: float = 500.0,
+        loss_rate: float = 0.0,
+        seed: int = 1,
+        name: str = "eth",
+    ):
+        if rate_gbps <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.kernel = kernel
+        self.rate = gbps_to_bytes_per_ns(rate_gbps)
+        self.rate_gbps = rate_gbps
+        self.propagation_ns = propagation_ns
+        self.loss_rate = loss_rate
+        self.name = name
+        self._rng = random.Random(seed)
+        self._endpoints: dict[str, Callable[[Frame], None]] = {}
+        self._uplink: Optional[Callable[[Frame], None]] = None
+        self._busy_until: dict[str, float] = {}
+        self.stats = {"frames": 0, "dropped": 0, "bytes": 0}
+
+    def attach(self, address: str, handler: Callable[[Frame], None]) -> None:
+        if address in self._endpoints:
+            raise ValueError(f"address {address!r} already attached")
+        self._endpoints[address] = handler
+
+    def set_uplink(self, handler: Callable[[Frame], None]) -> None:
+        """Promiscuous port: receives frames for unknown destinations
+        (how a switch hangs off the link)."""
+        self._uplink = handler
+
+    def send(self, frame: Frame) -> None:
+        """Transmit; the frame arrives at ``frame.dst`` (or the uplink)."""
+        if frame.dst not in self._endpoints and self._uplink is None:
+            raise ValueError(f"no endpoint {frame.dst!r} on {self.name}")
+        self.stats["frames"] += 1
+        self.stats["bytes"] += frame.wire_bytes
+        start = max(self.kernel.now, self._busy_until.get(frame.src, 0.0))
+        ser = frame.wire_bytes / self.rate
+        self._busy_until[frame.src] = start + ser
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats["dropped"] += 1
+            return
+        arrival = start + ser + self.propagation_ns
+        handler = self._endpoints.get(frame.dst, self._uplink)
+        self.kernel.call_at(arrival, lambda _: handler(frame))

@@ -1,0 +1,80 @@
+"""An iperf-like measurement harness over the simulated network.
+
+§5.2 compares stacks "via iperf".  This runs *actual* transfers through
+the Go-Back-N transport over the switch topology and reports goodput,
+retransmissions, and completion time -- measured from simulation, not
+modelled -- so stack models can be sanity-checked against transport
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import Kernel
+from .reliable import ReliableReceiver, ReliableSender
+from .switch import two_hosts_via_switch
+
+
+@dataclass(frozen=True)
+class IperfResult:
+    """Outcome of one measured transfer."""
+
+    payload_bytes: int
+    duration_ns: float
+    segments_sent: int
+    segments_retransmitted: int
+
+    @property
+    def goodput_gbps(self) -> float:
+        return self.payload_bytes * 8 / self.duration_ns
+
+    @property
+    def retransmit_rate(self) -> float:
+        return (
+            self.segments_retransmitted / self.segments_sent
+            if self.segments_sent
+            else 0.0
+        )
+
+
+def run_iperf(
+    payload_bytes: int,
+    rate_gbps: float = 100.0,
+    loss_rate: float = 0.0,
+    window: int = 32,
+    mtu: int = 2048,
+    timeout_ns: float = 2_000_000.0,
+) -> IperfResult:
+    """One client->server transfer through the standard two-host topology."""
+    if payload_bytes < 1:
+        raise ValueError("payload must be positive")
+    kernel = Kernel()
+    _, link_a, link_b = two_hosts_via_switch(
+        kernel, rate_gbps=rate_gbps, loss_rate=loss_rate
+    )
+    sender = ReliableSender(
+        kernel,
+        link_a,
+        local="enzianA",
+        remote="enzianB",
+        window=window,
+        mtu=mtu,
+        timeout_ns=timeout_ns,
+    )
+    receiver = ReliableReceiver(kernel, link_b, local="enzianB", remote="enzianA")
+    payload = bytes(i % 256 for i in range(payload_bytes))
+    stats = kernel.run_process(sender.send(payload))
+    if receiver.data != payload:
+        raise AssertionError("iperf transfer corrupted")
+    return IperfResult(
+        payload_bytes=payload_bytes,
+        duration_ns=stats["finish_ns"],
+        segments_sent=stats["sent"],
+        segments_retransmitted=stats["retransmitted"],
+    )
+
+
+def sweep_window(payload_bytes: int, windows: list[int], **kwargs) -> dict[int, IperfResult]:
+    """Goodput as a function of the sliding window."""
+    return {w: run_iperf(payload_bytes, window=w, **kwargs) for w in windows}

@@ -1,0 +1,166 @@
+"""Dagger-style RPC terminated in the FPGA (§2.1, [39]).
+
+Dagger "implements Remote Procedure Call on the FPGA to use it as a
+smart NIC", cutting the software RPC stack out of the request path.
+Functional side: a compact binary RPC framing (method id, request id,
+payload, CRC) with a dispatcher -- real marshalling code, testable over
+the lossy transport.  Performance side: request latency/throughput for
+the FPGA-offloaded path vs a kernel/software RPC server.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+_HEADER = struct.Struct("<HHIIi")  # magic, method, request id, len, status
+RPC_MAGIC = 0xDA66
+MAX_PAYLOAD = 16 * 1024
+
+STATUS_OK = 0
+STATUS_NO_METHOD = -1
+STATUS_APP_ERROR = -2
+
+
+class RpcError(RuntimeError):
+    """Framing or dispatch failures."""
+
+
+@dataclass(frozen=True)
+class RpcMessage:
+    """One request or response."""
+
+    method: int
+    request_id: int
+    payload: bytes
+    status: int = STATUS_OK
+
+    def __post_init__(self):
+        if not 0 <= self.method <= 0xFFFF:
+            raise RpcError("method id out of range")
+        if len(self.payload) > MAX_PAYLOAD:
+            raise RpcError("payload too large")
+
+
+def encode_rpc(message: RpcMessage) -> bytes:
+    """Frame: header + payload + CRC32 over both."""
+    header = _HEADER.pack(
+        RPC_MAGIC,
+        message.method,
+        message.request_id,
+        len(message.payload),
+        message.status,
+    )
+    body = header + message.payload
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def decode_rpc(data: bytes) -> RpcMessage:
+    if len(data) < _HEADER.size + 4:
+        raise RpcError("frame too short")
+    body, crc_bytes = data[:-4], data[-4:]
+    (expected_crc,) = struct.unpack("<I", crc_bytes)
+    if zlib.crc32(body) != expected_crc:
+        raise RpcError("CRC mismatch")
+    magic, method, request_id, length, status = _HEADER.unpack_from(body)
+    if magic != RPC_MAGIC:
+        raise RpcError(f"bad magic {magic:#x}")
+    payload = body[_HEADER.size :]
+    if len(payload) != length:
+        raise RpcError("length mismatch")
+    return RpcMessage(method, request_id, payload, status)
+
+
+class RpcServer:
+    """Dispatches decoded requests to registered handlers."""
+
+    def __init__(self):
+        self._handlers: Dict[int, Callable[[bytes], bytes]] = {}
+        self.stats = {"requests": 0, "errors": 0}
+
+    def register(self, method: int, handler: Callable[[bytes], bytes]) -> None:
+        if method in self._handlers:
+            raise RpcError(f"method {method} already registered")
+        self._handlers[method] = handler
+
+    def handle_wire(self, wire: bytes) -> bytes:
+        """Decode, dispatch, encode -- the FPGA pipeline's job."""
+        request = decode_rpc(wire)
+        self.stats["requests"] += 1
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            self.stats["errors"] += 1
+            response = RpcMessage(
+                request.method, request.request_id, b"", STATUS_NO_METHOD
+            )
+        else:
+            try:
+                result = handler(request.payload)
+                response = RpcMessage(
+                    request.method, request.request_id, result, STATUS_OK
+                )
+            except Exception as exc:  # application fault -> status code
+                self.stats["errors"] += 1
+                response = RpcMessage(
+                    request.method,
+                    request.request_id,
+                    str(exc).encode()[:256],
+                    STATUS_APP_ERROR,
+                )
+        return encode_rpc(response)
+
+
+class RpcClient:
+    """Issues calls against a server reachable through a wire function."""
+
+    def __init__(self, send: Callable[[bytes], bytes]):
+        self._send = send
+        self._next_id = 1
+
+    def call(self, method: int, payload: bytes = b"") -> bytes:
+        request = RpcMessage(method, self._next_id, payload)
+        self._next_id += 1
+        response = decode_rpc(self._send(encode_rpc(request)))
+        if response.request_id != request.request_id:
+            raise RpcError("response id mismatch")
+        if response.status == STATUS_NO_METHOD:
+            raise RpcError(f"no such method {method}")
+        if response.status == STATUS_APP_ERROR:
+            raise RpcError(f"remote error: {response.payload.decode()}")
+        return response.payload
+
+
+# -- performance model ------------------------------------------------------
+
+@dataclass(frozen=True)
+class RpcPathParams:
+    """Request-latency components for one deployment."""
+
+    name: str
+    network_oneway_ns: float = 1_000.0
+    #: RPC layer processing per message (decode+dispatch+encode).
+    stack_ns: float = 400.0          # FPGA pipeline
+    #: Server-side application time.
+    app_ns: float = 500.0
+    pipeline_depth: int = 64
+
+
+def fpga_rpc_path() -> RpcPathParams:
+    return RpcPathParams("fpga-dagger", stack_ns=400.0)
+
+
+def software_rpc_path() -> RpcPathParams:
+    """Kernel network stack + userspace RPC framework."""
+    return RpcPathParams("software-rpc", stack_ns=20_000.0, pipeline_depth=16)
+
+
+def rpc_latency_ns(path: RpcPathParams) -> float:
+    """Client-observed round-trip latency of one call."""
+    return 2 * path.network_oneway_ns + 2 * path.stack_ns + path.app_ns
+
+
+def rpc_throughput_per_s(path: RpcPathParams) -> float:
+    """Closed-loop throughput with ``pipeline_depth`` outstanding calls."""
+    return path.pipeline_depth * 1e9 / rpc_latency_ns(path)

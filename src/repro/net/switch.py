@@ -1,0 +1,69 @@
+"""A store-and-forward Ethernet switch.
+
+The §5.2 TCP experiment connects two Enzians "through their FPGA-side
+100 Gb/s Ethernet links via a conventional network switch"; this model
+provides that topology element: per-port links, a static MAC table,
+and store-and-forward latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim import Kernel
+from .ethernet import EthernetLink, Frame
+
+
+class Switch:
+    """An output-queued, store-and-forward switch.
+
+    Each port is an :class:`EthernetLink` with one host attached under
+    its own address; the switch rides the link's uplink (promiscuous)
+    port, so any frame a host sends to a non-local destination lands
+    here and is forwarded to the port owning that address.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "sw0", forwarding_ns: float = 300.0):
+        self.kernel = kernel
+        self.name = name
+        self.forwarding_ns = forwarding_ns
+        self._mac_table: Dict[str, EthernetLink] = {}
+        self.stats = {"forwarded": 0, "dropped_unknown": 0}
+
+    def connect(self, link: EthernetLink, host_address: str) -> None:
+        """Plug a host link in; the MAC table learns ``host_address``."""
+        if host_address in self._mac_table:
+            raise ValueError(f"address {host_address!r} already connected")
+        self._mac_table[host_address] = link
+        link.set_uplink(self._ingress)
+
+    def _ingress(self, frame: Frame) -> None:
+        # Sub-addresses ("host#tx") route to the host's port.
+        link = self._mac_table.get(frame.dst.split("#")[0])
+        if link is None:
+            self.stats["dropped_unknown"] += 1
+            return
+        self.stats["forwarded"] += 1
+        # Store-and-forward: re-serialize on the egress link after the
+        # switching latency.
+        self.kernel.call_after(self.forwarding_ns, lambda _: link.send(frame))
+
+
+def two_hosts_via_switch(
+    kernel: Kernel,
+    rate_gbps: float = 100.0,
+    host_a: str = "enzianA",
+    host_b: str = "enzianB",
+    loss_rate: float = 0.0,
+) -> tuple[Switch, EthernetLink, EthernetLink]:
+    """The standard two-Enzian topology: two links joined by a switch.
+
+    Each host attaches to its returned link under its own address;
+    frames to the peer traverse the switch automatically.
+    """
+    switch = Switch(kernel)
+    link_a = EthernetLink(kernel, rate_gbps, name="linkA", loss_rate=loss_rate, seed=11)
+    link_b = EthernetLink(kernel, rate_gbps, name="linkB", loss_rate=loss_rate, seed=13)
+    switch.connect(link_a, host_a)
+    switch.connect(link_b, host_b)
+    return switch, link_a, link_b

@@ -1,0 +1,5 @@
+"""Platform assembly: the complete Enzian machine."""
+
+from .enzian import EnzianConfig, EnzianMachine, figure12_phases, run_figure12
+
+__all__ = ["EnzianConfig", "EnzianMachine", "figure12_phases", "run_figure12"]

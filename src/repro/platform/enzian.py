@@ -1,0 +1,151 @@
+"""The assembled Enzian machine: every subsystem wired together.
+
+This is the top of the public API: one object owning the BMC (power
+manager, telemetry, consoles), the boot orchestration, the ThunderX-1
+SoC model, the FPGA fabric with the Coyote shell, the partitioned
+address space, and the ECI performance models -- the software twin of
+Figure 4's block diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bmc import ConsoleMux, Phase, PowerManager, TelemetryService
+from ..boot import BootOrchestrator, BootTimeline
+from ..cpu import ThunderXSoC
+from ..eci.link import EciLinkParams
+from ..fpga import CoyoteShell, Fabric
+from ..interconnect import EciModel
+from ..memory import PhysicalAddressSpace, enzian_address_map
+from ..apps.stress import (
+    CpuLoadLevels,
+    FpgaPowerBurn,
+    apply_cpu_phase,
+    apply_fpga_burn,
+    clear_cpu_load,
+    fpga_idle_shell_watts,
+)
+
+
+@dataclass(frozen=True)
+class EnzianConfig:
+    """Build options for a machine instance."""
+
+    cpu_dram_gib: int = 128
+    fpga_dram_gib: int = 512
+    fpga_clock_mhz: float = 300.0
+    eci_links: int = 2
+
+
+class EnzianMachine:
+    """One Enzian board, from PSU to Linux."""
+
+    def __init__(self, config: Optional[EnzianConfig] = None):
+        self.config = config or EnzianConfig()
+        self.power = PowerManager()
+        self.consoles = ConsoleMux()
+        self.boot = BootOrchestrator(self.power, consoles=self.consoles)
+        self.soc = ThunderXSoC()
+        self.fabric = Fabric()
+        self.shell: Optional[CoyoteShell] = None
+        self.address_space: PhysicalAddressSpace = enzian_address_map(
+            self.config.cpu_dram_gib, self.config.fpga_dram_gib
+        )
+        self.eci = EciModel(
+            links_used=self.config.eci_links,
+            link=EciLinkParams(),
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def power_on(self) -> BootTimeline:
+        """Full §4.4 sequence; instantiates the shell once ECI is up."""
+        timeline = self.boot.power_on_to_linux()
+        self.shell = CoyoteShell(fabric=self.fabric)
+        return timeline
+
+    @property
+    def running(self) -> bool:
+        return self.boot.linux_running
+
+    def telemetry(self, sample_period_ms: float = 20.0) -> TelemetryService:
+        return TelemetryService(self.power, sample_period_ms=sample_period_ms)
+
+
+def figure12_phases(machine: EnzianMachine) -> list[Phase]:
+    """The scripted boot + diagnostic + stress workload of Figure 12.
+
+    Phase structure and durations follow the figure's annotations: idle,
+    FPGA on/prog/idle, CPU on (with its power spike), the BDK DRAM
+    check, data- and address-bus tests, two memtests, CPU off, the FPGA
+    power burn in 1/24-area steps, FPGA off, idle.
+    """
+    power = machine.power
+    loads = power.loads
+    levels = CpuLoadLevels()
+    burn = FpgaPowerBurn(clock_mhz=machine.config.fpga_clock_mhz)
+    shell_idle_w = fpga_idle_shell_watts(machine.config.fpga_clock_mhz)
+
+    def cpu_on():
+        power.cpu_power_up()
+
+    def cpu_inrush(elapsed_s: float) -> None:
+        # The power spike as 48 cores come out of reset, then idle.
+        if elapsed_s < 1.0:
+            loads.set_demand("VDD_CORE", 110.0)
+        else:
+            apply_cpu_phase(loads, levels.idle_w, dram_active=False, levels=levels)
+
+    def cpu_off():
+        clear_cpu_load(loads)
+        power.cpu_power_down()
+
+    def fpga_prog():
+        loads.set_demand("VCCINT", 12.0)  # configuration current
+
+    def fpga_shell_idle():
+        loads.set_demand("VCCINT", shell_idle_w)
+
+    def fpga_burn_during(elapsed_s: float) -> None:
+        step = burn.step_for_elapsed(elapsed_s, 48.0)
+        apply_fpga_burn(loads, burn, step)
+
+    def fpga_off():
+        loads.set_demand("VCCINT", 0.0)
+        power.fpga_power_down()
+
+    def make_cpu_phase(watts, dram_active=True):
+        return lambda: apply_cpu_phase(loads, watts, dram_active, levels=levels)
+
+    return [
+        Phase("idle-start", 10.0, action=power.common_power_up),
+        Phase("fpga-on", 8.0, action=power.fpga_power_up),
+        Phase("fpga-prog", 8.0, action=fpga_prog),
+        Phase("fpga-idle", 8.0, action=fpga_shell_idle),
+        Phase("cpu-on", 6.0, action=cpu_on, during=cpu_inrush),
+        Phase("bdk-dram-check", 14.0, action=make_cpu_phase(levels.bdk_dram_check_w)),
+        Phase("data-bus-test", 10.0, action=make_cpu_phase(levels.bus_test_w)),
+        Phase("address-bus-test", 10.0, action=make_cpu_phase(levels.bus_test_w)),
+        Phase(
+            "memtest-marching-rows",
+            40.0,
+            action=make_cpu_phase(levels.memtest_marching_w),
+        ),
+        Phase("memtest-random", 40.0, action=make_cpu_phase(levels.memtest_random_w)),
+        Phase("cpu-off", 8.0, action=cpu_off),
+        Phase("fpga-power-burn", 48.0, during=fpga_burn_during),
+        Phase("fpga-off", 8.0, action=fpga_off),
+        Phase("idle-end", 10.0),
+    ]
+
+
+def run_figure12(
+    machine: Optional[EnzianMachine] = None, sample_period_ms: float = 20.0
+) -> TelemetryService:
+    """Execute the Figure 12 scenario; returns the loaded telemetry."""
+    machine = machine or EnzianMachine()
+    telemetry = machine.telemetry(sample_period_ms)
+    telemetry.run_phases(figure12_phases(machine))
+    return telemetry

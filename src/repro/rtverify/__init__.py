@@ -1,0 +1,34 @@
+"""Runtime verification on the FPGA (§6): past-time LTL monitors."""
+
+from .logic import (
+    And,
+    Atom,
+    Formula,
+    Historically,
+    Not,
+    Once,
+    Or,
+    Since,
+    Yesterday,
+    atom,
+    evaluate_trace,
+)
+from .monitor import Monitor, TraceUnit, check_response, estimate_resources
+
+__all__ = [
+    "And",
+    "Atom",
+    "Formula",
+    "Historically",
+    "Monitor",
+    "Not",
+    "Once",
+    "Or",
+    "Since",
+    "TraceUnit",
+    "Yesterday",
+    "atom",
+    "check_response",
+    "estimate_resources",
+    "evaluate_trace",
+]

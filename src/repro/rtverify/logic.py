@@ -1,0 +1,206 @@
+"""Past-time LTL: the assertion language for runtime verification.
+
+§6: "we perform runtime verification of a combined hardware/software
+system at scale with zero overhead, by using the FPGA to process events
+from the program trace units on the ThunderX-1 cores, and compiling
+temporal logic assertions about the behavior of the hardware, OS, and
+application software into reconfigurable logic."
+
+Past-time LTL is the standard choice for hardware monitors because
+every operator needs only constant state per step -- which is what
+makes it compilable to a block of flip-flops.  Operators:
+
+    atom(p)  !f  f & g  f | g  f -> g
+    Y f      (yesterday: f held in the previous step)
+    O f      (once: f held at some step so far)
+    H f      (historically: f held at every step so far)
+    f S g    (since: g held at some past step, and f ever since)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+class Formula:
+    """Base class; combinators build the syntax tree."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Or(Not(self), other)
+
+    def atoms(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def subformulas(self) -> list["Formula"]:
+        """Post-order traversal (children before parents), deduplicated."""
+        seen: list[Formula] = []
+
+        def visit(f: Formula) -> None:
+            for child in f._children():
+                visit(child)
+            if not any(f is s for s in seen):
+                seen.append(f)
+
+        visit(self)
+        return seen
+
+    def _children(self) -> tuple["Formula", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    name: str
+
+    def atoms(self):
+        return frozenset({self.name})
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def atoms(self):
+        return self.operand.atoms()
+
+    def _children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def atoms(self):
+        return self.left.atoms() | self.right.atoms()
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __str__(self):
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def atoms(self):
+        return self.left.atoms() | self.right.atoms()
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __str__(self):
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Yesterday(Formula):
+    operand: Formula
+
+    def atoms(self):
+        return self.operand.atoms()
+
+    def _children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"Y({self.operand})"
+
+
+@dataclass(frozen=True)
+class Once(Formula):
+    operand: Formula
+
+    def atoms(self):
+        return self.operand.atoms()
+
+    def _children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"O({self.operand})"
+
+
+@dataclass(frozen=True)
+class Historically(Formula):
+    operand: Formula
+
+    def atoms(self):
+        return self.operand.atoms()
+
+    def _children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"H({self.operand})"
+
+
+@dataclass(frozen=True)
+class Since(Formula):
+    left: Formula
+    right: Formula
+
+    def atoms(self):
+        return self.left.atoms() | self.right.atoms()
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __str__(self):
+        return f"({self.left} S {self.right})"
+
+
+def atom(name: str) -> Atom:
+    return Atom(name)
+
+
+def evaluate_trace(formula: Formula, trace: list[set[str]]) -> list[bool]:
+    """Reference semantics: the formula's truth at every step.
+
+    Quadratic and recursive -- deliberately independent of the monitor
+    compiler so property tests can compare the two.
+    """
+
+    def holds(f: Formula, i: int) -> bool:
+        if isinstance(f, Atom):
+            return f.name in trace[i]
+        if isinstance(f, Not):
+            return not holds(f.operand, i)
+        if isinstance(f, And):
+            return holds(f.left, i) and holds(f.right, i)
+        if isinstance(f, Or):
+            return holds(f.left, i) or holds(f.right, i)
+        if isinstance(f, Yesterday):
+            return i > 0 and holds(f.operand, i - 1)
+        if isinstance(f, Once):
+            return any(holds(f.operand, j) for j in range(i + 1))
+        if isinstance(f, Historically):
+            return all(holds(f.operand, j) for j in range(i + 1))
+        if isinstance(f, Since):
+            for j in range(i, -1, -1):
+                if holds(f.right, j):
+                    return all(holds(f.left, k) for k in range(j + 1, i + 1))
+            return False
+        raise TypeError(f"unknown formula {f!r}")
+
+    return [holds(formula, i) for i in range(len(trace))]

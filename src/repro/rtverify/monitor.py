@@ -1,0 +1,150 @@
+"""Compiling assertions into (simulated) reconfigurable logic.
+
+A past-time LTL formula compiles into a *monitor*: one boolean register
+per temporal subformula, updated once per trace event with pure
+combinational logic -- the software analogue of the flip-flop block the
+FPGA build would synthesize.  :func:`estimate_resources` maps a
+compiled monitor to LUT/FF costs so monitors can be placed into a
+vFPGA slot like any other AFU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..fpga.fabric import FabricResources
+from .logic import (
+    And,
+    Atom,
+    Formula,
+    Historically,
+    Not,
+    Once,
+    Or,
+    Since,
+    Yesterday,
+)
+
+
+class Monitor:
+    """An incremental evaluator: O(|formula|) work per event, O(1) state
+    per temporal operator."""
+
+    def __init__(self, formula: Formula):
+        self.formula = formula
+        self._order = formula.subformulas()
+        self._index = {id(f): i for i, f in enumerate(self._order)}
+        # Registers for temporal operators (previous-step values).
+        self._registers: Dict[int, bool] = {}
+        self._initialized = False
+        self.steps = 0
+        self.violations: List[int] = []
+
+    @property
+    def state_bits(self) -> int:
+        """Flip-flops the hardware monitor needs."""
+        return sum(
+            1
+            for f in self._order
+            if isinstance(f, (Yesterday, Once, Historically, Since))
+        )
+
+    def reset(self) -> None:
+        self._registers.clear()
+        self._initialized = False
+        self.steps = 0
+        self.violations.clear()
+
+    def step(self, events: Set[str]) -> bool:
+        """Feed one trace step; returns the formula's current truth."""
+        current: Dict[int, bool] = {}
+        for f in self._order:
+            key = id(f)
+            if isinstance(f, Atom):
+                value = f.name in events
+            elif isinstance(f, Not):
+                value = not current[id(f.operand)]
+            elif isinstance(f, And):
+                value = current[id(f.left)] and current[id(f.right)]
+            elif isinstance(f, Or):
+                value = current[id(f.left)] or current[id(f.right)]
+            elif isinstance(f, Yesterday):
+                value = self._initialized and self._registers.get(
+                    id(f.operand), False
+                )
+            elif isinstance(f, Once):
+                value = current[id(f.operand)] or (
+                    self._initialized and self._registers.get(key, False)
+                )
+            elif isinstance(f, Historically):
+                value = current[id(f.operand)] and (
+                    not self._initialized or self._registers.get(key, True)
+                )
+            elif isinstance(f, Since):
+                held_before = self._initialized and self._registers.get(key, False)
+                value = current[id(f.right)] or (
+                    current[id(f.left)] and held_before
+                )
+            else:
+                raise TypeError(f"unknown formula {f!r}")
+            current[key] = value
+        # Latch registers for the next step.
+        for f in self._order:
+            key = id(f)
+            if isinstance(f, Yesterday):
+                self._registers[id(f.operand)] = current[id(f.operand)]
+            elif isinstance(f, (Once, Historically, Since)):
+                self._registers[key] = current[key]
+        self._initialized = True
+        result = current[id(self.formula)]
+        if not result:
+            self.violations.append(self.steps)
+        self.steps += 1
+        return result
+
+    def run(self, trace: Iterable[Set[str]]) -> List[bool]:
+        return [self.step(events) for events in trace]
+
+    @property
+    def ever_violated(self) -> bool:
+        return bool(self.violations)
+
+
+def estimate_resources(monitor: Monitor, clock_domains: int = 1) -> FabricResources:
+    """First-order synthesis estimate for one monitor.
+
+    Each boolean gate is ~1 LUT; each temporal register 1 FF plus an
+    update LUT; event decoding costs a LUT per atom.
+    """
+    formula = monitor.formula
+    gates = len(formula.subformulas())
+    atoms = len(formula.atoms())
+    ffs = monitor.state_bits
+    return FabricResources(
+        luts=(gates + ffs + atoms) * clock_domains,
+        ffs=(ffs + atoms) * clock_domains,
+    )
+
+
+@dataclass
+class TraceUnit:
+    """A core's program-trace unit: turns workload activity into the
+    event sets a monitor consumes (the ETM/STM stand-in)."""
+
+    core_id: int
+    events: List[Set[str]] = field(default_factory=list)
+
+    def emit(self, *names: str) -> None:
+        self.events.append(set(names))
+
+    def stream(self) -> List[Set[str]]:
+        return list(self.events)
+
+
+def check_response(monitor_formula: Formula, trace: List[Set[str]]) -> Optional[int]:
+    """Run a monitor over a trace; returns the first violating step or
+    None.  Convenience wrapper used by the OS-invariant examples."""
+    monitor = Monitor(monitor_formula)
+    monitor.run(trace)
+    return monitor.violations[0] if monitor.violations else None

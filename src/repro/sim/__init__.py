@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate for the Enzian software twin."""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Awaitable,
+    Event,
+    Interrupt,
+    Kernel,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Channel, Resource
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Awaitable",
+    "Channel",
+    "Event",
+    "Interrupt",
+    "Kernel",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Timeout",
+]

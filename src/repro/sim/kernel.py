@@ -1,0 +1,289 @@
+"""Discrete-event simulation kernel.
+
+The kernel advances a virtual clock measured in nanoseconds and runs
+coroutine *processes* (plain Python generators).  A process yields
+awaitable objects -- :class:`Timeout`, :class:`Event`, another
+:class:`Process`, or the synchronization primitives from
+:mod:`repro.sim.resources` -- and is resumed when the awaited thing
+fires.  The design follows the classic event-wheel structure used by
+hardware simulators: a single ordered event queue, deterministic
+tie-breaking by insertion order, and no real concurrency.
+
+Example
+-------
+>>> k = Kernel()
+>>> log = []
+>>> def proc(name, delay):
+...     yield Timeout(delay)
+...     log.append((k.now, name))
+>>> _ = k.spawn(proc("a", 10))
+>>> _ = k.spawn(proc("b", 5))
+>>> k.run()
+>>> log
+[(5.0, 'b'), (10.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Awaitable:
+    """Base class for things a process may ``yield``.
+
+    Subclasses implement :meth:`_subscribe`, registering a callback to
+    run (with the produced value) when the awaitable fires.  If the
+    awaitable has already fired, the callback must be scheduled
+    immediately (at the current simulation time).
+    """
+
+    def _subscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
+        raise NotImplementedError
+
+
+class Timeout(Awaitable):
+    """Fires after a fixed delay, yielding ``value``."""
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _subscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
+        kernel.call_at(kernel.now + self.delay, callback, self.value)
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class Event(Awaitable):
+    """A one-shot broadcast event.
+
+    Any number of processes can wait for the same event; all of them
+    resume when :meth:`succeed` is called.  Waiting on an event that
+    already succeeded resumes immediately with the stored value.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+        self._kernel: Optional[Kernel] = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired")
+        return self._value
+
+    def succeed(self, kernel: "Kernel", value: Any = None) -> None:
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            kernel.call_at(kernel.now, cb, value)
+
+    def _subscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
+        if self._fired:
+            kernel.call_at(kernel.now, callback, self._value)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "fired" if self._fired else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class AllOf(Awaitable):
+    """Fires once every child awaitable has fired; yields a list of values."""
+
+    def __init__(self, children: Iterable[Awaitable]):
+        self.children = list(children)
+
+    def _subscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
+        results: list[Any] = [None] * len(self.children)
+        remaining = [len(self.children)]
+        if not self.children:
+            kernel.call_at(kernel.now, callback, [])
+            return
+
+        def make_child_cb(index: int) -> Callable[[Any], None]:
+            def child_cb(value: Any) -> None:
+                results[index] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    callback(list(results))
+
+            return child_cb
+
+        for i, child in enumerate(self.children):
+            child._subscribe(kernel, make_child_cb(i))
+
+
+class AnyOf(Awaitable):
+    """Fires when the first child fires; yields ``(index, value)``."""
+
+    def __init__(self, children: Iterable[Awaitable]):
+        self.children = list(children)
+        if not self.children:
+            raise ValueError("AnyOf requires at least one child")
+
+    def _subscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
+        done = [False]
+
+        def make_child_cb(index: int) -> Callable[[Any], None]:
+            def child_cb(value: Any) -> None:
+                if not done[0]:
+                    done[0] = True
+                    callback((index, value))
+
+            return child_cb
+
+        for i, child in enumerate(self.children):
+            child._subscribe(kernel, make_child_cb(i))
+
+
+ProcessGenerator = Generator[Awaitable, Any, Any]
+
+
+class Process(Awaitable):
+    """A running coroutine inside the kernel.
+
+    A process is itself awaitable: yielding a process waits for it to
+    finish and produces its return value.
+    """
+
+    def __init__(self, kernel: "Kernel", generator: ProcessGenerator, name: str = ""):
+        self.kernel = kernel
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = Event(name=f"{self.name}.done")
+        self._alive = True
+        self._interrupting: Optional[Interrupt] = None
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        return self.done.value
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self._alive:
+            return
+        self._interrupting = Interrupt(cause)
+        self.kernel.call_at(self.kernel.now, self._step, None)
+
+    def _start(self) -> None:
+        self.kernel.call_at(self.kernel.now, self._step, None)
+
+    def _step(self, value: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            if self._interrupting is not None:
+                exc, self._interrupting = self._interrupting, None
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.done.succeed(self.kernel, stop.value)
+            return
+        if not isinstance(target, Awaitable):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, not an Awaitable"
+            )
+        target._subscribe(self.kernel, self._step)
+
+    def _subscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
+        self.done._subscribe(kernel, callback)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+class Kernel:
+    """The event loop: an ordered queue of timestamped callbacks."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Callable[[Any], None], Any]] = []
+        self._counter = itertools.count()
+        self._processes: list[Process] = []
+
+    def call_at(self, when: float, callback: Callable[[Any], None], value: Any = None) -> None:
+        """Schedule ``callback(value)`` at absolute time ``when`` (ns)."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
+        heapq.heappush(self._queue, (when, next(self._counter), callback, value))
+
+    def call_after(self, delay: float, callback: Callable[[Any], None], value: Any = None) -> None:
+        """Schedule ``callback(value)`` after ``delay`` ns."""
+        self.call_at(self.now + delay, callback, value)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Create and start a process from a generator."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        process._start()
+        return process
+
+    def event(self, name: str = "") -> Event:
+        return Event(name=name)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains or ``until`` (ns) is reached.
+
+        Returns the final simulation time.  ``max_events`` bounds
+        runaway simulations (livelocked protocols) with a clear error
+        instead of a hang.
+        """
+        executed = 0
+        while self._queue:
+            when, _, callback, value = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = when
+            callback(value)
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"exceeded {max_events} events; livelock?")
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
+        """Spawn a process, run to completion, and return its result."""
+        process = self.spawn(generator, name=name)
+        self.run()
+        if process.alive:
+            raise SimulationError(f"process {process.name!r} never finished (deadlock?)")
+        return process.result

@@ -1,0 +1,77 @@
+"""Unit helpers: all kernel time is in nanoseconds, sizes in bytes.
+
+The conversion helpers keep benchmark code readable and make the units
+of every model parameter explicit at the definition site.
+"""
+
+from __future__ import annotations
+
+# -- time ---------------------------------------------------------------
+
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+S = 1_000_000_000.0
+
+
+def seconds(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / S
+
+
+def nanoseconds(s: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return s * S
+
+
+# -- size ---------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+
+# -- rates --------------------------------------------------------------
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Convert a line rate in Gb/s to bytes per nanosecond."""
+    return gbps * 1e9 / 8 / 1e9
+
+
+def gibps_to_bytes_per_ns(gibps: float) -> float:
+    """Convert GiB/s to bytes per nanosecond."""
+    return gibps * GIB / 1e9
+
+
+def bytes_per_ns_to_gibps(rate: float) -> float:
+    """Convert bytes per nanosecond to GiB/s."""
+    return rate * 1e9 / GIB
+
+
+def bytes_per_ns_to_gbps(rate: float) -> float:
+    """Convert bytes per nanosecond to Gb/s."""
+    return rate * 8
+
+
+def transfer_time_ns(size_bytes: float, rate_bytes_per_ns: float) -> float:
+    """Time to move ``size_bytes`` at ``rate_bytes_per_ns``."""
+    if rate_bytes_per_ns <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bytes_per_ns}")
+    return size_bytes / rate_bytes_per_ns
+
+
+def cycles_to_ns(cycles: float, freq_mhz: float) -> float:
+    """Convert a cycle count at ``freq_mhz`` to nanoseconds."""
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz}")
+    return cycles * 1000.0 / freq_mhz
+
+
+def ns_to_cycles(ns: float, freq_mhz: float) -> float:
+    """Convert nanoseconds to cycles at ``freq_mhz``."""
+    return ns * freq_mhz / 1000.0

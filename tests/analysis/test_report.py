@@ -1,0 +1,39 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.analysis import ratio_summary, render_series, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["name", "value"], [["a", 1.5], ["long-name", 22.125]], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert "1.500" in text
+    assert "22.125" in text
+
+
+def test_render_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_render_series_columns():
+    text = render_series("size", [128, 256], {"eci": [1.0, 2.0], "pcie": [3.0, 4.0]})
+    lines = text.splitlines()
+    assert "size" in lines[0] and "eci" in lines[0] and "pcie" in lines[0]
+    assert len(lines) == 4
+
+
+def test_render_series_length_mismatch():
+    with pytest.raises(ValueError):
+        render_series("x", [1, 2], {"s": [1.0]})
+
+
+def test_ratio_summary():
+    line = ratio_summary("tcp", measured=95.0, paper=100.0)
+    assert "x0.95" in line
+    assert "paper=100" in line

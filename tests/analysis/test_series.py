@@ -1,0 +1,114 @@
+"""Tests for time-series utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.series import (
+    SeriesError,
+    detect_steps,
+    integrate,
+    moving_average,
+    resample,
+    summarize,
+)
+
+
+def test_resample_linear_ramp():
+    times = [0.0, 10.0]
+    values = [0.0, 100.0]
+    out_t, out_v = resample(times, values, period=2.5)
+    assert out_t == [0.0, 2.5, 5.0, 7.5, 10.0]
+    assert out_v == pytest.approx([0.0, 25.0, 50.0, 75.0, 100.0])
+
+
+def test_resample_validation():
+    with pytest.raises(SeriesError):
+        resample([0, 1], [1], 0.5)
+    with pytest.raises(SeriesError):
+        resample([1, 0], [1, 2], 0.5)
+    with pytest.raises(SeriesError):
+        resample([0, 1], [1, 2], 0)
+    with pytest.raises(SeriesError):
+        resample([], [], 1.0)
+
+
+def test_moving_average_smooths_spike():
+    values = [10.0, 10.0, 100.0, 10.0, 10.0]
+    smoothed = moving_average(values, window=3)
+    assert max(smoothed) < 100.0
+    assert smoothed[2] == pytest.approx(40.0)
+
+
+def test_moving_average_window_one_is_identity():
+    values = [1.0, 2.0, 3.0]
+    assert moving_average(values, 1) == values
+    with pytest.raises(SeriesError):
+        moving_average(values, 0)
+
+
+def test_detect_steps_finds_power_transition():
+    times = list(range(20))
+    values = [10.0] * 10 + [50.0] * 10
+    steps = detect_steps(times, values, threshold=20.0)
+    assert len(steps) == 1
+    assert steps[0].before == pytest.approx(10.0)
+    assert steps[0].after == pytest.approx(50.0)
+    assert steps[0].magnitude == pytest.approx(40.0)
+    assert 8 <= steps[0].time <= 12
+
+
+def test_detect_steps_ignores_single_spike():
+    times = list(range(20))
+    values = [10.0] * 9 + [90.0] + [10.0] * 10
+    assert detect_steps(times, values, threshold=20.0, settle=3) == []
+
+
+def test_detect_steps_multiple_levels():
+    times = list(range(30))
+    values = [0.0] * 10 + [30.0] * 10 + [90.0] * 10
+    steps = detect_steps(times, values, threshold=20.0)
+    assert len(steps) == 2
+    assert steps[0].after < steps[1].after
+
+
+def test_integrate_rectangle_and_ramp():
+    assert integrate([0, 2], [5, 5]) == pytest.approx(10.0)
+    assert integrate([0, 2], [0, 10]) == pytest.approx(10.0)
+
+
+def test_summarize():
+    stats = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+    assert stats["mean"] == pytest.approx(22.0)
+    assert stats["min"] == 1.0
+    assert stats["max"] == 100.0
+    assert stats["p95"] == 100.0
+    with pytest.raises(SeriesError):
+        summarize([])
+
+
+def test_figure12_trace_pipeline():
+    """The real post-processing path: telemetry -> resample -> steps."""
+    from repro.platform import run_figure12
+
+    telemetry = run_figure12(sample_period_ms=100.0)
+    fpga = telemetry.trace("FPGA")
+    out_t, out_v = resample(fpga.times, fpga.watts, period=1.0)
+    steps = detect_steps(out_t, out_v, threshold=8.0, settle=2)
+    # FPGA power-on rises, many 1/24-area burn staircase steps, and the
+    # big negative power-off edge.
+    ups = [s for s in steps if s.magnitude > 0]
+    downs = [s for s in steps if s.magnitude < 0]
+    assert len(ups) >= 10  # the burn staircase
+    assert len(downs) == 1
+    assert downs[0].magnitude < -100.0
+
+
+@given(
+    values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+    window=st.integers(min_value=1, max_value=9),
+)
+def test_moving_average_bounds_property(values, window):
+    smoothed = moving_average(values, window)
+    assert len(smoothed) == len(values)
+    assert min(values) - 1e-9 <= min(smoothed)
+    assert max(smoothed) <= max(values) + 1e-9

@@ -1,0 +1,129 @@
+"""Tests for the hardware-accelerated key-value store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.kvs import (
+    HashTableStore,
+    KvError,
+    KvsPerformanceParams,
+    cpu_requests_per_s,
+    fpga_requests_per_s,
+)
+
+
+def test_put_get_round_trip():
+    store = HashTableStore()
+    store.put(b"key", b"value")
+    assert store.get(b"key") == b"value"
+    assert store.get(b"missing") is None
+
+
+def test_overwrite_updates_in_place():
+    store = HashTableStore()
+    store.put(b"k", b"v1")
+    store.put(b"k", b"v2")
+    assert store.get(b"k") == b"v2"
+    assert store.items == 1
+
+
+def test_delete_and_tombstone_reuse():
+    store = HashTableStore(n_slots=8)
+    store.put(b"a", b"1")
+    assert store.delete(b"a")
+    assert not store.delete(b"a")
+    assert store.get(b"a") is None
+    store.put(b"a", b"2")  # reuses the tombstone
+    assert store.get(b"a") == b"2"
+    assert store.items == 1
+
+
+def test_probe_past_tombstone_finds_key():
+    """Deleting one key must not hide colliding keys behind it."""
+    store = HashTableStore(n_slots=8)
+    # Force collisions by filling enough of a small table.
+    keys = [f"k{i}".encode() for i in range(6)]
+    for key in keys:
+        store.put(key, key)
+    store.delete(keys[0])
+    for key in keys[1:]:
+        assert store.get(key) == key
+
+
+def test_table_full():
+    store = HashTableStore(n_slots=8)
+    for i in range(8):
+        store.put(f"key{i}".encode(), b"x")
+    with pytest.raises(KvError):
+        store.put(b"overflow", b"x")
+
+
+def test_key_value_size_limits():
+    store = HashTableStore()
+    with pytest.raises(KvError):
+        store.put(b"", b"x")
+    with pytest.raises(KvError):
+        store.put(b"k" * 33, b"x")
+    with pytest.raises(KvError):
+        store.put(b"k", b"v" * 121)
+    store.put(b"k" * 32, b"v" * 120)  # exactly at the limits
+
+
+def test_atomic_add():
+    store = HashTableStore()
+    assert store.atomic_add(b"ctr", 5) == 5
+    assert store.atomic_add(b"ctr", -2) == 3
+    assert store.atomic_add(b"ctr", 0) == 3
+
+
+def test_load_factor_and_stats():
+    store = HashTableStore(n_slots=16)
+    for i in range(4):
+        store.put(f"k{i}".encode(), b"v")
+    assert store.load_factor == 0.25
+    store.get(b"k0")
+    assert store.stats["gets"] == 1
+    assert store.stats["puts"] == 4
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get", "delete"]),
+            st.binary(min_size=1, max_size=8),
+            st.binary(max_size=16),
+        ),
+        max_size=60,
+    )
+)
+def test_matches_dict_reference(ops):
+    store = HashTableStore(n_slots=256)
+    reference = {}
+    for op, key, value in ops:
+        if op == "put":
+            store.put(key, value)
+            reference[key] = value
+        elif op == "get":
+            assert store.get(key) == reference.get(key)
+        else:
+            assert store.delete(key) == (reference.pop(key, None) is not None)
+    for key, value in reference.items():
+        assert store.get(key) == value
+
+
+def test_fpga_path_beats_cpu_path():
+    """KV-Direct's claim: the NIC-side store outruns the software server."""
+    fpga = fpga_requests_per_s()
+    cpu = cpu_requests_per_s()
+    assert fpga > cpu
+    # Both bounded by the wire for 64 B requests at 100G.
+    wire = 100e9 / 8 / 64
+    assert fpga <= wire
+    assert fpga > 20e6  # tens of Mops, the KV-Direct regime
+
+
+def test_performance_scales_with_clock():
+    slow = fpga_requests_per_s(KvsPerformanceParams(fpga_clock_mhz=150.0))
+    fast = fpga_requests_per_s(KvsPerformanceParams(fpga_clock_mhz=300.0))
+    assert fast == pytest.approx(2 * slow)

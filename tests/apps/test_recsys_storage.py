@@ -1,0 +1,153 @@
+"""Tests for the recommendation-inference and smart-storage workloads."""
+
+import numpy as np
+import pytest
+
+from repro.apps.recsys import (
+    EmbeddingModel,
+    RecsysAccelerator,
+    RecsysError,
+    eci_host_placement,
+    enzian_fpga_placement,
+    pcie_host_placement,
+    placement_comparison,
+)
+from repro.apps.storage import (
+    BLOCK_BYTES,
+    EMULATED_NVM,
+    NVME_FLASH,
+    BlockDevice,
+    RECORDS_PER_BLOCK,
+    SmartStorageController,
+    StorageError,
+)
+
+# -- recsys ----------------------------------------------------------------
+
+
+def test_model_scores_deterministically():
+    model = EmbeddingModel(n_tables=4, rows_per_table=100, dim=16, seed=3)
+    indices = np.array([[0, 1, 2, 3], [4, 5, 6, 7]])
+    first = model.score(indices)
+    second = model.score(indices)
+    assert np.array_equal(first, second)
+    assert first.shape == (2,)
+
+
+def test_score_is_sum_of_gathered_rows_dot_dense():
+    model = EmbeddingModel(n_tables=2, rows_per_table=10, dim=8, seed=1)
+    indices = np.array([[3, 7]])
+    expected = (model.tables[0][3] + model.tables[1][7]) @ model.dense
+    assert model.score(indices)[0] == pytest.approx(expected, rel=1e-5)
+
+
+def test_index_validation():
+    model = EmbeddingModel(n_tables=2, rows_per_table=10, dim=8)
+    with pytest.raises(RecsysError):
+        model.score(np.array([[1, 2, 3]]))      # wrong table count
+    with pytest.raises(RecsysError):
+        model.score(np.array([[1, 10]]))        # out of range
+    with pytest.raises(RecsysError):
+        EmbeddingModel(n_tables=0)
+
+
+def test_accelerator_matches_software():
+    model = EmbeddingModel(n_tables=4, rows_per_table=50, dim=16)
+    accel = RecsysAccelerator(model, enzian_fpga_placement())
+    indices = np.array([[1, 2, 3, 4], [5, 6, 7, 8], [9, 0, 1, 2]])
+    assert np.array_equal(accel.infer(indices), model.score(indices))
+
+
+def test_fpga_resident_embeddings_win():
+    """§6: keeping the tables in FPGA DRAM beats fetching them from the
+    host, and coherent ECI beats PCIe for the host-resident case."""
+    model = EmbeddingModel()
+    rates = placement_comparison(model)
+    assert rates["fpga-dram"] > rates["host-over-eci"] > rates["host-over-pcie"]
+    assert rates["fpga-dram"] > 3 * rates["host-over-pcie"]
+
+
+def test_large_model_fits_fpga_dram():
+    """The motivation: models bigger than any PCIe card's memory."""
+    model = EmbeddingModel(n_tables=16, rows_per_table=100_000, dim=64)
+    from repro.sim.units import GIB
+
+    fpga_dram_bytes = 512 * GIB
+    assert model.bytes_total < fpga_dram_bytes
+    assert model.bytes_total > 100 * 1024 * 1024  # genuinely large
+
+
+# -- smart storage ------------------------------------------------------------
+
+
+def _filled_device(n_blocks=8, seed=0):
+    device = BlockDevice(n_blocks)
+    rng = np.random.default_rng(seed)
+    records = {}
+    for lba in range(n_blocks):
+        values = rng.integers(0, 1000, RECORDS_PER_BLOCK, dtype=np.int64)
+        device.write_block(lba, values.tobytes())
+        records[lba] = values
+    return device, records
+
+
+def test_block_round_trip():
+    device, records = _filled_device()
+    data = device.read_block(3)
+    assert np.array_equal(np.frombuffer(data, dtype=np.int64), records[3])
+
+
+def test_block_validation():
+    device = BlockDevice(4)
+    with pytest.raises(StorageError):
+        device.read_block(4)
+    with pytest.raises(StorageError):
+        device.write_block(0, b"short")
+    with pytest.raises(ValueError):
+        BlockDevice(0)
+
+
+def test_in_storage_scan_matches_host_filter():
+    device, records = _filled_device()
+    matches = device.scan(0, 8, 100, 200)
+    expected = np.concatenate(
+        [records[lba][(records[lba] >= 100) & (records[lba] < 200)]
+         for lba in range(8)]
+    )
+    assert np.array_equal(np.sort(matches), np.sort(expected))
+
+
+def test_scan_returns_fewer_bytes_than_read():
+    device, _ = _filled_device()
+    before = device.stats["bytes_returned"]
+    device.scan(0, 8, 0, 10)  # ~1% selectivity
+    scanned = device.stats["bytes_returned"] - before
+    assert scanned < 8 * BLOCK_BYTES / 20
+
+
+def test_scan_range_validation():
+    device, _ = _filled_device()
+    with pytest.raises(StorageError):
+        device.scan(4, 4, 0, 10)
+
+
+def test_emulated_nvm_much_faster_than_flash():
+    nvm = SmartStorageController(media=EMULATED_NVM)
+    flash = SmartStorageController(media=NVME_FLASH)
+    assert nvm.read_us(64) < flash.read_us(64) / 5
+
+
+def test_offload_speedup_grows_with_selectivity_drop():
+    controller = SmartStorageController(media=NVME_FLASH)
+    selective = controller.offload_speedup(1024, selectivity=0.01)
+    unselective = controller.offload_speedup(1024, selectivity=0.9)
+    assert selective > unselective
+    assert selective > 1.2  # offload wins when queries are selective
+
+
+def test_controller_validation():
+    controller = SmartStorageController()
+    with pytest.raises(StorageError):
+        controller.read_us(0)
+    with pytest.raises(StorageError):
+        controller.scan_us(1, 1.5)

@@ -1,0 +1,87 @@
+"""Tests for the stress/diagnostic load generators (Figure 12 inputs)."""
+
+import pytest
+
+from repro.apps.stress import (
+    CpuLoadLevels,
+    FpgaPowerBurn,
+    apply_cpu_phase,
+    apply_fpga_burn,
+    clear_cpu_load,
+    fpga_idle_shell_watts,
+)
+from repro.bmc import LoadBook
+
+
+def test_burn_steps_monotone_power():
+    burn = FpgaPowerBurn()
+    watts = [burn.set_step(step) for step in range(0, 25)]
+    assert watts == sorted(watts)
+    assert watts[24] > watts[0] + 80.0  # full burn far above static
+
+
+def test_burn_step_bounds():
+    burn = FpgaPowerBurn()
+    with pytest.raises(ValueError):
+        burn.set_step(25)
+    with pytest.raises(ValueError):
+        burn.set_step(-1)
+
+
+def test_burn_step_zero_is_static_only():
+    burn = FpgaPowerBurn()
+    assert burn.set_step(0) == pytest.approx(burn.fabric.power_params.static_w)
+
+
+def test_step_for_elapsed_covers_all_steps():
+    burn = FpgaPowerBurn()
+    duration = 48.0
+    steps = {burn.step_for_elapsed(t, duration) for t in
+             [i * 0.5 for i in range(96)]}
+    assert steps == set(range(1, 25))
+    with pytest.raises(ValueError):
+        burn.step_for_elapsed(1.0, 0)
+
+
+def test_burn_power_scales_with_clock():
+    fast = FpgaPowerBurn(clock_mhz=300.0)
+    slow = FpgaPowerBurn(clock_mhz=150.0)
+    fast_w = fast.set_step(24) - fast.fabric.power_params.static_w
+    slow_w = slow.set_step(24) - slow.fabric.power_params.static_w
+    assert fast_w == pytest.approx(2 * slow_w, rel=0.05)
+
+
+def test_cpu_phase_levels_ordering():
+    levels = CpuLoadLevels()
+    assert (
+        levels.idle_w
+        < levels.bdk_dram_check_w
+        < levels.bus_test_w
+        < levels.memtest_marching_w
+        < levels.memtest_random_w
+    )
+
+
+def test_apply_and_clear_cpu_phase():
+    loads = LoadBook()
+    apply_cpu_phase(loads, core_w=88.0, dram_active=True)
+    assert loads.demand_w("VDD_CORE") == 88.0
+    assert loads.demand_w("VDD_DDRCPU01") == 14.0
+    clear_cpu_load(loads)
+    assert loads.demand_w("VDD_CORE") == 0.0
+
+
+def test_apply_fpga_burn_sets_vccint():
+    loads = LoadBook()
+    burn = FpgaPowerBurn()
+    apply_fpga_burn(loads, burn, 12)
+    half = loads.demand_w("VCCINT")
+    apply_fpga_burn(loads, burn, 24)
+    assert loads.demand_w("VCCINT") > half
+
+
+def test_idle_shell_draw_modest():
+    idle = fpga_idle_shell_watts()
+    burn = FpgaPowerBurn().set_step(24)
+    assert idle < burn / 3
+    assert idle > 15.0  # static leakage floor

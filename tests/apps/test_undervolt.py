@@ -1,0 +1,89 @@
+"""Tests for the undervolt characterization experiment."""
+
+import pytest
+
+from repro.apps.undervolt import (
+    UndervoltExperiment,
+    UndervoltFaultModel,
+    guardband_fraction,
+)
+from repro.bmc import PowerManager
+
+
+def powered_manager():
+    manager = PowerManager()
+    manager.common_power_up()
+    manager.fpga_power_up()
+    return manager
+
+
+def test_fault_model_zones():
+    model = UndervoltFaultModel(nominal_v=0.85)
+    assert model.error_rate(0.85) == 0.0
+    assert model.error_rate(0.85 * 0.92) == 0.0           # inside guardband
+    assert model.error_rate(0.85 * 0.87) > 0.0            # error zone
+    assert model.error_rate(0.85 * 0.80) == float("inf")  # crash zone
+
+
+def test_fault_model_monotone():
+    model = UndervoltFaultModel(nominal_v=1.0)
+    rates = [model.error_rate(1.0 - m) for m in (0.11, 0.13, 0.15, 0.165)]
+    assert rates == sorted(rates)
+
+
+def test_fault_model_validation():
+    with pytest.raises(ValueError):
+        UndervoltFaultModel(nominal_v=1.0, guardband=0.2, crash_margin=0.1)
+
+
+def test_sweep_finds_the_guardband():
+    manager = powered_manager()
+    experiment = UndervoltExperiment(manager, "VCCINT")
+    points = experiment.sweep(step_fraction=0.01)
+    measured = guardband_fraction(points)
+    # Guardband is 10% in the model; the sweep should localize it
+    # within its 1% step granularity (LINEAR16 rounding included).
+    assert 0.08 <= measured <= 0.12
+
+
+def test_sweep_ends_in_crash():
+    manager = powered_manager()
+    experiment = UndervoltExperiment(manager, "VCCINT")
+    points = experiment.sweep(step_fraction=0.02)
+    assert points[-1].crashed
+    assert all(not p.crashed for p in points[:-1])
+
+
+def test_error_rate_grows_through_the_sweep():
+    manager = powered_manager()
+    experiment = UndervoltExperiment(manager, "VCCINT")
+    points = [p for p in experiment.sweep(step_fraction=0.005) if not p.crashed]
+    erroring = [p for p in points if p.errors > 0]
+    assert erroring, "sweep never entered the error zone"
+    assert erroring[-1].error_rate >= erroring[0].error_rate
+
+
+def test_sweep_restores_nominal_voltage():
+    manager = powered_manager()
+    nominal = manager.read_vout("VCCINT")
+    UndervoltExperiment(manager, "VCCINT").sweep()
+    assert manager.read_vout("VCCINT") == pytest.approx(nominal, abs=0.002)
+
+
+def test_uses_the_real_pmbus_path():
+    """VOUT_COMMAND goes through the bus: transactions are counted."""
+    manager = powered_manager()
+    before = manager.bus.stats["transactions"]
+    UndervoltExperiment(manager, "VCCINT").run_point(0.84)
+    assert manager.bus.stats["transactions"] > before
+
+
+def test_regulator_rejects_absurd_setpoint():
+    """The device NACKs setpoints outside 30-130% of nominal (§4.2's
+    'mistakes in a regulator's configuration' protection)."""
+    from repro.bmc import I2cError
+
+    manager = powered_manager()
+    experiment = UndervoltExperiment(manager, "VCCINT")
+    with pytest.raises(I2cError):
+        experiment._set_vout(0.1)

@@ -1,0 +1,188 @@
+"""Tests for the vision workload: conversions, blur, performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps.vision import (
+    MODE_TIMINGS,
+    ReductionMode,
+    VisionPerformanceModel,
+    dequantize4,
+    edge_detect,
+    gaussian_blur3,
+    hard_pipeline,
+    pack4,
+    quantization_error_bound,
+    quantize4,
+    reduce_frame,
+    rgb_to_y,
+    soft_pipeline,
+    synthetic_frame,
+    unpack4,
+)
+from repro.apps.vision.frames import frame_from_bytes, frame_to_bytes
+
+frames = hnp.arrays(np.uint8, (8, 16, 4))
+
+
+def test_rgb_to_y_range_and_extremes():
+    black = np.zeros((2, 2, 4), dtype=np.uint8)
+    white = np.full((2, 2, 4), 255, dtype=np.uint8)
+    assert rgb_to_y(black).min() == 16
+    assert int(rgb_to_y(white).max()) == ((66 * 255 + 129 * 255 + 25 * 255 + 128) >> 8) + 16
+
+
+def test_rgb_to_y_green_dominates():
+    red = np.zeros((1, 1, 4), dtype=np.uint8)
+    red[..., 0] = 200
+    green = np.zeros((1, 1, 4), dtype=np.uint8)
+    green[..., 1] = 200
+    assert rgb_to_y(green)[0, 0] > rgb_to_y(red)[0, 0]
+
+
+@given(frames)
+def test_pack_unpack_round_trip(frame):
+    codes = quantize4(rgb_to_y(frame)).reshape(-1)
+    assert np.array_equal(unpack4(pack4(codes)), codes)
+
+
+@given(frames)
+def test_quantization_error_bounded(frame):
+    y = rgb_to_y(frame)
+    reconstructed = dequantize4(quantize4(y))
+    error = np.abs(reconstructed.astype(int) - y.astype(int))
+    assert error.max() <= quantization_error_bound()
+
+
+def test_blur_preserves_constant_images():
+    flat = np.full((10, 10), 77, dtype=np.uint8)
+    assert np.array_equal(gaussian_blur3(flat), flat)
+
+
+def test_blur_smooths_an_impulse():
+    image = np.zeros((5, 5), dtype=np.uint8)
+    image[2, 2] = 160
+    blurred = gaussian_blur3(image)
+    assert blurred[2, 2] == 160 * 4 // 16
+    assert blurred[1, 2] == 160 * 2 // 16
+    assert blurred[1, 1] == 160 * 1 // 16
+    assert blurred[0, 0] == 0
+
+
+def test_blur_input_validation():
+    with pytest.raises(ValueError):
+        gaussian_blur3(np.zeros((3, 3), dtype=np.float32))
+    with pytest.raises(ValueError):
+        gaussian_blur3(np.zeros((3, 3, 3), dtype=np.uint8))
+
+
+def test_edge_detect_flags_edges_only():
+    image = np.zeros((8, 8), dtype=np.uint8)
+    image[:, 4:] = 200
+    edges = edge_detect(image)
+    assert edges[4, 4] > 0 or edges[4, 3] > 0
+    assert edges[4, 0] == 0
+
+
+def test_frame_round_trip():
+    frame = synthetic_frame(width=32, height=16, seed=3)
+    assert np.array_equal(frame_from_bytes(frame_to_bytes(frame), 32, 16), frame)
+
+
+def test_synthetic_frame_deterministic():
+    assert np.array_equal(synthetic_frame(seed=5), synthetic_frame(seed=5))
+
+
+def test_hard_pipeline_y8_identical_to_soft():
+    """The 8 bpp view swap changes nothing in the output (§5.4)."""
+    frame = synthetic_frame(width=64, height=32, seed=1)
+    soft = soft_pipeline(frame)
+    hard = hard_pipeline(reduce_frame(frame, ReductionMode.Y8), ReductionMode.Y8)
+    assert np.array_equal(soft, hard)
+
+
+def test_hard_pipeline_y4_within_quantization_error():
+    frame = synthetic_frame(width=64, height=32, seed=2)
+    soft = soft_pipeline(frame)
+    hard = hard_pipeline(reduce_frame(frame, ReductionMode.Y4), ReductionMode.Y4)
+    error = np.abs(soft.astype(int) - hard.astype(int))
+    assert error.max() <= quantization_error_bound() + 1  # + blur rounding
+
+
+# -- performance model (Figure 11 / Table 1 shape) -------------------------
+
+
+def test_baseline_33_mpixels_per_core():
+    model = VisionPerformanceModel()
+    rate = model.per_core_pixels_per_s(ReductionMode.NONE)
+    assert rate == pytest.approx(33e6, rel=0.1)
+
+
+def test_speedups_match_paper():
+    """+39% for 8 bpp, +33% for 4 bpp (§5.4)."""
+    model = VisionPerformanceModel()
+    y8 = model.speedup_vs_baseline(ReductionMode.Y8)
+    y4 = model.speedup_vs_baseline(ReductionMode.Y4)
+    assert y8 == pytest.approx(1.39, abs=0.06)
+    assert y4 == pytest.approx(1.33, abs=0.06)
+    assert y4 < y8  # quantization slightly reduces throughput
+
+
+def test_baseline_scales_linearly_to_48_cores():
+    model = VisionPerformanceModel()
+    points = model.sweep_cores(ReductionMode.NONE, [1, 12, 24, 48])
+    rates = [p.pixels_per_s for p in points]
+    assert rates[3] == pytest.approx(48 * rates[0], rel=1e-6)
+
+
+def test_interconnect_bandwidth_reduction():
+    """4x data reduction -> ~3x interconnect reduction at equal cores
+    (because throughput rises 39%): 1.39 / 4 ~= 1/3 (§5.4)."""
+    model = VisionPerformanceModel()
+    base = model.point(ReductionMode.NONE, 48)
+    y8 = model.point(ReductionMode.Y8, 48)
+    ratio = y8.interconnect_gibps / base.interconnect_gibps
+    assert ratio == pytest.approx(1.39 / 4, abs=0.05)
+
+
+def test_dram_utilisation_rises_with_offload():
+    """§5.4: DRAM utilisation grows from ~6 to ~8 GiB/s."""
+    model = VisionPerformanceModel()
+    base = model.point(ReductionMode.NONE, 48)
+    y8 = model.point(ReductionMode.Y8, 48)
+    assert base.dram_gibps == pytest.approx(6.0, abs=1.0)
+    assert y8.dram_gibps == pytest.approx(8.0, abs=1.2)
+    assert y8.dram_gibps > base.dram_gibps
+
+
+def test_table1_pmu_values():
+    model = VisionPerformanceModel()
+    expected = {
+        ReductionMode.NONE: (0.025, 1840),
+        ReductionMode.Y8: (0.005, 5160),
+        ReductionMode.Y4: (0.005, 10500),
+    }
+    for mode, (stalls_per_cycle, cycles_per_refill) in expected.items():
+        report = model.pmu_report(mode)
+        assert report.memory_stalls_per_cycle == pytest.approx(
+            stalls_per_cycle, rel=0.15
+        ), mode
+        assert report.cycles_per_l1_refill == pytest.approx(
+            cycles_per_refill, rel=0.12
+        ), mode
+
+
+def test_point_validation():
+    model = VisionPerformanceModel()
+    with pytest.raises(ValueError):
+        model.point(ReductionMode.NONE, 0)
+
+
+def test_interconnect_cap_limits_scaling():
+    model = VisionPerformanceModel(interconnect_cap_gibps=2.0)
+    point = model.point(ReductionMode.NONE, 48)
+    assert point.interconnect_gibps == pytest.approx(2.0, rel=1e-6)
+    uncapped = VisionPerformanceModel(interconnect_cap_gibps=100.0)
+    assert point.pixels_per_s < uncapped.point(ReductionMode.NONE, 48).pixels_per_s

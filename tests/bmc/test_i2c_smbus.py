@@ -1,0 +1,185 @@
+"""Tests for the I2C and SMBus layers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bmc import I2cBus, I2cDevice, I2cError, I2cTiming, SmbusController, SmbusDevice, crc8
+
+
+class EchoDevice(I2cDevice):
+    """Stores written bytes; reads return them back."""
+
+    def __init__(self):
+        self.stored = b""
+
+    def write_bytes(self, data):
+        self.stored = data
+        return True
+
+    def read_bytes(self, length):
+        return (self.stored + b"\x00" * length)[:length]
+
+
+def test_attach_address_validation():
+    bus = I2cBus()
+    with pytest.raises(ValueError):
+        bus.attach(0x00, EchoDevice())  # reserved
+    with pytest.raises(ValueError):
+        bus.attach(0x78, EchoDevice())  # above 7-bit device range
+    bus.attach(0x20, EchoDevice())
+    with pytest.raises(ValueError):
+        bus.attach(0x20, EchoDevice())
+
+
+def test_scan_reports_attached():
+    bus = I2cBus()
+    bus.attach(0x30, EchoDevice())
+    bus.attach(0x21, EchoDevice())
+    assert bus.scan() == [0x21, 0x30]
+    bus.detach(0x21)
+    assert bus.scan() == [0x30]
+    with pytest.raises(ValueError):
+        bus.detach(0x21)
+
+
+def test_missing_address_nacks():
+    bus = I2cBus()
+    with pytest.raises(I2cError):
+        bus.transfer(0x50, write=b"\x01")
+    assert bus.stats["nacks"] == 1
+
+
+def test_write_read_round_trip():
+    bus = I2cBus()
+    bus.attach(0x20, EchoDevice())
+    data, _ = bus.transfer(0x20, write=b"abc", read_len=3)
+    assert data == b"abc"
+    assert bus.stats["bytes"] == 6
+
+
+def test_timing_scales_with_bytes_and_clock():
+    fast = I2cTiming(clock_hz=400_000)
+    slow = I2cTiming(clock_hz=100_000)
+    assert slow.transaction_ns(1, 0) == pytest.approx(4 * fast.transaction_ns(1, 0))
+    assert fast.transaction_ns(4, 0) > fast.transaction_ns(1, 0)
+
+
+def test_bus_serializes_transactions():
+    bus = I2cBus()
+    bus.attach(0x20, EchoDevice())
+    _, t1 = bus.transfer(0x20, write=b"\x01", now_ns=0.0)
+    _, t2 = bus.transfer(0x20, write=b"\x01", now_ns=0.0)
+    assert t2 >= 2 * t1 - 1e-9  # second waits for the first
+
+
+def test_crc8_known_vectors():
+    # CRC-8/SMBus of an empty message is 0; polynomial check vector.
+    assert crc8(b"") == 0
+    assert crc8(b"\x00") == 0
+    # Linear property sanity: CRC of one byte equals its table entry.
+    assert crc8(b"\x01") == 0x07
+    assert crc8(b"123456789") == 0xF4  # standard CRC-8 check value
+
+
+def test_crc8_detects_single_bit_flip():
+    base = bytes([0x12, 0x34, 0x56])
+    flipped = bytes([0x12, 0x34, 0x57])
+    assert crc8(base) != crc8(flipped)
+
+
+@given(data=st.binary(max_size=32))
+def test_crc8_in_range(data):
+    assert 0 <= crc8(data) <= 0xFF
+
+
+class RegisterDevice(SmbusDevice):
+    """A simple register-file SMBus slave."""
+
+    def __init__(self, address):
+        super().__init__(address)
+        self.registers = {}
+        self.sent = []
+
+    def handle_write(self, command, data):
+        self.registers[command] = data
+        return True
+
+    def handle_read(self, command, length):
+        return self.registers.get(command, b"\x00" * length)[:length].ljust(
+            length, b"\x00"
+        )
+
+    def handle_send(self, command):
+        self.sent.append(command)
+        return True
+
+
+def make_smbus(use_pec=True):
+    bus = I2cBus()
+    device = RegisterDevice(0x40)
+    device.use_pec = use_pec
+    bus.attach(0x40, device)
+    return SmbusController(bus, use_pec=use_pec), device
+
+
+@pytest.mark.parametrize("use_pec", [True, False])
+def test_smbus_byte_round_trip(use_pec):
+    controller, device = make_smbus(use_pec)
+    controller.write_byte_data(0x40, 0x10, 0xAB)
+    assert controller.read_byte_data(0x40, 0x10) == 0xAB
+
+
+@pytest.mark.parametrize("use_pec", [True, False])
+def test_smbus_word_round_trip(use_pec):
+    controller, device = make_smbus(use_pec)
+    controller.write_word_data(0x40, 0x11, 0xBEEF)
+    assert controller.read_word_data(0x40, 0x11) == 0xBEEF
+
+
+def test_smbus_send_byte_invokes_action():
+    controller, device = make_smbus()
+    controller.send_byte(0x40, 0x03)
+    assert device.sent == [0x03]
+
+
+def test_pec_corruption_detected():
+    controller, device = make_smbus(use_pec=True)
+    controller.write_word_data(0x40, 0x11, 0x1234)
+
+    original = device.handle_read
+
+    def corrupted(command, length):
+        data = bytearray(original(command, length))
+        data[0] ^= 0x01
+        return bytes(data)
+
+    # Corrupt the data after the device computed... actually corrupt the
+    # stored register so data and PEC disagree at the controller.
+    device.handle_read = corrupted
+    # The device recomputes PEC over corrupted data, so to simulate a
+    # wire error, flip a bit in the PEC path instead:
+    device.handle_read = original
+    from repro.bmc import SmbusError
+    from repro.bmc.smbus import crc8 as _crc8
+
+    class WireCorruptingDevice(RegisterDevice):
+        def read_bytes(self, length):
+            data = bytearray(super().read_bytes(length))
+            data[-1] ^= 0xFF  # corrupt the PEC byte
+            return bytes(data)
+
+    bus = I2cBus()
+    bad = WireCorruptingDevice(0x41)
+    bus.attach(0x41, bad)
+    controller = SmbusController(bus, use_pec=True)
+    controller.write_word_data(0x41, 0x11, 0x1234)
+    with pytest.raises(SmbusError):
+        controller.read_word_data(0x41, 0x11)
+
+
+def test_block_write_size_limit():
+    controller, _ = make_smbus()
+    from repro.bmc import SmbusError
+
+    with pytest.raises(SmbusError):
+        controller.write_block_data(0x40, 0x12, bytes(33))

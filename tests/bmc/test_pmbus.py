@@ -1,0 +1,113 @@
+"""Tests for PMBus number formats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bmc import (
+    PmbusFormatError,
+    VOUT_MODE_DEFAULT,
+    linear11_decode,
+    linear11_encode,
+    linear16_decode,
+    linear16_encode,
+)
+from repro.bmc.pmbus import linear11_resolution
+
+
+def test_linear11_known_values():
+    # mantissa 1, exponent 0 -> 1.0
+    assert linear11_decode(0x0001) == 1.0
+    # mantissa -1 (0x7FF), exponent 0 -> -1.0
+    assert linear11_decode(0x07FF) == -1.0
+    # exponent -1 (0x1F << 11), mantissa 1 -> 0.5
+    assert linear11_decode((0x1F << 11) | 1) == 0.5
+
+
+def test_linear11_encode_decode_identity_exact():
+    for value in (0.0, 1.0, -1.0, 12.5, 150.0, 0.25, -40.0):
+        assert linear11_decode(linear11_encode(value)) == pytest.approx(value)
+
+
+def test_linear11_prefers_fine_exponent():
+    word = linear11_encode(1.0)
+    assert linear11_resolution(word) < 0.01
+
+
+def test_linear11_range_limits():
+    # Largest representable magnitude: 1023 * 2^15.
+    big = 1023 * 2.0**15
+    assert linear11_decode(linear11_encode(big)) == pytest.approx(big)
+    with pytest.raises(PmbusFormatError):
+        linear11_encode(big * 4)
+
+
+def test_linear11_word_range_check():
+    with pytest.raises(PmbusFormatError):
+        linear11_decode(0x10000)
+    with pytest.raises(PmbusFormatError):
+        linear11_decode(-1)
+
+
+@given(st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False))
+def test_linear11_round_trip_within_resolution(value):
+    word = linear11_encode(value)
+    decoded = linear11_decode(word)
+    assert abs(decoded - value) <= linear11_resolution(word) / 2 + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF))
+def test_linear11_decode_encode_stable(word):
+    """Decoding then re-encoding must not drift further."""
+    value = linear11_decode(word)
+    again = linear11_decode(linear11_encode(value))
+    assert again == pytest.approx(value, abs=1e-9)
+
+
+def test_linear16_round_trip():
+    for volts in (0.0, 0.85, 0.9, 1.2, 1.8, 3.3, 12.0):
+        word = linear16_encode(volts, VOUT_MODE_DEFAULT)
+        assert linear16_decode(word, VOUT_MODE_DEFAULT) == pytest.approx(
+            volts, abs=2.0**-12
+        )
+
+
+def test_linear16_resolution_is_quarter_millivolt():
+    # Exponent -12: steps of 1/4096 V.
+    w1 = linear16_encode(1.0, VOUT_MODE_DEFAULT)
+    assert linear16_decode(w1 + 1, VOUT_MODE_DEFAULT) - linear16_decode(
+        w1, VOUT_MODE_DEFAULT
+    ) == pytest.approx(2.0**-12)
+
+
+def test_linear16_rejects_negative():
+    with pytest.raises(PmbusFormatError):
+        linear16_encode(-0.1, VOUT_MODE_DEFAULT)
+
+
+def test_linear16_rejects_overrange():
+    with pytest.raises(PmbusFormatError):
+        linear16_encode(17.0, VOUT_MODE_DEFAULT)  # > 65535/4096
+
+
+def test_linear16_rejects_non_linear_mode():
+    with pytest.raises(PmbusFormatError):
+        linear16_decode(0x1000, 0x40)  # VID mode
+    with pytest.raises(PmbusFormatError):
+        linear16_encode(1.0, 0x40)
+
+
+@given(st.floats(min_value=0.0, max_value=15.9, allow_nan=False))
+def test_linear16_round_trip_property(volts):
+    word = linear16_encode(volts, VOUT_MODE_DEFAULT)
+    assert abs(linear16_decode(word, VOUT_MODE_DEFAULT) - volts) <= 2.0**-13 + 1e-12
+
+
+@given(
+    a=st.floats(min_value=0.0, max_value=15.0, allow_nan=False),
+    b=st.floats(min_value=0.0, max_value=15.0, allow_nan=False),
+)
+def test_linear16_monotone(a, b):
+    wa = linear16_encode(a, VOUT_MODE_DEFAULT)
+    wb = linear16_encode(b, VOUT_MODE_DEFAULT)
+    if a < b - 2.0**-11:
+        assert wa < wb

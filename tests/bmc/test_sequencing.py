@@ -1,0 +1,131 @@
+"""Tests for declarative power sequencing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bmc import (
+    ALL_RAILS,
+    RailRequirement,
+    SequencingError,
+    power_down_order,
+    solve_sequence,
+    verify_sequence,
+)
+
+
+def test_simple_chain():
+    reqs = [
+        RailRequirement("a"),
+        RailRequirement("b", after=("a",)),
+        RailRequirement("c", after=("b",)),
+    ]
+    assert solve_sequence(reqs) == ["a", "b", "c"]
+
+
+def test_diamond_dependency():
+    reqs = [
+        RailRequirement("root"),
+        RailRequirement("left", after=("root",)),
+        RailRequirement("right", after=("root",)),
+        RailRequirement("sink", after=("left", "right")),
+    ]
+    order = solve_sequence(reqs)
+    verify_sequence(order, reqs)
+    assert order[0] == "root"
+    assert order[-1] == "sink"
+
+
+def test_solver_is_deterministic():
+    reqs = [RailRequirement(n) for n in ("z", "m", "a")]
+    assert solve_sequence(reqs) == ["a", "m", "z"]
+    assert solve_sequence(reversed(reqs)) == ["a", "m", "z"]
+
+
+def test_cycle_detected():
+    reqs = [
+        RailRequirement("a", after=("b",)),
+        RailRequirement("b", after=("a",)),
+    ]
+    with pytest.raises(SequencingError, match="cycle"):
+        solve_sequence(reqs)
+
+
+def test_unknown_dependency_detected():
+    with pytest.raises(SequencingError, match="unknown"):
+        solve_sequence([RailRequirement("a", after=("ghost",))])
+
+
+def test_duplicate_rail_detected():
+    with pytest.raises(SequencingError, match="duplicate"):
+        solve_sequence([RailRequirement("a"), RailRequirement("a")])
+
+
+def test_self_dependency_rejected_at_declaration():
+    with pytest.raises(ValueError):
+        RailRequirement("a", after=("a",))
+
+
+def test_negative_settle_rejected():
+    with pytest.raises(ValueError):
+        RailRequirement("a", settle_ms=-1)
+
+
+def test_verify_accepts_solver_output_for_enzian():
+    order = solve_sequence(ALL_RAILS)
+    verify_sequence(order, ALL_RAILS)
+    assert len(order) == len(ALL_RAILS)
+
+
+def test_verify_rejects_wrong_order():
+    reqs = [RailRequirement("a"), RailRequirement("b", after=("a",))]
+    with pytest.raises(SequencingError, match="prerequisite"):
+        verify_sequence(["b", "a"], reqs)
+
+
+def test_verify_rejects_missing_rail():
+    reqs = [RailRequirement("a"), RailRequirement("b")]
+    with pytest.raises(SequencingError, match="omits"):
+        verify_sequence(["a"], reqs)
+
+
+def test_verify_rejects_unknown_rail():
+    with pytest.raises(SequencingError, match="unknown"):
+        verify_sequence(["a", "x"], [RailRequirement("a")])
+
+
+def test_verify_rejects_duplicates():
+    with pytest.raises(SequencingError, match="repeats"):
+        verify_sequence(["a", "a"], [RailRequirement("a")])
+
+
+def test_power_down_is_reverse():
+    order = solve_sequence(ALL_RAILS)
+    assert power_down_order(order) == order[::-1]
+
+
+def test_enzian_standby_comes_first_core_rails_late():
+    order = solve_sequence(ALL_RAILS)
+    assert order[0] == "12V_SB"
+    assert order.index("VDD_CORE") > order.index("12V_MAIN")
+    assert order.index("VTT_DDRCPU01") > order.index("VDD_DDRCPU01")
+    assert order.index("MGTAVTT") > order.index("MGTAVCC")
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    names = [f"r{i}" for i in range(n)]
+    reqs = []
+    for i, name in enumerate(names):
+        # Only depend on earlier rails: guarantees acyclicity.
+        deps = draw(
+            st.lists(st.sampled_from(names[:i]) if i else st.nothing(), max_size=3, unique=True)
+        ) if i else []
+        reqs.append(RailRequirement(name, after=tuple(deps)))
+    return reqs
+
+
+@given(random_dags())
+def test_solver_output_always_verifies(reqs):
+    order = solve_sequence(reqs)
+    verify_sequence(order, reqs)

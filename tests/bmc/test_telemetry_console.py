@@ -1,0 +1,114 @@
+"""Tests for the telemetry service and console mux."""
+
+import pytest
+
+from repro.bmc import Phase, PowerManager, PowerSample, PowerTrace, TelemetryService
+from repro.bmc.console import ConsoleMux, Uart
+
+
+def test_sampling_period_respected():
+    manager = PowerManager()
+    telemetry = TelemetryService(manager, sample_period_ms=20.0)
+    telemetry.run_phases([Phase("idle", duration_s=1.0)])
+    times = telemetry.trace("CPU").times
+    assert len(times) == pytest.approx(50, abs=2)
+    deltas = [b - a for a, b in zip(times, times[1:])]
+    assert all(d == pytest.approx(0.02, abs=1e-9) for d in deltas)
+
+
+def test_power_step_visible_in_trace():
+    manager = PowerManager()
+    telemetry = TelemetryService(manager)
+    telemetry.run_phases(
+        [
+            Phase("off", duration_s=0.5),
+            Phase("common", duration_s=0.5, action=manager.common_power_up),
+            Phase("cpu-on", duration_s=0.5, action=manager.cpu_power_up),
+            Phase(
+                "cpu-load",
+                duration_s=0.5,
+                action=lambda: manager.loads.set_demand("VDD_CORE", 80.0),
+            ),
+        ]
+    )
+    cpu = telemetry.trace("CPU")
+    t0, t1 = telemetry.phase_window("off")
+    assert cpu.mean_watts(t0, t1) == 0.0
+    t0, t1 = telemetry.phase_window("cpu-on")
+    idle = cpu.mean_watts(t0 + 0.1, t1)
+    assert idle > 0
+    t0, t1 = telemetry.phase_window("cpu-load")
+    loaded = cpu.mean_watts(t0 + 0.1, t1)
+    assert loaded > idle + 50.0
+
+
+def test_during_callback_drives_evolving_load():
+    manager = PowerManager()
+    manager.common_power_up()
+    manager.fpga_power_up()
+    telemetry = TelemetryService(manager)
+
+    def ramp(elapsed):
+        manager.loads.set_demand("VCCINT", 100.0 * elapsed)
+
+    telemetry.run_phases([Phase("ramp", duration_s=1.0, during=ramp)])
+    watts = telemetry.trace("FPGA").watts
+    assert watts[-1] > watts[len(watts) // 2] > watts[2]
+
+
+def test_trace_helpers():
+    trace = PowerTrace("x")
+    trace.samples = [PowerSample(0.0, 1.0, 1.0), PowerSample(1.0, 1.0, 3.0)]
+    assert trace.peak_watts() == 3.0
+    assert trace.energy_j() == pytest.approx(2.0)  # trapezoid of 1->3 W over 1 s
+    assert trace.mean_watts() == 2.0
+
+
+def test_phase_window_missing():
+    manager = PowerManager()
+    telemetry = TelemetryService(manager)
+    with pytest.raises(KeyError):
+        telemetry.phase_window("nope")
+
+
+def test_invalid_sample_period():
+    with pytest.raises(ValueError):
+        TelemetryService(PowerManager(), sample_period_ms=0)
+
+
+def test_console_mux_select_and_history():
+    mux = ConsoleMux()
+    bmc = mux.select("bmc")
+    bmc.emit("OpenBMC ready")
+    assert mux.selected is bmc
+    cpu = mux.select("cpu0")
+    cpu.emit("BDK boot menu")
+    assert mux.selected.history() == ["BDK boot menu"]
+    assert bmc.history() == ["OpenBMC ready"]
+
+
+def test_console_unknown_name():
+    mux = ConsoleMux()
+    with pytest.raises(KeyError):
+        mux.select("cpu9")
+
+
+def test_console_attach_extra():
+    mux = ConsoleMux()
+    extra = mux.attach("fmc-debug")
+    extra.emit("hi")
+    assert mux.select("fmc-debug").history() == ["hi"]
+    with pytest.raises(KeyError):
+        mux.attach("fmc-debug")
+
+
+def test_uart_input_queue_and_history_bound():
+    uart = Uart("u", history_lines=3)
+    for i in range(5):
+        uart.emit(f"line{i}")
+    assert uart.history() == ["line2", "line3", "line4"]
+    uart.send("B")
+    assert uart.pending_input() == "B"
+    assert uart.pending_input() is None
+    with pytest.raises(ValueError):
+        Uart("bad", history_lines=0)

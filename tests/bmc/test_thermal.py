@@ -1,0 +1,86 @@
+"""Tests for the thermal model and fan control loop."""
+
+import pytest
+
+from repro.bmc.thermal import (
+    FanController,
+    ThermalNode,
+    ThermalParams,
+    ThermalZone,
+    enzian_thermal_zone,
+)
+
+
+def test_node_warms_toward_steady_state():
+    node = ThermalNode("cpu")
+    for _ in range(2000):
+        node.step(power_w=100.0, fan_fraction=0.5, dt_s=1.0)
+    expected = node.params.ambient_c + 100.0 * node.params.theta(0.5)
+    assert node.temperature_c == pytest.approx(expected, abs=0.5)
+
+
+def test_idle_node_stays_ambient():
+    node = ThermalNode("cpu")
+    node.step(power_w=0.0, fan_fraction=0.2, dt_s=10.0)
+    assert node.temperature_c == pytest.approx(node.params.ambient_c, abs=0.01)
+
+
+def test_more_airflow_means_cooler():
+    still = ThermalNode("a")
+    breezy = ThermalNode("b")
+    for _ in range(500):
+        still.step(100.0, 0.0, 1.0)
+        breezy.step(100.0, 1.0, 1.0)
+    assert breezy.temperature_c < still.temperature_c - 10.0
+
+
+def test_theta_validation():
+    params = ThermalParams()
+    with pytest.raises(ValueError):
+        params.theta(1.5)
+    node = ThermalNode("x")
+    with pytest.raises(ValueError):
+        node.step(10.0, 0.5, 0.0)
+
+
+def test_fan_controller_reacts_to_overheat():
+    controller = FanController(setpoint_c=70.0)
+    cool = controller.update(50.0, 1.0)
+    hot = controller.update(90.0, 1.0)
+    assert hot > cool
+    assert controller.min_fraction <= hot <= 1.0
+
+
+def test_fan_never_stops():
+    controller = FanController()
+    for _ in range(100):
+        fraction = controller.update(20.0, 1.0)
+    assert fraction == controller.min_fraction
+
+
+def test_zone_holds_setpoint_under_load():
+    """The control loop keeps the hottest die near the setpoint."""
+    zone = enzian_thermal_zone()
+    zone.run({"cpu": 95.0, "fpga": 110.0}, duration_s=4000.0, dt_s=1.0)
+    setpoint = zone.controller.setpoint_c
+    assert abs(zone.hottest_c - setpoint) < 6.0
+
+
+def test_zone_fan_scales_with_load():
+    light = enzian_thermal_zone()
+    light.run({"cpu": 30.0, "fpga": 20.0}, duration_s=2000.0, dt_s=1.0)
+    heavy = enzian_thermal_zone()
+    heavy.run({"cpu": 120.0, "fpga": 150.0}, duration_s=2000.0, dt_s=1.0)
+    assert heavy.controller.fraction > light.controller.fraction
+
+
+def test_zone_history_recorded():
+    zone = enzian_thermal_zone()
+    zone.run({"cpu": 50.0}, duration_s=10.0, dt_s=1.0)
+    assert len(zone.history) == 10
+    assert all("fan" in record and "cpu" in record for record in zone.history)
+
+
+def test_zone_needs_nodes():
+    with pytest.raises(ValueError):
+        ThermalZone([])

@@ -1,0 +1,100 @@
+"""Tests for the BDK: memory diagnostics and ECI bring-up."""
+
+import pytest
+
+from repro.boot import Bdk, EciLinkState, SimulatedDram
+
+
+def make_bdk(size=4096):
+    return Bdk(SimulatedDram(size))
+
+
+def test_healthy_dram_passes_everything():
+    bdk = make_bdk()
+    assert bdk.dram_check().passed
+    assert bdk.data_bus_test().passed
+    assert bdk.address_bus_test().passed
+    assert bdk.memtest_marching_rows(row_bytes=256).passed
+    assert bdk.memtest_random().passed
+    assert bdk.all_passed()
+
+
+def test_results_have_durations():
+    bdk = make_bdk()
+    bdk.memtest_random()
+    result = bdk.results[-1]
+    assert result.duration_s > 0
+
+
+def test_stuck_data_bit_caught_by_data_bus_test():
+    dram = SimulatedDram(4096)
+    dram.stuck_bits[0] = 0x04  # bit 2 stuck at 1 at address 0
+    bdk = Bdk(dram)
+    result = bdk.data_bus_test(addr=0)
+    assert not result.passed
+    assert "data_bus" in result.detail
+
+
+def test_stuck_bit_elsewhere_caught_by_marching_rows():
+    dram = SimulatedDram(4096)
+    dram.stuck_bits[1234] = 0x01
+    bdk = Bdk(dram)
+    assert bdk.data_bus_test(addr=0).passed  # wrong address: not visible
+    assert not bdk.memtest_marching_rows(row_bytes=256).passed
+
+
+def test_address_aliasing_caught_by_address_bus_test():
+    dram = SimulatedDram(4096)
+    dram.address_alias_mask = 1 << 8  # address bit 8 shorted low
+    bdk = Bdk(dram)
+    result = bdk.address_bus_test()
+    assert not result.passed
+    assert "aliasing" in result.detail
+
+
+def test_random_memtest_catches_aliasing_too():
+    dram = SimulatedDram(2048)
+    dram.address_alias_mask = 1 << 6
+    bdk = Bdk(dram)
+    assert not bdk.memtest_random().passed
+
+
+def test_dram_bounds_checked():
+    dram = SimulatedDram(64)
+    with pytest.raises(IndexError):
+        dram.read(64)
+    with pytest.raises(ValueError):
+        SimulatedDram(4)
+
+
+def test_eci_lane_configurations():
+    link = EciLinkState()
+    link.configure(lanes=4, speed_gbps=10.0)  # the bring-up configuration
+    assert not link.trained
+    with pytest.raises(ValueError):
+        link.configure(lanes=5, speed_gbps=10.0)
+    with pytest.raises(ValueError):
+        link.configure(lanes=4, speed_gbps=20.0)
+
+
+def test_eci_training_requires_remote_shell():
+    bdk = make_bdk()
+    assert not bdk.bring_up_eci(fpga_shell_ready=False)
+    assert bdk.eci.bandwidth_gbps == 0.0
+    assert bdk.bring_up_eci(fpga_shell_ready=True)
+    assert bdk.eci.bandwidth_gbps == pytest.approx(240.0)
+
+
+def test_eci_degraded_bandwidth():
+    bdk = make_bdk()
+    bdk.bring_up_eci(fpga_shell_ready=True, lanes=4, speed_gbps=5.0)
+    assert bdk.eci.bandwidth_gbps == pytest.approx(20.0)
+
+
+def test_console_logging():
+    from repro.bmc.console import Uart
+
+    uart = Uart("cpu0")
+    bdk = Bdk(SimulatedDram(1024), console=uart)
+    bdk.dram_check()
+    assert any("dram_check" in line for line in uart.history())

@@ -1,0 +1,92 @@
+"""Tests for device-tree generation and the firmware chain."""
+
+import pytest
+
+from repro.bmc import BoardClock
+from repro.boot import (
+    BootError,
+    BootStage,
+    EnzianTopology,
+    FirmwareChain,
+    NumaNodeDesc,
+    enzian_topology,
+    parse_numa_nodes,
+    render_dts,
+    standard_stages,
+)
+
+
+def test_topology_asymmetry_enforced():
+    with pytest.raises(ValueError):
+        EnzianTopology(
+            cpu_node=NumaNodeDesc(0, 0, 0, 1 << 30),
+            fpga_node=NumaNodeDesc(1, 0, 1 << 40, 0),
+        ).validate()
+    with pytest.raises(ValueError):
+        EnzianTopology(
+            cpu_node=NumaNodeDesc(0, 48, 0, 1 << 30),
+            fpga_node=NumaNodeDesc(1, 4, 1 << 40, 0),
+        ).validate()
+
+
+def test_dts_renders_48_cpus_on_node0_only():
+    dts = render_dts(enzian_topology())
+    nodes = parse_numa_nodes(dts)
+    assert nodes[0]["cpus"] == 48
+    assert nodes[1]["cpus"] == 0
+
+
+def test_dts_memory_on_both_nodes_by_default():
+    nodes = parse_numa_nodes(render_dts(enzian_topology()))
+    assert nodes[0]["memory_regions"] == 1
+    assert nodes[1]["memory_regions"] == 1
+
+
+def test_dts_fpga_memory_can_be_hidden():
+    """'the other may or may not appear to have memory' (§4.4)."""
+    dts = render_dts(enzian_topology(expose_fpga_memory=False))
+    nodes = parse_numa_nodes(dts)
+    # Node 1 contributes no memory node at all in this configuration.
+    assert nodes.get(1, {"memory_regions": 0})["memory_regions"] == 0
+
+
+def test_dts_has_numa_distance_map():
+    dts = render_dts(enzian_topology())
+    assert "numa-distance-map-v1" in dts
+    assert dts.startswith("/dts-v1/;")
+
+
+def test_dts_64bit_reg_cells():
+    dts = render_dts(enzian_topology())
+    # FPGA memory base is 1 << 40: high cell 0x100, low cell 0x0.
+    assert "0x100 0x0" in dts
+
+
+def test_firmware_chain_timeline():
+    clock = BoardClock()
+    chain = FirmwareChain(clock)
+    chain.run_stage(BootStage("a", duration_s=1.0))
+    chain.run_stage(BootStage("b", duration_s=2.0))
+    assert chain.timeline() == [("a", 0.0, 1.0), ("b", 1.0, 3.0)]
+
+
+def test_stage_check_failure():
+    clock = BoardClock()
+    chain = FirmwareChain(clock)
+    stage = BootStage("bad", duration_s=1.0, check=lambda: "nope")
+    with pytest.raises(BootError, match="nope"):
+        chain.run_stage(stage)
+    assert chain.records == []
+
+
+def test_standard_stages_gate_on_eci_and_dram():
+    stages = standard_stages(eci_trained=lambda: False, dram_ok=lambda: True)
+    clock = BoardClock()
+    chain = FirmwareChain(clock)
+    chain.run_stage(stages[0])  # ATF ok: DRAM fine
+    with pytest.raises(BootError, match="NUMA"):
+        chain.run_stage(stages[1])  # UEFI needs the second node
+
+    stages = standard_stages(eci_trained=lambda: True, dram_ok=lambda: False)
+    with pytest.raises(BootError, match="DRAM"):
+        FirmwareChain(BoardClock()).run_stage(stages[0])

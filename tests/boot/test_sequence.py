@@ -1,0 +1,75 @@
+"""Tests for the full power-on orchestration."""
+
+import pytest
+
+from repro.bmc import PowerManager
+from repro.boot import BootError, BootOrchestrator
+from repro.fpga import Bitstream, FabricResources
+
+
+def make_orchestrator():
+    return BootOrchestrator(PowerManager(), dram_bytes=4096)
+
+
+def test_full_boot_reaches_linux():
+    boot = make_orchestrator()
+    timeline = boot.power_on_to_linux()
+    assert boot.linux_running
+    names = timeline.names()
+    # The §4.4 ordering: BMC, power, FPGA image, CPU, BDK, ECI, firmware.
+    assert names.index("bmc-ready") < names.index("common-power")
+    assert names.index("common-power") < names.index("fpga-programmed")
+    assert names.index("fpga-programmed") < names.index("cpu-power")
+    assert names.index("cpu-power") < names.index("eci-up")
+    assert names.index("eci-up") < names.index("linux")
+
+
+def test_timeline_timestamps_monotone():
+    boot = make_orchestrator()
+    timeline = boot.power_on_to_linux()
+    stamps = [t for t, _ in timeline.milestones]
+    assert stamps == sorted(stamps)
+    assert timeline.time_of("linux") > timeline.time_of("bmc-ready")
+
+
+def test_skipping_fpga_program_fails_eci_training():
+    """The shell must be loaded before the CPU boots (§4.5)."""
+    boot = make_orchestrator()
+    boot.bmc_boot()
+    boot.common_power_up()
+    boot.power.fpga_power_up()  # power, but no bitstream
+    boot.cpu_power_up()
+    assert not boot.run_bdk()
+    assert "eci-down" in boot.timeline.names()
+    with pytest.raises(BootError):
+        boot.boot_to_linux()
+
+
+def test_non_shell_bitstream_fails_training():
+    boot = make_orchestrator()
+    boot.bmc_boot()
+    boot.common_power_up()
+    app_only = Bitstream("app", FabricResources(luts=1000), clock_mhz=250.0)
+    boot.fpga_power_and_program(app_only)
+    boot.cpu_power_up()
+    assert not boot.run_bdk()
+
+
+def test_device_tree_generated_at_linux_boot():
+    boot = make_orchestrator()
+    boot.power_on_to_linux()
+    assert "numa-node-id" in boot.device_tree
+
+
+def test_consoles_carry_boot_messages():
+    boot = make_orchestrator()
+    boot.power_on_to_linux()
+    assert any("BDK" in line for line in boot.consoles.uarts["cpu0"].history())
+    assert any("bitstream" in line for line in boot.consoles.uarts["fpga"].history())
+    assert any("OpenBMC" in line for line in boot.consoles.uarts["bmc"].history())
+
+
+def test_milestone_lookup_missing():
+    boot = make_orchestrator()
+    with pytest.raises(KeyError):
+        boot.timeline.time_of("nothing")

@@ -1,0 +1,119 @@
+"""Tests for the console command interpreters."""
+
+import pytest
+
+from repro.bmc import PowerManager
+from repro.boot import BootOrchestrator
+from repro.boot.shell_commands import (
+    CommandError,
+    CommandShell,
+    make_bdk_shell,
+    make_bmc_shell,
+)
+
+
+def make_boot():
+    return BootOrchestrator(PowerManager(), dram_bytes=4096)
+
+
+def test_help_lists_commands():
+    boot = make_boot()
+    shell = make_bmc_shell(boot)
+    output = shell.execute("help")
+    assert "print_current_all" in output
+    assert "cpu_power_up" in output
+
+
+def test_unknown_command_raises_and_logs():
+    boot = make_boot()
+    shell = make_bmc_shell(boot)
+    with pytest.raises(CommandError):
+        shell.execute("frobnicate")
+    assert any("unknown command" in line for line in boot.consoles.uarts["bmc"].history())
+
+
+def test_power_workflow_through_console():
+    """The artifact's workflow, typed at the consoles."""
+    boot = make_boot()
+    bmc = make_bmc_shell(boot)
+    bmc.execute("common_power_up")
+    bmc.execute("fpga_power_up")
+    bmc.execute("cpu_power_up")
+    report = bmc.execute("print_current_all")
+    assert "VDD_CORE" in report
+    rail = bmc.execute("read_rail VDD_CORE")
+    assert "V" in rail and "A" in rail
+
+
+def test_read_rail_validation():
+    boot = make_boot()
+    shell = make_bmc_shell(boot)
+    with pytest.raises(CommandError, match="usage"):
+        shell.execute("read_rail")
+    with pytest.raises(CommandError, match="no rail"):
+        shell.execute("read_rail NOPE")
+
+
+def test_cpu_power_up_without_common_reports_error():
+    boot = make_boot()
+    shell = make_bmc_shell(boot)
+    with pytest.raises(CommandError):
+        shell.execute("cpu_power_up")
+
+
+def test_bdk_diagnostics_via_console():
+    boot = make_boot()
+    shell = make_bdk_shell(boot)
+    assert "PASS" in shell.execute("dram_check")
+    assert "PASS" in shell.execute("data_bus_test")
+    assert "PASS" in shell.execute("memtest_random")
+
+
+def test_bdk_eci_needs_bitstream():
+    boot = make_boot()
+    boot.bmc_boot()
+    boot.common_power_up()
+    shell = make_bdk_shell(boot)
+    assert "DOWN" in shell.execute("eci")
+    boot.fpga_power_and_program()
+    assert "trained" in shell.execute("eci")
+    assert "trained" in shell.execute("eci 4 5.0")
+
+
+def test_full_boot_via_consoles():
+    boot = make_boot()
+    bmc = make_bmc_shell(boot)
+    bdk = make_bdk_shell(boot)
+    boot.bmc_boot()
+    bmc.execute("common_power_up")
+    boot.fpga_power_and_program()
+    bmc.execute("cpu_power_up")
+    bdk.execute("dram_check")
+    bdk.execute("eci")
+    bdk.execute("boot")
+    assert boot.linux_running
+
+
+def test_pending_input_drained():
+    boot = make_boot()
+    shell = make_bmc_shell(boot)
+    uart = boot.consoles.uarts["bmc"]
+    uart.send("common_power_up")
+    uart.send("print_current_all")
+    outputs = shell.run_pending()
+    assert len(outputs) == 2
+    assert "12V_MAIN" in outputs[1]
+
+
+def test_duplicate_registration_rejected():
+    boot = make_boot()
+    shell = make_bmc_shell(boot)
+    with pytest.raises(CommandError):
+        shell.register("cpu_power_up", lambda args: "")
+
+
+def test_commands_echoed_with_prompt():
+    boot = make_boot()
+    shell = make_bmc_shell(boot)
+    shell.execute("help")
+    assert any(line.startswith("bmc# help") for line in boot.consoles.uarts["bmc"].history())

@@ -1,0 +1,135 @@
+"""Tests for smart disaggregated memory with operator push-down."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import (
+    PAGE_BYTES,
+    ROWS_PER_PAGE,
+    BufferCacheClient,
+    DisaggError,
+    MemoryServer,
+    traffic_savings,
+)
+
+
+def make_loaded_server(n_pages=4, seed=0):
+    server = MemoryServer(capacity_pages=64)
+    rng = np.random.default_rng(seed)
+    pages = {}
+    for page_id in range(n_pages):
+        rows = rng.integers(0, 1000, size=ROWS_PER_PAGE, dtype=np.int64)
+        server.write_page(page_id, rows)
+        pages[page_id] = rows
+    return server, pages
+
+
+def test_page_round_trip():
+    server, pages = make_loaded_server()
+    assert np.array_equal(server.read_page(0), pages[0])
+
+
+def test_unwritten_page_reads_zero():
+    server = MemoryServer(capacity_pages=4)
+    assert server.read_page(3).sum() == 0
+
+
+def test_page_bounds_and_size_validation():
+    server = MemoryServer(capacity_pages=4)
+    with pytest.raises(DisaggError):
+        server.read_page(4)
+    with pytest.raises(DisaggError):
+        server.write_page(0, np.zeros(10, dtype=np.int64))
+
+
+def test_pushdown_filter_matches_local_filter():
+    server, pages = make_loaded_server()
+    client = BufferCacheClient(server)
+    for page_id in pages:
+        local = client.filter_local(page_id, 100, 300)
+        pushed = client.filter_pushdown(page_id, 100, 300)
+        assert np.array_equal(np.sort(local), np.sort(pushed))
+
+
+def test_pushdown_aggregates_match_numpy():
+    server, pages = make_loaded_server()
+    client = BufferCacheClient(server)
+    assert client.aggregate_pushdown(0, "sum") == int(pages[0].sum())
+    assert client.aggregate_pushdown(0, "min") == int(pages[0].min())
+    assert client.aggregate_pushdown(0, "max") == int(pages[0].max())
+    assert client.aggregate_pushdown(0, "count") == ROWS_PER_PAGE
+
+
+def test_unknown_aggregate_rejected():
+    server, _ = make_loaded_server(1)
+    with pytest.raises(DisaggError):
+        server.pushdown_aggregate(0, "median")
+
+
+def test_pushdown_moves_fewer_bytes_for_selective_queries():
+    server, _ = make_loaded_server()
+    classic = BufferCacheClient(server)
+    classic.filter_local(0, 0, 50)  # ~5% selectivity
+    pushed = BufferCacheClient(server)
+    pushed.filter_pushdown(0, 0, 50)
+    assert pushed.stats["bytes_moved"] < classic.stats["bytes_moved"] / 5
+
+
+def test_cache_hits_avoid_refetch():
+    server, _ = make_loaded_server()
+    client = BufferCacheClient(server, cache_pages=2)
+    client.get_page(0)
+    client.get_page(0)
+    assert client.stats == {
+        "hits": 1,
+        "misses": 1,
+        "bytes_moved": PAGE_BYTES,
+    }
+
+
+def test_cache_eviction_lru():
+    server, _ = make_loaded_server(4)
+    client = BufferCacheClient(server, cache_pages=2)
+    client.get_page(0)
+    client.get_page(1)
+    client.get_page(2)  # evicts 0
+    client.get_page(0)
+    assert client.stats["misses"] == 4
+
+
+def test_invalidate_forces_refetch():
+    server, _ = make_loaded_server(1)
+    client = BufferCacheClient(server)
+    client.get_page(0)
+    client.invalidate(0)
+    client.get_page(0)
+    assert client.stats["misses"] == 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MemoryServer(capacity_pages=0)
+    with pytest.raises(ValueError):
+        BufferCacheClient(MemoryServer(), cache_pages=0)
+    with pytest.raises(ValueError):
+        traffic_savings(1.5)
+
+
+@given(selectivity=st.floats(min_value=0.0, max_value=1.0))
+def test_traffic_savings_model(selectivity):
+    ratio = traffic_savings(selectivity)
+    assert 0 < ratio <= 1.0 + 16 / PAGE_BYTES
+    # Monotone in selectivity.
+    assert traffic_savings(min(1.0, selectivity + 0.1)) >= ratio - 1e-12
+
+
+@given(
+    low=st.integers(min_value=0, max_value=999),
+    span=st.integers(min_value=0, max_value=999),
+)
+def test_pushdown_filter_property(low, span):
+    server, pages = make_loaded_server(1, seed=42)
+    result = server.pushdown_filter(0, low, low + span)
+    expected = pages[0][(pages[0] >= low) & (pages[0] < low + span)]
+    assert np.array_equal(np.sort(result.payload), np.sort(expected))

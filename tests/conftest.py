@@ -1,0 +1,15 @@
+"""Suite-wide configuration: deterministic property testing.
+
+Hypothesis is derandomized so the suite is reproducible run-to-run
+(the randomized protocol workloads already use explicit seeds).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

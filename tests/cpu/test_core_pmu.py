@@ -1,0 +1,125 @@
+"""Tests for the core timing model and PMU."""
+
+import pytest
+
+from repro.cpu import (
+    CoreParams,
+    InOrderCore,
+    PmuCounters,
+    PmuReport,
+    ThunderXSoC,
+    ThunderXSpec,
+    WorkloadSlice,
+)
+
+
+def test_pmu_counters_monotonic():
+    pmu = PmuCounters()
+    pmu.add("cycles", 100)
+    pmu.add("cycles", 50)
+    assert pmu.read("cycles") == 150
+    with pytest.raises(ValueError):
+        pmu.add("cycles", -1)
+
+
+def test_pmu_snapshot_delta():
+    pmu = PmuCounters()
+    pmu.add("cycles", 10)
+    snap = pmu.snapshot()
+    pmu.add("cycles", 5)
+    pmu.add("l1_refills", 2)
+    delta = pmu.delta_since(snap)
+    assert delta["cycles"] == 5
+    assert delta["l1_refills"] == 2
+
+
+def test_pmu_report_derived_metrics():
+    report = PmuReport(
+        cycles=1000, instructions_retired=800, memory_stall_cycles=25, l1_refills=4
+    )
+    assert report.memory_stalls_per_cycle == pytest.approx(0.025)
+    assert report.cycles_per_l1_refill == pytest.approx(250.0)
+    assert report.ipc == pytest.approx(0.8)
+
+
+def test_pmu_report_zero_division_guards():
+    report = PmuReport(0, 0, 0, 0)
+    assert report.memory_stalls_per_cycle == 0.0
+    assert report.cycles_per_l1_refill == float("inf")
+
+
+def test_pure_compute_has_no_stalls():
+    core = InOrderCore()
+    result = core.execute(WorkloadSlice(instructions=1600, l1_accesses=0, l1_miss_rate=0))
+    assert result.stall_cycles == 0
+    assert result.cycles == pytest.approx(1000.0)  # 1600 / 1.6 IPC
+
+
+def test_remote_refills_cost_more_than_local():
+    params = CoreParams()
+    local_core = InOrderCore(params)
+    remote_core = InOrderCore(params)
+    local = local_core.execute(
+        WorkloadSlice(instructions=100, l1_accesses=100, l1_miss_rate=0.1,
+                      l2_local_fraction=1.0)
+    )
+    remote = remote_core.execute(
+        WorkloadSlice(instructions=100, l1_accesses=100, l1_miss_rate=0.1,
+                      l2_local_fraction=0.0)
+    )
+    assert remote.stall_cycles > local.stall_cycles * 3
+
+
+def test_pmu_updated_by_execution():
+    core = InOrderCore()
+    core.execute(
+        WorkloadSlice(instructions=1000, l1_accesses=500, l1_miss_rate=0.2)
+    )
+    assert core.pmu.read("instructions_retired") == 1000
+    assert core.pmu.read("l1_refills") == 100
+    report = PmuReport.from_counters(core.pmu)
+    assert report.memory_stalls_per_cycle > 0
+
+
+def test_workload_slice_validation():
+    with pytest.raises(ValueError):
+        WorkloadSlice(instructions=1, l1_accesses=1, l1_miss_rate=1.5)
+    with pytest.raises(ValueError):
+        WorkloadSlice(instructions=1, l1_accesses=1, l1_miss_rate=0.5,
+                      l2_local_fraction=-0.1)
+
+
+def test_core_params_validation():
+    with pytest.raises(ValueError):
+        CoreParams(freq_ghz=0)
+
+
+def test_cycle_time():
+    core = InOrderCore(CoreParams(freq_ghz=2.0))
+    assert core.cycles_to_ns(2000) == pytest.approx(1000.0)
+
+
+def test_thunderx_spec_defaults():
+    spec = ThunderXSpec()
+    assert spec.n_cores == 48
+    assert spec.core.freq_ghz == 2.0
+    assert spec.aggregate_ghz == pytest.approx(96.0)
+    assert spec.l2.size_bytes == 16 * 1024 * 1024
+    assert spec.nic_ports_40g == 2
+
+
+def test_soc_aggregates_pmus():
+    soc = ThunderXSoC()
+    assert len(soc.cores) == 48
+    work = WorkloadSlice(instructions=100, l1_accesses=10, l1_miss_rate=0.1)
+    for core in soc.cores[:4]:
+        core.execute(work)
+    totals = soc.pmu_totals()
+    assert totals["instructions_retired"] == 400
+    soc.reset_pmus()
+    assert soc.pmu_totals()["instructions_retired"] == 0
+
+
+def test_soc_dram_capacity():
+    soc = ThunderXSoC()
+    assert soc.dram.capacity_gib == 128

@@ -1,0 +1,112 @@
+"""Tests for the on-die match-action table."""
+
+import pytest
+
+from repro.cpu.matchaction import (
+    Action,
+    Match,
+    MatchActionTable,
+    TableError,
+)
+
+
+def fwd(port):
+    return Action("forward", port=port)
+
+
+def test_exact_match_forwarding():
+    table = MatchActionTable()
+    table.add_rule(10, [Match("dst_ip", 0x0A000001)], [fwd(3)])
+    verdict = table.classify({"dst_ip": 0x0A000001})
+    assert verdict.action == "forward"
+    assert verdict.port == 3
+
+
+def test_no_match_goes_to_default_port():
+    table = MatchActionTable(default_port=7)
+    verdict = table.classify({"dst_ip": 0x01020304})
+    assert verdict.action == "default"
+    assert verdict.port == 7
+    assert table.stats["defaulted"] == 1
+
+
+def test_ternary_mask_prefix_match():
+    table = MatchActionTable()
+    # 10.0.0.0/8
+    table.add_rule(5, [Match("dst_ip", 0x0A000000, mask=0xFF000000)], [fwd(1)])
+    assert table.classify({"dst_ip": 0x0A123456}).port == 1
+    assert table.classify({"dst_ip": 0x0B123456}).action == "default"
+
+
+def test_priority_wins_over_order():
+    table = MatchActionTable()
+    table.add_rule(1, [Match("proto", 6, mask=0xFF)], [fwd(1)])
+    table.add_rule(9, [Match("proto", 6, mask=0xFF)], [fwd(2)])
+    assert table.classify({"proto": 6}).port == 2
+
+
+def test_drop_action():
+    table = MatchActionTable()
+    table.add_rule(10, [Match("dst_port", 23, mask=0xFFFF)], [Action("drop")])
+    verdict = table.classify({"dst_port": 23})
+    assert verdict.action == "drop"
+    assert table.stats["dropped"] == 1
+
+
+def test_set_field_rewrites_header():
+    table = MatchActionTable()
+    table.add_rule(
+        10,
+        [Match("vlan", 0, mask=0xFFF)],
+        [Action("set_field", field="vlan", value=100), fwd(2)],
+    )
+    verdict = table.classify({"vlan": 0, "dst_ip": 1})
+    assert verdict.port == 2
+    assert verdict.packet["vlan"] == 100
+
+
+def test_multi_field_match_requires_all():
+    table = MatchActionTable()
+    table.add_rule(
+        10,
+        [Match("dst_ip", 0x0A000001), Match("dst_port", 80, mask=0xFFFF)],
+        [fwd(4)],
+    )
+    assert table.classify({"dst_ip": 0x0A000001, "dst_port": 80}).port == 4
+    assert table.classify({"dst_ip": 0x0A000001, "dst_port": 443}).action == "default"
+
+
+def test_hit_counters():
+    table = MatchActionTable()
+    rule = table.add_rule(10, [Match("proto", 17, mask=0xFF)], [fwd(1)])
+    for _ in range(5):
+        table.classify({"proto": 17})
+    table.classify({"proto": 6})
+    assert rule.hits == 5
+    assert table.stats["packets"] == 6
+
+
+def test_capacity_limit_and_removal():
+    table = MatchActionTable(capacity=1)
+    rule = table.add_rule(1, [Match("proto", 6, mask=0xFF)], [fwd(1)])
+    with pytest.raises(TableError):
+        table.add_rule(2, [Match("proto", 17, mask=0xFF)], [fwd(2)])
+    table.remove_rule(rule)
+    with pytest.raises(TableError):
+        table.remove_rule(rule)
+    table.add_rule(2, [Match("proto", 17, mask=0xFF)], [fwd(2)])
+
+
+def test_validation():
+    with pytest.raises(TableError):
+        Match("nonsense", 1)
+    with pytest.raises(TableError):
+        Match("proto", value=0x100, mask=0xFF)  # value outside mask
+    with pytest.raises(TableError):
+        Action("forward")  # missing port
+    with pytest.raises(TableError):
+        Action("set_field", field="vlan")  # missing value
+    with pytest.raises(TableError):
+        Action("teleport")
+    with pytest.raises(TableError):
+        MatchActionTable(capacity=0)

@@ -1,0 +1,51 @@
+"""Shared fixtures for ECI protocol tests."""
+
+import pytest
+
+from repro.eci import (
+    CacheAgent,
+    CoherenceChecker,
+    HomeAgent,
+    InstantTransport,
+    MessageRuleChecker,
+)
+from repro.sim import Kernel
+
+HOME_ID = 0
+
+
+class System:
+    """A home node plus N cache agents on one transport."""
+
+    def __init__(self, n_caches=2, latency_ns=10.0, capacity_lines=4096):
+        self.kernel = Kernel()
+        self.transport = InstantTransport(self.kernel, latency_ns=latency_ns)
+        self.home = HomeAgent(self.kernel, HOME_ID, self.transport)
+        self.caches = [
+            CacheAgent(
+                self.kernel,
+                i + 1,
+                self.transport,
+                home_for=lambda addr: HOME_ID,
+                capacity_lines=capacity_lines,
+                name=f"c{i + 1}",
+            )
+            for i in range(n_caches)
+        ]
+        self.checker = CoherenceChecker()
+        self.checker.attach_all(self.caches)
+        self.rule_checker = MessageRuleChecker(home_ids=[HOME_ID])
+        self.transport.observers.append(self.rule_checker)
+
+    def run(self, generator, name=""):
+        return self.kernel.run_process(generator, name=name)
+
+
+@pytest.fixture
+def system():
+    return System()
+
+
+@pytest.fixture
+def make_system():
+    return System

@@ -1,0 +1,156 @@
+"""Model checking the abstract protocol + correspondence with the
+concrete agents."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.eci import CACHE_LINE_BYTES
+from repro.eci.formal import (
+    AbstractState,
+    CacheState,
+    ExplorationResult,
+    SpecViolation,
+    check_invariants,
+    current_value,
+    evict,
+    explore,
+    initial_state,
+    read,
+    write,
+)
+
+from .conftest import System
+
+M, O, E, S, I = (
+    CacheState.MODIFIED,
+    CacheState.OWNED,
+    CacheState.EXCLUSIVE,
+    CacheState.SHARED,
+    CacheState.INVALID,
+)
+
+
+def test_initial_state_is_clean():
+    state = initial_state(3)
+    check_invariants(state)
+    assert current_value(state) == 0
+
+
+def test_sole_read_grants_exclusive():
+    state = read(initial_state(2), 0)
+    assert state.cache_state(0) is E
+
+
+def test_second_read_downgrades_to_shared():
+    state = read(read(initial_state(2), 0), 1)
+    assert state.cache_state(0) is S
+    assert state.cache_state(1) is S
+
+
+def test_read_from_dirty_owner_creates_owned():
+    state = read(write(initial_state(2), 0), 1)
+    assert state.cache_state(0) is O
+    assert state.cache_state(1) is S
+    assert current_value(state) == state.cache_value(1)
+
+
+def test_write_invalidates_everyone_else():
+    state = read(read(initial_state(3), 0), 1)
+    state = write(state, 2)
+    assert state.cache_state(2) is M
+    assert state.cache_state(0) is I
+    assert state.cache_state(1) is I
+
+
+def test_dirty_eviction_updates_memory():
+    state = write(initial_state(2), 0)
+    value = current_value(state)
+    state = evict(state, 0)
+    assert state.memory == value
+    assert current_value(state) == value
+
+
+def test_clean_eviction_leaves_memory():
+    state = read(initial_state(2), 0)
+    before = state.memory
+    state = evict(state, 0)
+    assert state.memory == before
+
+
+def test_invariant_checker_catches_bad_states():
+    bad = AbstractState(((M, 1), (M, 1)), memory=0, next_value=2)
+    with pytest.raises(SpecViolation):
+        check_invariants(bad)
+    stale = AbstractState(((O, 2), (S, 1)), memory=0, next_value=3)
+    with pytest.raises(SpecViolation):
+        check_invariants(stale)
+
+
+def test_exhaustive_exploration_two_caches():
+    """Every reachable state of the 2-cache instance is invariant-clean."""
+    result = explore(n_caches=2)
+    assert result.states_visited > 10
+    assert result.transitions_checked > result.states_visited
+
+
+def test_exhaustive_exploration_three_caches():
+    result = explore(n_caches=3)
+    assert result.states_visited > 50
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["read", "write", "evict"]),
+            st.integers(min_value=0, max_value=1),
+        ),
+        max_size=25,
+    )
+)
+def test_concrete_agents_refine_abstract_model(ops):
+    """Replaying any operation sequence, the concrete system's stable
+    states and final value match the abstract model's."""
+    from repro.eci.formal import TRANSACTIONS
+
+    abstract = initial_state(2)
+    system = System(n_caches=2, latency_ns=5.0)
+    values_written = {}
+
+    def driver():
+        nonlocal abstract
+        counter = 0
+        for op, i in ops:
+            if op == "read":
+                abstract = read(abstract, i)
+                yield from system.caches[i].read(0)
+            elif op == "write":
+                abstract = write(abstract, i)
+                counter = abstract.next_value - 1
+                values_written[counter] = bytes([counter % 251 + 1]) * CACHE_LINE_BYTES
+                yield from system.caches[i].write(0, values_written[counter])
+            else:
+                abstract = evict(abstract, i)
+                yield from system.caches[i].flush(0)
+            from repro.sim import Timeout
+
+            yield Timeout(500)  # let writebacks settle between steps
+
+    system.run(driver())
+
+    for i in range(2):
+        assert system.caches[i].state_of(0) == abstract.cache_state(i), (
+            f"cache {i} diverged after {ops}"
+        )
+    # The architecturally-current bytes match the abstract current value.
+    expected_value = current_value(abstract)
+    if expected_value != 0:
+        expected_bytes = values_written[expected_value]
+
+        def final_read():
+            data = yield from system.caches[0].read(0)
+            return data
+
+        assert system.run(final_read()) == expected_bytes

@@ -1,0 +1,71 @@
+"""Fuzz/robustness tests: hostile inputs must fail cleanly.
+
+The serialization format doubles as the interoperability standard
+between tools (§4.1), so the decoder must reject arbitrary garbage
+with :class:`SerializationError` -- never crash, never mis-decode.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eci import (
+    Message,
+    MessageType,
+    SerializationError,
+    decode,
+    decode_stream,
+    encode,
+)
+from repro.eci.trace import TraceRecorder
+
+
+@given(data=st.binary(max_size=256))
+def test_decode_arbitrary_bytes_never_crashes(data):
+    try:
+        message = decode(data)
+    except SerializationError:
+        return
+    # If it decoded, re-encoding must reproduce the input exactly.
+    assert encode(message) == data
+
+
+@given(data=st.binary(max_size=512))
+def test_decode_stream_never_crashes(data):
+    try:
+        list(decode_stream(data))
+    except SerializationError:
+        pass
+
+
+@given(flip=st.integers(min_value=0, max_value=21))
+def test_single_byte_corruption_detected_or_decodes_differently(flip):
+    """Flipping any non-reserved header byte either raises or yields a
+    different (still well-formed) message -- silent identical decode
+    would mean dead header bits.  Bytes 22-31 are reserved and
+    tolerated by design (forward compatibility)."""
+    original = Message(MessageType.RLDS, src=1, dst=2, addr=0x1000, txid=9)
+    wire = bytearray(encode(original))
+    wire[flip] ^= 0xFF
+    try:
+        decoded = decode(bytes(wire))
+    except SerializationError:
+        return
+    assert decoded != original
+
+
+@given(data=st.binary(max_size=200))
+def test_trace_loader_rejects_garbage(data):
+    try:
+        TraceRecorder.from_bytes(data)
+    except (ValueError, SerializationError, Exception) as exc:
+        # Must be a clean, typed failure -- not a crash into C internals.
+        assert isinstance(exc, (ValueError, SerializationError, Exception))
+
+
+def test_reserved_header_bytes_are_ignored_on_decode():
+    """Forward compatibility: nonzero reserved bytes still decode."""
+    wire = bytearray(encode(Message(MessageType.RLDS, src=0, dst=1, addr=0)))
+    for offset in range(22, 32):
+        wire[offset] = 0xEE
+    decoded = decode(bytes(wire))
+    assert decoded.mtype is MessageType.RLDS

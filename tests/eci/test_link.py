@@ -1,0 +1,161 @@
+"""Tests for the physical ECI link model."""
+
+import pytest
+
+from repro.eci import (
+    CacheAgent,
+    CoherenceChecker,
+    EciLinkParams,
+    EciLinkTransport,
+    HomeAgent,
+    Message,
+    MessageType,
+)
+from repro.sim import Kernel
+
+
+def test_link_rate_matches_paper_figures():
+    # 12 lanes x 10 Gb/s = 15 GB/s raw per link; 24 lanes total give the
+    # paper's "total theoretical bandwidth of 30 GiB/s" order of magnitude.
+    params = EciLinkParams(encoding_efficiency=1.0)
+    assert params.link_rate_bytes_per_ns == pytest.approx(15.0)
+    assert params.total_rate_bytes_per_ns == pytest.approx(30.0)
+
+
+def test_encoding_efficiency_reduces_rate():
+    full = EciLinkParams(encoding_efficiency=1.0)
+    coded = EciLinkParams(encoding_efficiency=0.96)
+    assert coded.link_rate_bytes_per_ns == pytest.approx(
+        full.link_rate_bytes_per_ns * 0.96
+    )
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        EciLinkParams(links=0)
+    with pytest.raises(ValueError):
+        EciLinkParams(lanes_per_link=0)
+    with pytest.raises(ValueError):
+        EciLinkParams(encoding_efficiency=0)
+    with pytest.raises(ValueError):
+        EciLinkParams(policy="weird")
+
+
+def test_address_policy_interleaves_consecutive_lines():
+    kernel = Kernel()
+    transport = EciLinkTransport(kernel, EciLinkParams(policy="address"))
+    msg0 = Message(MessageType.RLDS, src=1, dst=0, addr=0x000)
+    msg1 = Message(MessageType.RLDS, src=1, dst=0, addr=0x080)
+    assert transport.select_link(msg0) != transport.select_link(msg1)
+
+
+def test_address_policy_stable_per_line():
+    kernel = Kernel()
+    transport = EciLinkTransport(kernel, EciLinkParams(policy="address"))
+    msg = Message(MessageType.RLDS, src=1, dst=0, addr=0x100)
+    assert transport.select_link(msg) == transport.select_link(msg)
+
+
+def test_fixed_policy_single_link():
+    kernel = Kernel()
+    transport = EciLinkTransport(
+        kernel, EciLinkParams(policy="fixed", fixed_link=1)
+    )
+    for addr in (0, 0x80, 0x100):
+        msg = Message(MessageType.RLDS, src=1, dst=0, addr=addr)
+        assert transport.select_link(msg) == 1
+
+
+def test_round_robin_alternates():
+    kernel = Kernel()
+    transport = EciLinkTransport(kernel, EciLinkParams(policy="round_robin"))
+    msg = Message(MessageType.RLDS, src=1, dst=0, addr=0)
+    picks = [transport.select_link(msg) for _ in range(4)]
+    assert picks == [0, 1, 0, 1]
+
+
+def test_messages_arrive_after_serialization_plus_propagation():
+    kernel = Kernel()
+    params = EciLinkParams(
+        links=1, lanes_per_link=12, lane_gbps=10.0,
+        encoding_efficiency=1.0, propagation_ns=40.0, policy="fixed",
+    )
+    transport = EciLinkTransport(kernel, params)
+    arrivals = []
+
+    class Sink:
+        node_id = 0
+
+        def receive(self, message):
+            arrivals.append(kernel.now)
+
+    transport.attach(Sink())
+    msg = Message(MessageType.RLDS, src=1, dst=0, addr=0)  # 32 B header
+    transport.send(msg)
+    kernel.run()
+    # 32 B / 15 B/ns + 40 ns propagation
+    assert arrivals[0] == pytest.approx(32 / 15.0 + 40.0)
+
+
+def test_back_to_back_messages_queue_on_the_serializer():
+    kernel = Kernel()
+    params = EciLinkParams(
+        links=1, encoding_efficiency=1.0, propagation_ns=0.0, policy="fixed"
+    )
+    transport = EciLinkTransport(kernel, params)
+    arrivals = []
+
+    class Sink:
+        node_id = 0
+
+        def receive(self, message):
+            arrivals.append(kernel.now)
+
+    transport.attach(Sink())
+    for _ in range(3):
+        transport.send(Message(MessageType.RLDS, src=1, dst=0, addr=0))
+    kernel.run()
+    ser = 32 / 15.0
+    assert arrivals == pytest.approx([ser, 2 * ser, 3 * ser])
+    assert transport.stats["queueing_ns"] > 0
+
+
+def test_full_protocol_runs_over_timed_links():
+    """End-to-end: MOESI agents over the physical link model."""
+    kernel = Kernel()
+    transport = EciLinkTransport(kernel, EciLinkParams())
+    home = HomeAgent(kernel, 0, transport)
+    cache = CacheAgent(kernel, 1, transport, home_for=lambda a: 0)
+    checker = CoherenceChecker()
+    checker.attach(cache)
+    pattern = bytes([7]) * 128
+
+    def proc():
+        yield from cache.write(0, pattern)
+        data = yield from cache.read(0)
+        return data
+
+    result = kernel.run_process(proc())
+    assert result == pattern
+    assert kernel.now > 0
+    assert not checker.violations
+
+
+def test_utilization_accounting():
+    kernel = Kernel()
+    transport = EciLinkTransport(
+        kernel, EciLinkParams(links=2, policy="fixed", fixed_link=0)
+    )
+    transport.send(Message(MessageType.RLDS, src=1, dst=0, addr=0))
+
+    class Sink:
+        node_id = 0
+
+        def receive(self, message):
+            pass
+
+    transport.attach(Sink())
+    kernel.run()
+    util = transport.utilization(wall_ns=100.0)
+    assert util[0] > 0
+    assert util[1] == 0

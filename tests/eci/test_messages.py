@@ -1,0 +1,89 @@
+"""Unit tests for the ECI message vocabulary."""
+
+import pytest
+
+from repro.eci import (
+    CACHE_LINE_BYTES,
+    HEADER_BYTES,
+    Message,
+    MessageType,
+    VirtualCircuit,
+    line_address,
+    vc_for,
+)
+
+LINE = bytes(range(128))
+
+
+def test_every_opcode_has_a_vc():
+    for mtype in MessageType:
+        assert isinstance(vc_for(mtype), VirtualCircuit)
+
+
+def test_requests_ride_the_request_vc():
+    for mtype in (MessageType.RLDS, MessageType.RLDD, MessageType.RSTD):
+        assert vc_for(mtype) is VirtualCircuit.REQ
+
+
+def test_responses_never_share_vc_with_requests():
+    request_vcs = {vc_for(t) for t in (MessageType.RLDS, MessageType.RLDD)}
+    response_vcs = {vc_for(t) for t in (MessageType.PSHA, MessageType.PEMD, MessageType.PACK)}
+    assert request_vcs.isdisjoint(response_vcs)
+
+
+def test_data_message_requires_full_line():
+    with pytest.raises(ValueError):
+        Message(MessageType.PSHA, src=0, dst=1, addr=0, payload=b"short")
+
+
+def test_data_message_accepts_full_line():
+    msg = Message(MessageType.PSHA, src=0, dst=1, addr=0, payload=LINE)
+    assert msg.wire_bytes == HEADER_BYTES + CACHE_LINE_BYTES
+
+
+def test_header_only_message_rejects_payload():
+    with pytest.raises(ValueError):
+        Message(MessageType.RLDS, src=0, dst=1, addr=0, payload=LINE)
+
+
+def test_vicd_requires_payload():
+    with pytest.raises(ValueError):
+        Message(MessageType.VICD, src=0, dst=1, addr=0)
+
+
+def test_io_payload_size_bounds():
+    Message(MessageType.IOBST, src=0, dst=1, addr=0, payload=b"\x01")
+    Message(MessageType.IOBST, src=0, dst=1, addr=0, payload=b"\x01" * 8)
+    with pytest.raises(ValueError):
+        Message(MessageType.IOBST, src=0, dst=1, addr=0, payload=b"\x01" * 9)
+    with pytest.raises(ValueError):
+        Message(MessageType.IOBST, src=0, dst=1, addr=0, payload=b"")
+
+
+def test_negative_address_rejected():
+    with pytest.raises(ValueError):
+        Message(MessageType.RLDS, src=0, dst=1, addr=-1)
+
+
+def test_line_address_alignment():
+    assert line_address(0) == 0
+    assert line_address(127) == 0
+    assert line_address(128) == 128
+    assert line_address(0x1234) == 0x1200 + (0x34 // 128) * 128
+
+
+def test_line_address_idempotent():
+    for addr in (0, 1, 127, 128, 129, 0xFFFF):
+        assert line_address(line_address(addr)) == line_address(addr)
+
+
+def test_str_rendering_mentions_opcode_and_addr():
+    msg = Message(MessageType.RLDD, src=1, dst=0, addr=0x80, txid=7)
+    text = str(msg)
+    assert "RLDD" in text
+    assert "0x80" in text
+
+
+def test_wire_bytes_header_only():
+    msg = Message(MessageType.FINV, src=0, dst=1, addr=0, requester=2)
+    assert msg.wire_bytes == HEADER_BYTES

@@ -1,0 +1,286 @@
+"""Scenario tests for the MOESI protocol agents."""
+
+import pytest
+
+from repro.eci import CACHE_LINE_BYTES, CacheState, ProtocolError
+from repro.sim import Timeout
+
+LINE_A = 0x0000
+LINE_B = 0x0080
+LINE_C = 0x0100
+
+PATTERN1 = bytes([0x11]) * CACHE_LINE_BYTES
+PATTERN2 = bytes([0x22]) * CACHE_LINE_BYTES
+PATTERN3 = bytes([0x33]) * CACHE_LINE_BYTES
+
+
+def test_cold_read_returns_zeros_and_grants_exclusive(system):
+    c = system.caches[0]
+
+    def proc():
+        data = yield from c.read(LINE_A)
+        return data
+
+    assert system.run(proc()) == bytes(CACHE_LINE_BYTES)
+    assert c.state_of(LINE_A) is CacheState.EXCLUSIVE
+    assert system.home.entry(LINE_A).owner == c.node_id
+
+
+def test_write_then_read_back(system):
+    c = system.caches[0]
+
+    def proc():
+        yield from c.write(LINE_A, PATTERN1)
+        data = yield from c.read(LINE_A)
+        return data
+
+    assert system.run(proc()) == PATTERN1
+    assert c.state_of(LINE_A) is CacheState.MODIFIED
+
+
+def test_second_reader_sees_writers_data(system):
+    c0, c1 = system.caches
+
+    def proc():
+        yield from c0.write(LINE_A, PATTERN1)
+        data = yield from c1.read(LINE_A)
+        return data
+
+    assert system.run(proc()) == PATTERN1
+    # Writer was forwarded FLDS and downgraded to OWNED (dirty).
+    assert c0.state_of(LINE_A) is CacheState.OWNED
+    assert c1.state_of(LINE_A) is CacheState.SHARED
+
+
+def test_clean_sharing_downgrades_exclusive_to_shared(system):
+    c0, c1 = system.caches
+
+    def proc():
+        yield from c0.read(LINE_A)          # c0 gets E
+        yield from c1.read(LINE_A)          # c0 forwards, E -> S
+
+    system.run(proc())
+    assert c0.state_of(LINE_A) is CacheState.SHARED
+    assert c1.state_of(LINE_A) is CacheState.SHARED
+
+
+def test_write_invalidates_other_copies(system):
+    c0, c1 = system.caches
+
+    def proc():
+        yield from c0.read(LINE_A)
+        yield from c1.read(LINE_A)
+        yield from c1.write(LINE_A, PATTERN2)
+
+    system.run(proc())
+    assert c0.state_of(LINE_A) is CacheState.INVALID
+    assert c1.state_of(LINE_A) is CacheState.MODIFIED
+
+
+def test_write_steals_dirty_line_from_owner(system):
+    c0, c1 = system.caches
+
+    def proc():
+        yield from c0.write(LINE_A, PATTERN1)
+        yield from c1.write(LINE_A, PATTERN2)
+        data = yield from c0.read(LINE_A)
+        return data
+
+    assert system.run(proc()) == PATTERN2
+    assert c1.state_of(LINE_A) in (CacheState.OWNED, CacheState.SHARED)
+
+
+def test_upgrade_from_shared_uses_rstd(system):
+    c0, c1 = system.caches
+
+    def proc():
+        yield from c0.read(LINE_A)
+        yield from c1.read(LINE_A)  # both now S
+        yield from c0.write(LINE_A, PATTERN3)
+
+    system.run(proc())
+    assert c0.stats["upgrades"] == 1
+    assert c0.state_of(LINE_A) is CacheState.MODIFIED
+    assert c1.state_of(LINE_A) is CacheState.INVALID
+
+
+def test_ping_pong_writes_preserve_last_value(system):
+    c0, c1 = system.caches
+
+    def proc():
+        for i in range(6):
+            writer = c0 if i % 2 == 0 else c1
+            yield from writer.write(LINE_A, bytes([i]) * CACHE_LINE_BYTES)
+        data = yield from c0.read(LINE_A)
+        return data
+
+    assert system.run(proc()) == bytes([5]) * CACHE_LINE_BYTES
+
+
+def test_eviction_writes_dirty_data_home(make_system):
+    system = make_system(capacity_lines=1)
+    c = system.caches[0]
+
+    def proc():
+        yield from c.write(LINE_A, PATTERN1)
+        yield from c.write(LINE_B, PATTERN2)  # evicts LINE_A (VICD)
+        yield Timeout(1000)                    # let the writeback land
+        data = yield from c.read(LINE_A)       # refetches from memory
+        return data
+
+    assert system.run(proc()) == PATTERN1
+
+
+def test_eviction_race_probe_gets_fnak(make_system):
+    """A probe that arrives after an eviction is FNAKed and retried."""
+    system = make_system(capacity_lines=1, latency_ns=50.0)
+    c0, c1 = system.caches
+
+    def proc():
+        yield from c0.write(LINE_A, PATTERN1)
+        # Evict LINE_A from c0 while c1 concurrently reads it: c1's RLDS
+        # can reach the home before c0's VICD does.
+        p1 = system.kernel.spawn(c0.write(LINE_B, PATTERN2))
+        p2 = system.kernel.spawn(_read(c1, LINE_A))
+        yield p1
+        result = yield p2
+        return result
+
+    def _read(cache, addr):
+        data = yield from cache.read(addr)
+        return data
+
+    assert system.run(proc()) == PATTERN1
+
+
+def test_flush_writes_back_and_invalidates(system):
+    c0, c1 = system.caches
+
+    def proc():
+        yield from c0.write(LINE_A, PATTERN1)
+        yield from c0.flush(LINE_A)
+        yield Timeout(1000)
+        assert c0.state_of(LINE_A) is CacheState.INVALID
+        data = yield from c1.read(LINE_A)
+        return data
+
+    assert system.run(proc()) == PATTERN1
+
+
+def test_flush_absent_line_is_noop(system):
+    c = system.caches[0]
+
+    def proc():
+        yield from c.flush(LINE_C)
+        return "ok"
+
+    assert system.run(proc()) == "ok"
+
+
+def test_partial_line_write_rejected(system):
+    c = system.caches[0]
+    gen = c.write(LINE_A, b"short")
+    with pytest.raises(ValueError):
+        next(gen)
+
+
+def test_io_read_write_round_trip(system):
+    c = system.caches[0]
+    registers = {}
+    system.home.io_read_handler = lambda addr, size: registers.get(addr, b"\x00" * 8)
+    system.home.io_write_handler = lambda addr, data: registers.__setitem__(addr, data)
+
+    def proc():
+        yield from c.io_write(0x9000, b"\xDE\xAD\xBE\xEF\x00\x00\x00\x00")
+        data = yield from c.io_read(0x9000, size=4)
+        return data
+
+    assert system.run(proc()) == b"\xDE\xAD\xBE\xEF"
+
+
+def test_io_does_not_touch_directory(system):
+    c = system.caches[0]
+
+    def proc():
+        yield from c.io_write(0x9000, b"\x01" * 8)
+        yield from c.io_read(0x9000)
+
+    system.run(proc())
+    assert system.home.entry(0x9000).idle
+    assert system.home.stats["io_ops"] == 2
+
+
+def test_ipi_delivery(system):
+    c0, c1 = system.caches
+    received = []
+    c1.ipi_handler = lambda msg: received.append(msg.addr)
+
+    def proc():
+        c0.send_ipi(c1.node_id, vector=5)
+        yield Timeout(100)
+
+    system.run(proc())
+    assert received == [5]
+
+
+def test_concurrent_reads_different_lines(system):
+    c0, c1 = system.caches
+
+    def reader(cache, addr, pattern):
+        yield from cache.write(addr, pattern)
+        data = yield from cache.read(addr)
+        return data
+
+    p0 = system.kernel.spawn(reader(c0, LINE_A, PATTERN1))
+    p1 = system.kernel.spawn(reader(c1, LINE_B, PATTERN2))
+    system.kernel.run()
+    assert p0.result == PATTERN1
+    assert p1.result == PATTERN2
+
+
+def test_mshr_piggyback_same_line(system):
+    """Two processes missing on the same line share one transaction."""
+    c = system.caches[0]
+    results = []
+
+    def reader():
+        data = yield from c.read(LINE_A)
+        results.append(data)
+
+    system.kernel.spawn(reader())
+    system.kernel.spawn(reader())
+    system.kernel.run()
+    assert len(results) == 2
+    assert c.stats["read_misses"] >= 2
+    # Only one RLDS should have reached the home.
+    assert system.home.stats["requests"] == 1
+
+
+def test_stats_accounting(system):
+    c0, c1 = system.caches
+
+    def proc():
+        yield from c0.read(LINE_A)
+        yield from c0.read(LINE_A)
+        yield from c1.write(LINE_A, PATTERN1)
+
+    system.run(proc())
+    assert c0.stats["read_misses"] == 1
+    assert c0.stats["read_hits"] == 1
+    assert c0.stats["probes"] >= 1
+    assert system.home.stats["forwards"] >= 1
+
+
+def test_checker_saw_transitions(system):
+    c0, c1 = system.caches
+
+    def proc():
+        yield from c0.write(LINE_A, PATTERN1)
+        yield from c1.read(LINE_A)
+        yield from c1.write(LINE_A, PATTERN2)
+
+    system.run(proc())
+    assert system.checker.transitions_checked > 0
+    assert not system.checker.violations
+    assert system.rule_checker.messages_checked > 0
+    assert not system.rule_checker.violations

@@ -1,0 +1,132 @@
+"""Randomized workloads checked against a reference memory model.
+
+Every operation sequence is replayed against a plain dict; a read in
+the simulated system must return exactly what the reference model
+predicts (the MOESI *data-value invariant*), while the attached
+checkers enforce the state invariants on every transition.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.eci import CACHE_LINE_BYTES, CacheState
+
+from .conftest import System
+
+N_LINES = 8
+
+
+def _pattern(value):
+    return bytes([value % 256]) * CACHE_LINE_BYTES
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),       # cache index
+        st.sampled_from(["read", "write", "flush"]),
+        st.integers(min_value=0, max_value=N_LINES - 1),  # line index
+        st.integers(min_value=1, max_value=255),     # write value
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=ops_strategy)
+def test_sequential_random_ops_match_reference(ops):
+    system = System(n_caches=2, latency_ns=7.0)
+    reference = {}
+    mismatches = []
+
+    def driver():
+        for cache_idx, op, line_idx, value in ops:
+            cache = system.caches[cache_idx]
+            addr = line_idx * CACHE_LINE_BYTES
+            if op == "read":
+                data = yield from cache.read(addr)
+                expected = reference.get(addr, bytes(CACHE_LINE_BYTES))
+                if data != expected:
+                    mismatches.append((cache_idx, addr, data[:2], expected[:2]))
+            elif op == "write":
+                yield from cache.write(addr, _pattern(value))
+                reference[addr] = _pattern(value)
+            else:
+                yield from cache.flush(addr)
+
+    system.run(driver())
+    assert not mismatches
+    assert not system.checker.violations
+    assert not system.rule_checker.violations
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_caches=st.integers(min_value=2, max_value=4),
+)
+def test_concurrent_random_ops_keep_invariants(seed, n_caches):
+    """Concurrent drivers on every cache: invariants must hold throughout.
+
+    With concurrency the final value of a line is whichever write the
+    protocol ordered last, so we only check per-line *convergence*: all
+    caches that still hold a line agree on its data.
+    """
+    rng = random.Random(seed)
+    system = System(n_caches=n_caches, latency_ns=rng.uniform(1.0, 30.0))
+
+    def driver(cache, rng_seed):
+        local = random.Random(rng_seed)
+        for _ in range(15):
+            addr = local.randrange(N_LINES) * CACHE_LINE_BYTES
+            op = local.choice(["read", "write", "write", "flush"])
+            if op == "read":
+                yield from cache.read(addr)
+            elif op == "write":
+                yield from cache.write(addr, _pattern(local.randrange(1, 255)))
+            else:
+                yield from cache.flush(addr)
+
+    for i, cache in enumerate(system.caches):
+        system.kernel.spawn(driver(cache, seed + i))
+    system.kernel.run()
+
+    assert not system.checker.violations
+    system.checker.check_all_lines()
+
+    # Convergence: every valid copy of a line holds identical bytes.
+    for line_idx in range(N_LINES):
+        addr = line_idx * CACHE_LINE_BYTES
+        copies = [
+            c.lines[addr].data
+            for c in system.caches
+            if addr in c.lines and c.lines[addr].state is not CacheState.INVALID
+        ]
+        assert len({bytes(d) for d in copies}) <= 1
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_tiny_cache_eviction_storm_preserves_data(seed):
+    """Capacity-1 caches force constant evictions and FNAK races."""
+    rng = random.Random(seed)
+    system = System(n_caches=2, capacity_lines=1, latency_ns=rng.uniform(5.0, 60.0))
+    reference = {}
+
+    def driver():
+        for _ in range(30):
+            cache = system.caches[rng.randrange(2)]
+            addr = rng.randrange(4) * CACHE_LINE_BYTES
+            if rng.random() < 0.5:
+                value = rng.randrange(1, 255)
+                yield from cache.write(addr, _pattern(value))
+                reference[addr] = _pattern(value)
+            else:
+                data = yield from cache.read(addr)
+                expected = reference.get(addr, bytes(CACHE_LINE_BYTES))
+                assert data == expected, f"addr {addr:#x}"
+
+    system.run(driver())
+    assert not system.checker.violations

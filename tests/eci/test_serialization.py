@@ -1,0 +1,139 @@
+"""Round-trip and robustness tests for the ECI wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eci import (
+    CACHE_LINE_BYTES,
+    Message,
+    MessageType,
+    SerializationError,
+    decode,
+    decode_stream,
+    encode,
+    encode_stream,
+)
+from repro.eci.serialization import decode_prefix
+
+LINE = bytes(range(128))
+
+
+def _payload_for(mtype):
+    if mtype in (MessageType.VICD, MessageType.PSHA, MessageType.PEMD):
+        return LINE
+    if mtype in (MessageType.IOBST, MessageType.IOBRSP):
+        return b"\xAB" * 8
+    return None
+
+
+@pytest.mark.parametrize("mtype", list(MessageType))
+def test_round_trip_every_opcode(mtype):
+    msg = Message(
+        mtype,
+        src=1,
+        dst=2,
+        addr=0x1000,
+        txid=42,
+        payload=_payload_for(mtype),
+        requester=3 if mtype.name.startswith("F") and mtype is not MessageType.FNAK else None,
+    )
+    assert decode(encode(msg)) == msg
+
+
+node_ids = st.integers(min_value=0, max_value=254)
+header_types = st.sampled_from(
+    [t for t in MessageType if _payload_for(t) is None]
+)
+line_types = st.sampled_from([MessageType.VICD, MessageType.PSHA, MessageType.PEMD])
+io_types = st.sampled_from([MessageType.IOBST, MessageType.IOBRSP])
+
+
+@st.composite
+def messages(draw):
+    kind = draw(st.integers(min_value=0, max_value=2))
+    if kind == 0:
+        mtype = draw(header_types)
+        payload = None
+    elif kind == 1:
+        mtype = draw(line_types)
+        payload = draw(st.binary(min_size=CACHE_LINE_BYTES, max_size=CACHE_LINE_BYTES))
+    else:
+        mtype = draw(io_types)
+        payload = draw(st.binary(min_size=1, max_size=8))
+    requester = None
+    if mtype in (MessageType.FLDS, MessageType.FLDX, MessageType.FINV):
+        requester = draw(node_ids)
+    return Message(
+        mtype,
+        src=draw(node_ids),
+        dst=draw(node_ids),
+        addr=draw(st.integers(min_value=0, max_value=2**48 - 1)),
+        txid=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        payload=payload,
+        requester=requester,
+    )
+
+
+@given(messages())
+def test_round_trip_property(msg):
+    assert decode(encode(msg)) == msg
+
+
+@given(st.lists(messages(), max_size=10))
+def test_stream_round_trip(msgs):
+    blob = encode_stream(msgs)
+    assert list(decode_stream(blob)) == msgs
+
+
+def test_decode_rejects_bad_magic():
+    blob = bytearray(encode(Message(MessageType.RLDS, src=0, dst=1, addr=0)))
+    blob[0] ^= 0xFF
+    with pytest.raises(SerializationError):
+        decode(bytes(blob))
+
+
+def test_decode_rejects_bad_version():
+    blob = bytearray(encode(Message(MessageType.RLDS, src=0, dst=1, addr=0)))
+    blob[2] = 99
+    with pytest.raises(SerializationError):
+        decode(bytes(blob))
+
+
+def test_decode_rejects_unknown_opcode():
+    blob = bytearray(encode(Message(MessageType.RLDS, src=0, dst=1, addr=0)))
+    blob[3] = 0xEE
+    with pytest.raises(SerializationError):
+        decode(bytes(blob))
+
+
+def test_decode_rejects_vc_mismatch():
+    blob = bytearray(encode(Message(MessageType.RLDS, src=0, dst=1, addr=0)))
+    blob[4] = 5  # claim it rides the IPI circuit
+    with pytest.raises(SerializationError):
+        decode(bytes(blob))
+
+
+def test_decode_rejects_truncated_header():
+    blob = encode(Message(MessageType.RLDS, src=0, dst=1, addr=0))
+    with pytest.raises(SerializationError):
+        decode(blob[:10])
+
+
+def test_decode_rejects_truncated_payload():
+    blob = encode(Message(MessageType.PSHA, src=0, dst=1, addr=0, payload=LINE))
+    with pytest.raises(SerializationError):
+        decode(blob[:-1])
+
+
+def test_decode_rejects_trailing_garbage():
+    blob = encode(Message(MessageType.RLDS, src=0, dst=1, addr=0))
+    with pytest.raises(SerializationError):
+        decode(blob + b"\x00")
+
+
+def test_decode_prefix_reports_consumed():
+    msg = Message(MessageType.PSHA, src=0, dst=1, addr=0, payload=LINE)
+    blob = encode(msg) + b"tail"
+    decoded, consumed = decode_prefix(blob)
+    assert decoded == msg
+    assert consumed == len(blob) - 4

@@ -1,0 +1,120 @@
+"""Tests for the transition spec and runtime checkers."""
+
+import pytest
+
+from repro.eci import (
+    ALLOWED_TRANSITIONS,
+    CacheState,
+    InvariantViolation,
+    Message,
+    MessageType,
+    transition_allowed,
+)
+from repro.eci.spec import SENDER_ROLE, CoherenceChecker, MessageRuleChecker
+
+from .conftest import System
+
+
+def test_self_transitions_always_allowed():
+    for state in CacheState:
+        assert transition_allowed(state, state)
+
+
+def test_invalid_to_modified_is_not_direct():
+    # Installs are E or S; M only via a local write on E.
+    assert not transition_allowed(CacheState.INVALID, CacheState.MODIFIED)
+
+
+def test_shared_cannot_jump_to_modified():
+    assert not transition_allowed(CacheState.SHARED, CacheState.MODIFIED)
+
+
+def test_owned_cannot_go_shared():
+    # O holds the only dirty copy; silently dropping dirtiness is illegal.
+    assert not transition_allowed(CacheState.OWNED, CacheState.SHARED)
+
+
+def test_allowed_relation_is_reasonable_size():
+    # Exactly the 11 legal MOESI edges.
+    assert len(ALLOWED_TRANSITIONS) == 11
+
+
+def test_every_opcode_has_a_sender_role():
+    for mtype in MessageType:
+        assert SENDER_ROLE[mtype] in ("cache", "home", "either")
+
+
+def test_checker_flags_illegal_transition():
+    system = System()
+    cache = system.caches[0]
+    with pytest.raises(InvariantViolation):
+        # Force an illegal transition by hand.
+        from repro.eci.protocol import CacheLine
+
+        cache.lines[0] = CacheLine(CacheState.SHARED, bytes(128))
+        cache._set_state(0, cache.lines[0], CacheState.MODIFIED)
+
+
+def test_checker_flags_double_writer():
+    system = System()
+    from repro.eci.protocol import CacheLine
+
+    c0, c1 = system.caches
+    c0.lines[0] = CacheLine(CacheState.EXCLUSIVE, bytes(128))
+    c1.lines[0] = CacheLine(CacheState.SHARED, bytes(128))
+    with pytest.raises(InvariantViolation):
+        system.checker.check_line(0)
+
+
+def test_checker_flags_two_owners():
+    system = System()
+    from repro.eci.protocol import CacheLine
+
+    c0, c1 = system.caches
+    c0.lines[0] = CacheLine(CacheState.OWNED, bytes(128))
+    c1.lines[0] = CacheLine(CacheState.OWNED, bytes(128))
+    with pytest.raises(InvariantViolation):
+        system.checker.check_line(0)
+
+
+def test_checker_accepts_owner_with_sharers():
+    system = System()
+    from repro.eci.protocol import CacheLine
+
+    c0, c1 = system.caches
+    c0.lines[0] = CacheLine(CacheState.OWNED, bytes(128))
+    c1.lines[0] = CacheLine(CacheState.SHARED, bytes(128))
+    system.checker.check_line(0)  # must not raise
+
+
+def test_checker_nonstrict_collects_violations():
+    system = System()
+    system.checker.strict = False
+    from repro.eci.protocol import CacheLine
+
+    c0, c1 = system.caches
+    c0.lines[0] = CacheLine(CacheState.MODIFIED, bytes(128))
+    c1.lines[0] = CacheLine(CacheState.MODIFIED, bytes(128))
+    system.checker.check_line(0)
+    assert system.checker.violations
+
+
+def test_rule_checker_rejects_cache_only_opcode_from_home():
+    checker = MessageRuleChecker(home_ids=[0])
+    msg = Message(MessageType.RLDS, src=0, dst=1, addr=0)
+    with pytest.raises(InvariantViolation):
+        checker(0.0, msg)
+
+
+def test_rule_checker_rejects_home_only_opcode_from_cache():
+    checker = MessageRuleChecker(home_ids=[0])
+    msg = Message(MessageType.PACK, src=1, dst=2, addr=0)
+    with pytest.raises(InvariantViolation):
+        checker(0.0, msg)
+
+
+def test_rule_checker_accepts_owner_data_response():
+    checker = MessageRuleChecker(home_ids=[0])
+    msg = Message(MessageType.PSHA, src=1, dst=2, addr=0, payload=bytes(128))
+    checker(0.0, msg)
+    assert checker.messages_checked == 1

@@ -1,0 +1,116 @@
+"""Tests for trace capture, persistence, and decoding."""
+
+from repro.eci import (
+    CACHE_LINE_BYTES,
+    MessageType,
+    TraceRecorder,
+    VirtualCircuit,
+)
+
+from .conftest import System
+
+PATTERN = bytes([0x5A]) * CACHE_LINE_BYTES
+
+
+def _traced_system():
+    system = System()
+    recorder = TraceRecorder()
+    system.transport.observers.append(recorder)
+    return system, recorder
+
+
+def _simple_workload(system):
+    c0, c1 = system.caches
+
+    def proc():
+        yield from c0.write(0, PATTERN)
+        yield from c1.read(0)
+
+    system.run(proc())
+
+
+def test_recorder_captures_protocol_exchange():
+    system, recorder = _traced_system()
+    _simple_workload(system)
+    types = [r.message.mtype for r in recorder]
+    assert MessageType.RLDD in types     # c0's write miss
+    assert MessageType.RLDS in types     # c1's read
+    assert MessageType.FLDS in types     # home forwards to dirty owner
+    assert MessageType.PSHA in types     # owner supplies data
+
+
+def test_timestamps_nondecreasing():
+    system, recorder = _traced_system()
+    _simple_workload(system)
+    stamps = [r.timestamp for r in recorder]
+    assert stamps == sorted(stamps)
+
+
+def test_filter_by_type_and_vc():
+    system, recorder = _traced_system()
+    _simple_workload(system)
+    reqs = recorder.filter(vc=VirtualCircuit.REQ)
+    assert reqs
+    assert all(r.message.vc is VirtualCircuit.REQ for r in reqs)
+    flds = recorder.filter(mtype=MessageType.FLDS)
+    assert len(flds) == 1
+
+
+def test_filter_by_node_and_predicate():
+    system, recorder = _traced_system()
+    _simple_workload(system)
+    c1_traffic = recorder.filter(node=2)
+    assert c1_traffic
+    assert all(2 in (r.message.src, r.message.dst) for r in c1_traffic)
+    with_data = recorder.filter(predicate=lambda r: r.message.payload is not None)
+    assert all(r.message.payload for r in with_data)
+
+
+def test_round_trip_to_bytes():
+    system, recorder = _traced_system()
+    _simple_workload(system)
+    blob = recorder.to_bytes()
+    loaded = TraceRecorder.from_bytes(blob)
+    assert len(loaded) == len(recorder)
+    assert [r.message for r in loaded] == [r.message for r in recorder]
+    assert [r.timestamp for r in loaded] == [r.timestamp for r in recorder]
+
+
+def test_from_bytes_rejects_garbage():
+    import pytest
+
+    with pytest.raises(ValueError):
+        TraceRecorder.from_bytes(b"not a trace")
+
+
+def test_format_renders_one_line_per_record():
+    system, recorder = _traced_system()
+    _simple_workload(system)
+    text = recorder.format()
+    assert len(text.splitlines()) == len(recorder)
+    assert "RLDD" in text
+
+
+def test_limit_drops_excess():
+    system = System()
+    recorder = TraceRecorder(limit=2)
+    system.transport.observers.append(recorder)
+    _simple_workload(system)
+    assert len(recorder) == 2
+    assert recorder.dropped > 0
+
+
+def test_transactions_grouping():
+    system, recorder = _traced_system()
+    _simple_workload(system)
+    groups = recorder.transactions()
+    assert groups
+    for (addr, _txid), records in groups.items():
+        assert all(r.message.addr == addr for r in records)
+
+
+def test_clear_resets():
+    system, recorder = _traced_system()
+    _simple_workload(system)
+    recorder.clear()
+    assert len(recorder) == 0

@@ -1,0 +1,114 @@
+"""Tests for the bulk-transfer performance model (Figure 6 substrate)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eci import (
+    TransferEngineParams,
+    dual_socket_reference,
+    dual_socket_reference_bandwidth_gibps,
+    simulate_transfer,
+    sweep_transfer_sizes,
+)
+from repro.eci.link import EciLinkParams
+
+
+def test_single_line_latency_in_paper_ballpark():
+    """One 128 B coherent read: paper shows roughly 0.5 us."""
+    result = simulate_transfer(128, "read")
+    assert 300 <= result.latency_ns <= 900
+
+
+def test_latency_monotone_in_size():
+    sizes = [2**i for i in range(7, 15)]
+    for direction in ("read", "write"):
+        latencies = [r.latency_ns for r in sweep_transfer_sizes(sizes, direction)]
+        assert latencies == sorted(latencies)
+
+
+def test_throughput_grows_with_size():
+    small = simulate_transfer(128, "read")
+    large = simulate_transfer(16384, "read")
+    assert large.throughput_gibps > small.throughput_gibps * 5
+
+
+def test_writes_faster_than_reads():
+    """§5.1: read performance slightly lower (L2 subsystem limited)."""
+    read = simulate_transfer(16384, "read")
+    write = simulate_transfer(16384, "write")
+    assert write.throughput_gibps > read.throughput_gibps
+    assert write.throughput_gibps < read.throughput_gibps * 1.35
+
+
+def test_large_transfer_throughput_band():
+    """A single ECI link sustains 8-12 GiB/s at 16 KiB (Figure 6)."""
+    for direction in ("read", "write"):
+        result = simulate_transfer(16384, direction)
+        assert 6.0 <= result.throughput_gibps <= 13.0
+
+
+def test_two_links_nearly_double_throughput():
+    one = simulate_transfer(1 << 20, "write", links_used=1)
+    two = simulate_transfer(1 << 20, "write", links_used=2)
+    assert two.throughput_gibps > one.throughput_gibps * 1.5
+
+
+def test_line_count_rounds_up():
+    assert simulate_transfer(1, "read").lines == 1
+    assert simulate_transfer(129, "read").lines == 2
+
+
+def test_window_one_serializes_lines():
+    engine = TransferEngineParams(window=1)
+    pipelined = simulate_transfer(4096, "read")
+    serialized = simulate_transfer(4096, "read", engine=engine)
+    assert serialized.latency_ns > pipelined.latency_ns * 3
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        simulate_transfer(0, "read")
+    with pytest.raises(ValueError):
+        simulate_transfer(128, "sideways")
+    with pytest.raises(ValueError):
+        simulate_transfer(128, "read", links_used=3)
+    with pytest.raises(ValueError):
+        TransferEngineParams(window=0)
+
+
+def test_degraded_lane_configuration_slows_transfers():
+    """Bring-up used 4 lanes instead of 12 (§4.4)."""
+    full = simulate_transfer(16384, "write")
+    degraded = simulate_transfer(
+        16384, "write", link=EciLinkParams(lanes_per_link=4)
+    )
+    assert degraded.throughput_gibps < full.throughput_gibps / 2
+
+
+def test_dual_socket_reference_matches_paper():
+    """Paper: 19 GiB/s and 150 ns between two ThunderX-1 sockets."""
+    ref = dual_socket_reference()
+    assert 120 <= ref.latency_ns <= 200
+    bandwidth = dual_socket_reference_bandwidth_gibps()
+    assert 16.0 <= bandwidth <= 22.0
+
+
+@given(size=st.integers(min_value=1, max_value=1 << 18))
+def test_latency_always_positive_and_finite(size):
+    result = simulate_transfer(size, "read")
+    assert result.latency_ns > 0
+    assert result.throughput_gibps > 0
+
+
+@given(
+    size=st.integers(min_value=128, max_value=1 << 16),
+    window=st.integers(min_value=1, max_value=64),
+)
+def test_bigger_window_never_slower(size, window):
+    slow = simulate_transfer(
+        size, "read", engine=TransferEngineParams(window=window)
+    )
+    fast = simulate_transfer(
+        size, "read", engine=TransferEngineParams(window=window + 8)
+    )
+    assert fast.latency_ns <= slow.latency_ns + 1e-6

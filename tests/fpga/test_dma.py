@@ -1,0 +1,123 @@
+"""Tests for the cache-line DMA engine."""
+
+import pytest
+
+from repro.eci import CACHE_LINE_BYTES, CacheAgent, HomeAgent, InstantTransport
+from repro.eci.system import TwoSocketSystem
+from repro.fpga.dma import CacheLineDma, DmaDescriptor, DmaError
+from repro.sim import Kernel, Timeout
+
+
+def make_dma():
+    system = TwoSocketSystem()
+    return system, CacheLineDma(system.fpga_cache)
+
+
+def test_descriptor_validation():
+    with pytest.raises(DmaError):
+        DmaDescriptor(src=1, dst=0, length=128)
+    with pytest.raises(DmaError):
+        DmaDescriptor(src=0, dst=64, length=128)
+    with pytest.raises(DmaError):
+        DmaDescriptor(src=0, dst=128, length=100)
+    with pytest.raises(DmaError):
+        DmaDescriptor(src=0, dst=128, length=0)
+    descriptor = DmaDescriptor(src=0, dst=256, length=512)
+    assert descriptor.lines == 4
+
+
+def test_copy_host_to_fpga_memory():
+    """Coherent copy from the CPU's partition into the FPGA's."""
+    system, dma = make_dma()
+    src = system.cpu_address(0)
+    dst = system.fpga_address(0)
+    pattern = bytes(range(128))
+
+    def proc():
+        yield from system.cpu_cache.write(src, pattern)
+        yield from system.cpu_cache.flush(src)
+        yield Timeout(1000)
+        yield from dma.copy(DmaDescriptor(src, dst, CACHE_LINE_BYTES))
+        data = yield from system.cpu_cache.read(dst)
+        return data
+
+    assert system.run(proc()) == pattern
+    assert dma.stats["lines_moved"] == 1
+
+
+def test_copy_sees_dirty_cpu_data_without_flush():
+    """The coherence property: no explicit flush needed before DMA."""
+    system, dma = make_dma()
+    src = system.cpu_address(0x1000)
+    dst = system.fpga_address(0x1000)
+    pattern = bytes([0x77]) * CACHE_LINE_BYTES
+
+    def proc():
+        yield from system.cpu_cache.write(src, pattern)  # stays dirty in L2
+        yield from dma.copy(DmaDescriptor(src, dst, CACHE_LINE_BYTES))
+        data = yield from system.fpga_cache.read(dst)
+        return data
+
+    assert system.run(proc()) == pattern
+    assert not system.checker.violations
+
+
+def test_multi_line_copy():
+    system, dma = make_dma()
+    src = system.cpu_address(0)
+    dst = system.fpga_address(0)
+    lines = 8
+
+    def proc():
+        for i in range(lines):
+            yield from system.cpu_cache.write(
+                src + i * CACHE_LINE_BYTES, bytes([i + 1]) * CACHE_LINE_BYTES
+            )
+        yield from dma.copy(DmaDescriptor(src, dst, lines * CACHE_LINE_BYTES))
+        out = []
+        for i in range(lines):
+            data = yield from system.fpga_cache.read(dst + i * CACHE_LINE_BYTES)
+            out.append(data[0])
+        return out
+
+    assert system.run(proc()) == list(range(1, lines + 1))
+    assert dma.stats["bytes_moved"] == lines * CACHE_LINE_BYTES
+
+
+def test_scatter_gather_chain():
+    system, dma = make_dma()
+    a = DmaDescriptor(system.cpu_address(0), system.fpga_address(0), 128)
+    b = DmaDescriptor(system.cpu_address(512), system.fpga_address(512), 256)
+
+    def proc():
+        yield from system.cpu_cache.write(a.src, bytes([1]) * 128)
+        yield from system.cpu_cache.write(b.src, bytes([2]) * 128)
+        yield from system.cpu_cache.write(b.src + 128, bytes([3]) * 128)
+        yield from dma.scatter_gather([a, b])
+        first = yield from system.fpga_cache.read(a.dst)
+        last = yield from system.fpga_cache.read(b.dst + 128)
+        return first[0], last[0]
+
+    assert system.run(proc()) == (1, 3)
+    assert dma.stats["descriptors"] == 2
+    with pytest.raises(DmaError):
+        next(dma.scatter_gather([]))
+
+
+def test_fill():
+    system, dma = make_dma()
+    dst = system.fpga_address(0)
+
+    def proc():
+        yield from dma.fill(dst, 256, b"\xAB\xCD")
+        data = yield from system.fpga_cache.read(dst)
+        return data
+
+    data = system.run(proc())
+    assert data[:4] == b"\xAB\xCD\xAB\xCD"
+    gen = dma.fill(dst, 100, b"x")
+    with pytest.raises(DmaError):
+        next(gen)
+    gen = dma.fill(dst, 128, b"")
+    with pytest.raises(DmaError):
+        next(gen)

@@ -1,0 +1,89 @@
+"""Tests for the fabric resource and power models."""
+
+import pytest
+
+from repro.fpga import XCVU9P, Fabric, FabricError, FabricResources
+
+
+def test_xcvu9p_headline_numbers():
+    assert XCVU9P.luts > 1_000_000
+    assert XCVU9P.dsp == 6840
+    assert XCVU9P.transceivers == 120
+
+
+def test_resources_validation_and_addition():
+    with pytest.raises(ValueError):
+        FabricResources(luts=-1)
+    a = FabricResources(luts=10, dsp=2)
+    b = FabricResources(luts=5, bram36=1)
+    c = a + b
+    assert (c.luts, c.dsp, c.bram36) == (15, 2, 1)
+
+
+def test_fits_in():
+    small = FabricResources(luts=100)
+    big = FabricResources(luts=1000, ffs=10)
+    assert small.fits_in(big)
+    assert not FabricResources(luts=100, ffs=20).fits_in(big)
+
+
+def test_fraction_of_uses_binding_resource():
+    cap = FabricResources(luts=1000, ffs=1000)
+    usage = FabricResources(luts=100, ffs=500)
+    assert usage.fraction_of(cap) == pytest.approx(0.5)
+
+
+def test_allocate_and_release():
+    fabric = Fabric()
+    fabric.allocate("a", FabricResources(luts=1000))
+    assert fabric.utilization > 0
+    fabric.release("a")
+    assert fabric.utilization == 0
+    with pytest.raises(FabricError):
+        fabric.release("a")
+
+
+def test_duplicate_region_rejected():
+    fabric = Fabric()
+    fabric.allocate("a", FabricResources(luts=10))
+    with pytest.raises(FabricError):
+        fabric.allocate("a", FabricResources(luts=10))
+
+
+def test_over_allocation_rejected():
+    fabric = Fabric(capacity=FabricResources(luts=100))
+    fabric.allocate("a", FabricResources(luts=80))
+    with pytest.raises(FabricError):
+        fabric.allocate("b", FabricResources(luts=30))
+
+
+def test_power_scales_with_area_and_clock():
+    fabric = Fabric()
+    quarter = FabricResources(luts=XCVU9P.luts // 4, ffs=XCVU9P.ffs // 4)
+    fabric.allocate("burn", quarter, toggle_rate=1.0)
+    p250 = fabric.dynamic_power_w(250.0)
+    p125 = fabric.dynamic_power_w(125.0)
+    assert p250 == pytest.approx(2 * p125)
+    assert fabric.total_power_w(250.0) == pytest.approx(
+        p250 + fabric.power_params.static_w
+    )
+
+
+def test_power_burn_in_24_steps_is_monotone():
+    """The Figure 12 stress test switches area in 1/24 steps."""
+    powers = []
+    for step in range(1, 25):
+        fabric = Fabric()
+        area = FabricResources(
+            luts=XCVU9P.luts * step // 24, ffs=XCVU9P.ffs * step // 24
+        )
+        fabric.allocate("burn", area, toggle_rate=1.0)
+        powers.append(fabric.total_power_w(300.0))
+    assert powers == sorted(powers)
+    assert powers[-1] > powers[0] * 4
+
+
+def test_toggle_rate_validation():
+    fabric = Fabric()
+    with pytest.raises(ValueError):
+        fabric.allocate("a", FabricResources(luts=1), toggle_rate=1.5)

@@ -1,0 +1,90 @@
+"""Tests for temporal multiplexing of vFPGA slots."""
+
+import pytest
+
+from repro.fpga import Afu, CoyoteShell, FabricResources
+from repro.fpga.scheduler import SchedulerError, TemporalScheduler
+
+
+def make_scheduler(quantum_s=0.010):
+    shell = CoyoteShell()
+    return TemporalScheduler(shell, quantum_s=quantum_s)
+
+
+def small_afu(name):
+    return Afu(name, FabricResources(luts=5_000, ffs=8_000))
+
+
+def test_round_robin_shares_evenly():
+    scheduler = make_scheduler()
+    a = scheduler.submit(small_afu("a"))
+    b = scheduler.submit(small_afu("b"))
+    scheduler.run_turns(10)
+    assert a.runtime_s == pytest.approx(b.runtime_s)
+    assert scheduler.fabric_share(a) == pytest.approx(0.5)
+
+
+def test_weights_bias_fabric_time():
+    scheduler = make_scheduler()
+    light = scheduler.submit(small_afu("light"), weight=1)
+    heavy = scheduler.submit(small_afu("heavy"), weight=3)
+    scheduler.run_turns(20)
+    assert heavy.runtime_s == pytest.approx(3 * light.runtime_s)
+    assert scheduler.fabric_share(heavy) == pytest.approx(0.75)
+
+
+def test_single_app_never_reconfigures_after_first_load():
+    scheduler = make_scheduler()
+    app = scheduler.submit(small_afu("only"))
+    scheduler.run_turns(5)
+    assert app.switches == 1  # just the initial load
+
+
+def test_alternating_apps_pay_reconfiguration():
+    scheduler = make_scheduler()
+    a = scheduler.submit(small_afu("a"))
+    b = scheduler.submit(small_afu("b"))
+    scheduler.run_turns(6)
+    assert a.switches == 3
+    assert b.switches == 3
+    assert scheduler.reconfig_time_s > 0
+
+
+def test_longer_quantum_improves_efficiency():
+    short = make_scheduler(quantum_s=0.001)
+    long = make_scheduler(quantum_s=0.100)
+    for scheduler in (short, long):
+        scheduler.submit(small_afu("a"))
+        scheduler.submit(small_afu("b"))
+        scheduler.run_turns(10)
+    assert long.efficiency() > short.efficiency()
+    assert 0.0 < short.efficiency() < 1.0
+
+
+def test_remove_app():
+    scheduler = make_scheduler()
+    a = scheduler.submit(small_afu("a"))
+    scheduler.submit(small_afu("b"))
+    scheduler.remove(a.afu)
+    assert len(scheduler.apps) == 1
+    with pytest.raises(SchedulerError):
+        scheduler.remove(a.afu)
+
+
+def test_empty_schedule_rejected():
+    scheduler = make_scheduler()
+    with pytest.raises(SchedulerError):
+        scheduler.run_turns(1)
+
+
+def test_validation():
+    shell = CoyoteShell()
+    with pytest.raises(SchedulerError):
+        TemporalScheduler(shell, quantum_s=0)
+    scheduler = TemporalScheduler(shell)
+    with pytest.raises(SchedulerError):
+        scheduler.submit(small_afu("x"), weight=0)
+
+
+def test_efficiency_defaults_to_one_before_running():
+    assert make_scheduler().efficiency() == 1.0

@@ -1,0 +1,137 @@
+"""Tests for the Coyote shell, vFPGAs, and AFU lifecycle."""
+
+import pytest
+
+from repro.fpga import (
+    PAGE_BYTES,
+    Afu,
+    Bitstream,
+    ConfigPort,
+    CoyoteShell,
+    FabricError,
+    FabricResources,
+    ShellError,
+    TranslationFault,
+    eci_shell_bitstream,
+)
+
+
+def small_afu(name="afu"):
+    return Afu(name, FabricResources(luts=10_000, ffs=20_000))
+
+
+def test_shell_reserves_static_region_with_eci():
+    shell = CoyoteShell()
+    assert shell.eci_ready
+    assert "shell-static" in shell.fabric.regions
+    assert shell.clock_mhz == pytest.approx(300.0)
+
+
+def test_non_shell_bitstream_rejected():
+    plain = Bitstream("app", FabricResources(luts=1), clock_mhz=250.0)
+    with pytest.raises(ShellError):
+        CoyoteShell(shell_bitstream=plain)
+
+
+def test_slot_count_validation():
+    with pytest.raises(ValueError):
+        CoyoteShell(n_slots=0)
+
+
+def test_load_and_unload_afu():
+    shell = CoyoteShell()
+    afu = small_afu()
+    load_time = shell.load_afu(0, afu)
+    assert afu.loaded
+    assert load_time > 0
+    assert shell.reconfigurations == 1
+    shell.unload_afu(0)
+    assert not afu.loaded
+    with pytest.raises(ShellError):
+        shell.unload_afu(0)
+
+
+def test_reloading_slot_replaces_afu():
+    shell = CoyoteShell()
+    first, second = small_afu("first"), small_afu("second")
+    shell.load_afu(0, first)
+    shell.load_afu(0, second)
+    assert not first.loaded
+    assert second.loaded
+    assert shell.reconfigurations == 2
+
+
+def test_afu_too_big_for_slot():
+    shell = CoyoteShell(n_slots=4)
+    huge = Afu("huge", FabricResources(luts=10_000_000))
+    with pytest.raises(FabricError):
+        shell.load_afu(0, huge)
+
+
+def test_bad_slot_rejected():
+    shell = CoyoteShell()
+    with pytest.raises(ShellError):
+        shell.load_afu(99, small_afu())
+
+
+def test_vfpga_translation_and_protection():
+    shell = CoyoteShell()
+    vfpga = shell.slots[0]
+    vfpga.map_page(0, 0x1000_0000 * PAGE_BYTES // PAGE_BYTES * PAGE_BYTES)
+    vfpga.map_page(PAGE_BYTES, 7 * PAGE_BYTES, writable=False)
+    paddr = vfpga.translate(100, write=True)
+    assert paddr % PAGE_BYTES == 100
+    assert vfpga.translate(PAGE_BYTES + 5) == 7 * PAGE_BYTES + 5
+    with pytest.raises(TranslationFault):
+        vfpga.translate(PAGE_BYTES + 5, write=True)
+    with pytest.raises(TranslationFault):
+        vfpga.translate(50 * PAGE_BYTES)
+    assert vfpga.stats["faults"] == 2
+
+
+def test_unaligned_mapping_rejected():
+    shell = CoyoteShell()
+    with pytest.raises(ShellError):
+        shell.slots[0].map_page(100, 0)
+
+
+def test_unmap():
+    shell = CoyoteShell()
+    vfpga = shell.slots[0]
+    vfpga.map_page(0, 0)
+    vfpga.unmap_page(0)
+    with pytest.raises(TranslationFault):
+        vfpga.translate(0)
+    with pytest.raises(ShellError):
+        vfpga.unmap_page(0)
+
+
+def test_isolation_between_slots():
+    shell = CoyoteShell()
+    shell.slots[0].map_page(0, 0)
+    with pytest.raises(TranslationFault):
+        shell.slots[1].translate(0)
+
+
+def test_service_registry():
+    shell = CoyoteShell()
+    shell.register_service("tcp", object())
+    assert shell.service("tcp") is not None
+    with pytest.raises(ShellError):
+        shell.register_service("tcp", object())
+    with pytest.raises(ShellError):
+        shell.service("rdma")
+
+
+def test_partial_reconfig_faster_than_full():
+    port = ConfigPort()
+    full = eci_shell_bitstream()
+    partial = Bitstream(
+        "p", FabricResources(luts=1), clock_mhz=250.0, partial=True
+    )
+    assert port.load_time_s(partial) < port.load_time_s(full)
+
+
+def test_bitstream_clock_range():
+    with pytest.raises(ValueError):
+        Bitstream("x", FabricResources(), clock_mhz=50.0)

@@ -1,0 +1,105 @@
+"""Cross-validation between independent layers of the repository.
+
+The analytic/recurrence performance models and the event-driven
+protocol simulation were written separately; where they describe the
+same physics they should agree.  Disagreement here means one of them
+drifted -- these tests pin them together.
+"""
+
+import pytest
+
+from repro.eci import (
+    CacheAgent,
+    EciLinkParams,
+    EciLinkTransport,
+    HomeAgent,
+    simulate_transfer,
+)
+from repro.eci.transfer import TransferEngineParams
+from repro.sim import Kernel
+
+
+def _des_streaming_read(lines: int, window: int) -> float:
+    """Stream ``lines`` distinct-line reads through the real protocol
+    over the timed links with ``window`` concurrent readers; returns
+    the finish time (ns)."""
+    kernel = Kernel()
+    transport = EciLinkTransport(kernel, EciLinkParams())
+    HomeAgent(kernel, 0, transport)
+    cache = CacheAgent(
+        kernel, 1, transport, home_for=lambda a: 0, capacity_lines=lines + 8
+    )
+
+    def reader(start: int, step: int):
+        for i in range(start, lines, step):
+            yield from cache.read(i * 128)
+
+    for lane in range(window):
+        kernel.spawn(reader(lane, window))
+    kernel.run()
+    return kernel.now
+
+
+def test_des_protocol_and_recurrence_model_agree_on_streaming_reads():
+    """Per-line streaming cost from the DES protocol should be within
+    2x of the recurrence model's asymptotic per-line cost (the DES path
+    lacks the modelled endpoint occupancy, so it is the faster one)."""
+    lines = 256
+    des_time = _des_streaming_read(lines, window=16)
+    des_per_line = des_time / lines
+
+    model = simulate_transfer(lines * 128, "read")
+    base = simulate_transfer(128, "read")
+    model_per_line = (model.latency_ns - base.latency_ns) / (lines - 1)
+
+    assert des_per_line < model_per_line * 2
+    assert model_per_line < des_per_line * 4
+
+
+def test_des_window_scaling_matches_model_direction():
+    """More concurrency helps in both worlds, with diminishing returns."""
+    t1 = _des_streaming_read(128, window=1)
+    t4 = _des_streaming_read(128, window=4)
+    t16 = _des_streaming_read(128, window=16)
+    assert t1 > t4 > t16
+
+    m1 = simulate_transfer(128 * 128, "read", engine=TransferEngineParams(window=1))
+    m4 = simulate_transfer(128 * 128, "read", engine=TransferEngineParams(window=4))
+    m16 = simulate_transfer(128 * 128, "read", engine=TransferEngineParams(window=16))
+    assert m1.latency_ns > m4.latency_ns > m16.latency_ns
+    # Relative speedup 1 -> 16 agrees within a factor of ~2.5.
+    des_gain = t1 / t16
+    model_gain = m1.latency_ns / m16.latency_ns
+    assert des_gain / model_gain < 2.5
+    assert model_gain / des_gain < 2.5
+
+
+def test_single_line_latency_des_vs_model():
+    """One cold read over the timed links vs the model's 128 B latency.
+
+    The DES number excludes the modelled L2 lookup/engine pipelines, so
+    it must be lower but the same order of magnitude."""
+    kernel = Kernel()
+    transport = EciLinkTransport(kernel, EciLinkParams())
+    HomeAgent(kernel, 0, transport)
+    cache = CacheAgent(kernel, 1, transport, home_for=lambda a: 0)
+
+    def proc():
+        yield from cache.read(0)
+
+    kernel.run_process(proc())
+    des_latency = kernel.now
+    model_latency = simulate_transfer(128, "read").latency_ns
+    assert des_latency < model_latency
+    assert model_latency < des_latency * 8
+
+
+def test_tcp_model_vs_measured_transport_at_multiple_sizes():
+    """Extends the fig7 corroboration across sizes."""
+    from repro.net import FpgaTcpStack, run_iperf
+
+    stack = FpgaTcpStack()
+    for size in (64 * 1024, 1 << 20):
+        measured = run_iperf(size, mtu=2048).goodput_gbps
+        modelled = stack.throughput_gbps(size, mtu=2048)
+        assert abs(measured - modelled) / modelled < 0.25, size

@@ -1,0 +1,97 @@
+"""Heavy randomized stress of the full coherence topology.
+
+Runs many concurrent workloads over the two-home system on the *timed*
+link model -- the closest the test suite gets to "real workloads at
+scale" -- with all invariants checked on every transition.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.eci import CACHE_LINE_BYTES, CacheState
+from repro.eci.system import TwoSocketSystem
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_two_socket_stress_over_timed_links(seed):
+    system = TwoSocketSystem(use_timed_links=True, cache_lines=16)
+    rng = random.Random(seed)
+    lines = [system.cpu_address(i * CACHE_LINE_BYTES) for i in range(6)] + [
+        system.fpga_address(i * CACHE_LINE_BYTES) for i in range(6)
+    ]
+
+    def driver(cache, worker_seed):
+        local = random.Random(worker_seed)
+        for _ in range(25):
+            addr = local.choice(lines)
+            roll = local.random()
+            if roll < 0.45:
+                yield from cache.read(addr)
+            elif roll < 0.9:
+                yield from cache.write(
+                    addr, bytes([local.randrange(1, 255)]) * CACHE_LINE_BYTES
+                )
+            else:
+                yield from cache.flush(addr)
+
+    for i in range(3):
+        system.kernel.spawn(driver(system.cpu_cache, seed * 7 + i))
+        system.kernel.spawn(driver(system.fpga_cache, seed * 13 + i))
+    system.kernel.run()
+
+    assert not system.checker.violations
+    system.checker.check_all_lines()
+    # Convergence: all live copies of every line agree.
+    for addr in lines:
+        copies = []
+        for cache in (system.cpu_cache, system.fpga_cache):
+            line = cache.lines.get(addr)
+            if line is not None and line.state is not CacheState.INVALID:
+                copies.append(bytes(line.data))
+        assert len(set(copies)) <= 1, f"divergent copies at {addr:#x}"
+
+
+def test_sequential_consistency_of_observed_writes():
+    """A reader polling a line over timed links observes a monotone
+    prefix of the writer's value sequence (no time travel)."""
+    system = TwoSocketSystem(use_timed_links=True)
+    addr = system.fpga_address(0)
+    observed = []
+
+    def writer():
+        for value in range(1, 30):
+            yield from system.cpu_cache.write(addr, bytes([value]) * CACHE_LINE_BYTES)
+
+    def reader():
+        for _ in range(60):
+            data = yield from system.fpga_cache.read(addr)
+            observed.append(data[0])
+            yield from system.fpga_cache.flush(addr)
+
+    system.kernel.spawn(writer())
+    system.kernel.spawn(reader())
+    system.kernel.run()
+
+    non_zero = [v for v in observed if v != 0]
+    assert non_zero == sorted(non_zero), "writes observed out of order"
+    assert not system.checker.violations
+
+
+def test_large_streaming_workload_statistics():
+    """A big streaming pass: statistics line up exactly."""
+    system = TwoSocketSystem(cache_lines=64)
+    n_lines = 512
+    base = system.fpga_address(0)
+
+    def stream():
+        for i in range(n_lines):
+            yield from system.cpu_cache.read(base + i * CACHE_LINE_BYTES)
+
+    system.run(stream())
+    assert system.cpu_cache.stats["read_misses"] == n_lines
+    assert system.fpga_home.stats["requests"] == n_lines
+    # The 64-line cache evicted almost everything it touched.
+    assert system.cpu_cache.stats["evictions"] == n_lines - 64

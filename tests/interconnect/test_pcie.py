@@ -1,0 +1,102 @@
+"""Tests for the PCIe interconnect model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interconnect import PcieModel, PcieParams, alveo_u250_pcie, crossover_size_bytes
+from repro.interconnect.eci_adapter import EciModel
+
+
+def test_gen3_x16_raw_rate():
+    params = PcieParams(generation=3, lanes=16)
+    # 8 GT/s * 128/130 * 16 lanes / 8 bits = 15.75 GB/s
+    assert params.raw_rate_bytes_per_ns == pytest.approx(15.75, rel=1e-3)
+
+
+def test_framing_efficiency_reasonable():
+    params = PcieParams()
+    assert 0.85 < params.framing_efficiency < 0.95
+
+
+def test_generation_scaling():
+    gen3 = PcieParams(generation=3, lanes=16)
+    gen4 = PcieParams(generation=4, lanes=16)
+    assert gen4.raw_rate_bytes_per_ns == pytest.approx(
+        2 * gen3.raw_rate_bytes_per_ns, rel=1e-3
+    )
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        PcieParams(generation=7)
+    with pytest.raises(ValueError):
+        PcieParams(lanes=3)
+    with pytest.raises(ValueError):
+        PcieParams(max_payload=32)
+
+
+def test_small_transfer_dominated_by_setup():
+    model = alveo_u250_pcie()
+    latency = model.transfer_latency_ns(128, "write")
+    # Setup + completion dwarf the ~8 ns of wire time.
+    assert latency > 1000
+
+
+def test_read_slower_than_write():
+    model = alveo_u250_pcie()
+    assert model.transfer_latency_ns(4096, "read") > model.transfer_latency_ns(
+        4096, "write"
+    )
+
+
+def test_large_transfer_approaches_line_rate():
+    model = alveo_u250_pcie()
+    bandwidth = model.peak_bandwidth_gibps("write", size_bytes=1 << 22)
+    # x16 Gen3 effective rate is ~13 GB/s = ~12.5 GiB/s.
+    assert 11.0 <= bandwidth <= 14.0
+
+
+def test_input_validation():
+    model = alveo_u250_pcie()
+    with pytest.raises(ValueError):
+        model.transfer_latency_ns(0, "write")
+    with pytest.raises(ValueError):
+        model.transfer_latency_ns(128, "up")
+
+
+def test_x8_half_bandwidth_of_x16():
+    x8 = PcieModel(PcieParams(lanes=8))
+    x16 = PcieModel(PcieParams(lanes=16))
+    assert x8.peak_bandwidth_gibps("write") == pytest.approx(
+        x16.peak_bandwidth_gibps("write") / 2, rel=0.05
+    )
+
+
+@given(size=st.integers(min_value=1, max_value=1 << 22))
+def test_latency_monotone_in_size(size):
+    model = alveo_u250_pcie()
+    assert model.transfer_latency_ns(size, "write") <= model.transfer_latency_ns(
+        size + 4096, "write"
+    )
+
+
+def test_crossover_against_eci_in_expected_band():
+    """Figure 6: PCIe catches ECI somewhere in the KiB range."""
+    pcie = alveo_u250_pcie()
+    eci = EciModel(links_used=1)
+    sizes = [2**i for i in range(7, 18)]
+    crossover = crossover_size_bytes(
+        pcie, lambda s: eci.transfer_latency_ns(s, "write"), sizes
+    )
+    assert crossover is not None
+    assert 2048 <= crossover <= 65536
+
+
+def test_eci_beats_pcie_below_2kib():
+    """§5.1: one ECI link has significantly higher throughput under 2 KiB."""
+    pcie = alveo_u250_pcie()
+    eci = EciModel(links_used=1)
+    for size in (128, 256, 512, 1024, 2048):
+        assert eci.transfer(size, "write").throughput_gibps > pcie.transfer(
+            size, "write"
+        ).throughput_gibps

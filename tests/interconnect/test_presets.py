@@ -1,0 +1,75 @@
+"""Tests for the platform survey presets (Figure 2/3)."""
+
+from repro.interconnect import (
+    dual_socket_thunderx_reference,
+    enzian_covers_survey,
+    survey_platforms,
+)
+
+
+def test_survey_includes_the_papers_platforms():
+    names = {p.name for p in survey_platforms()}
+    for expected in (
+        "Alpha Data (PCIe)",
+        "Amazon F1 (PCIe)",
+        "CAPI (POWER8)",
+        "Xeon+FPGA v1 (QPI)",
+        "Broadwell+Arria (UPI)",
+        "Catapult",
+        "Enzian (1 ECI link)",
+        "Enzian (full ECI)",
+    ):
+        assert expected in names
+
+
+def test_enzian_latency_beats_pcie_platforms():
+    platforms = {p.name: p for p in survey_platforms()}
+    enzian = platforms["Enzian (1 ECI link)"]
+    assert enzian.latency_us < platforms["Alpha Data (PCIe)"].latency_us
+    assert enzian.latency_us < platforms["Amazon F1 (PCIe)"].latency_us
+    assert enzian.latency_us < platforms["CAPI (POWER8)"].latency_us
+
+
+def test_full_eci_bandwidth_exceeds_single_link():
+    platforms = {p.name: p for p in survey_platforms()}
+    assert (
+        platforms["Enzian (full ECI)"].bandwidth_gibps
+        > platforms["Enzian (1 ECI link)"].bandwidth_gibps * 1.4
+    )
+
+
+def test_enzian_is_the_only_open_platform():
+    for p in survey_platforms():
+        assert p.open_platform == (p.category == "enzian")
+
+
+def test_convex_hull_coverage():
+    """The paper's headline claim: Enzian covers every surveyed platform."""
+    verdict = enzian_covers_survey()
+    assert verdict
+    assert all(verdict.values()), f"uncovered: {[k for k, v in verdict.items() if not v]}"
+
+
+def test_coherent_platforms_marked_coherent():
+    platforms = {p.name: p for p in survey_platforms()}
+    assert platforms["CAPI (POWER8)"].coherent
+    assert platforms["Broadwell+Arria (UPI)"].coherent
+    assert not platforms["Amazon F1 (PCIe)"].coherent
+    assert platforms["Enzian (full ECI)"].coherent
+
+
+def test_dual_socket_reference_dominates_enzian_latency():
+    """Hardware endpoints beat the FPGA implementation on latency (§5.1)."""
+    ref = dual_socket_thunderx_reference()
+    platforms = {p.name: p for p in survey_platforms()}
+    enzian = platforms["Enzian (1 ECI link)"]
+    assert ref.latency_us < enzian.latency_us
+    assert 16.0 <= ref.bandwidth_gibps <= 22.0
+
+
+def test_dominates_helper():
+    platforms = {p.name: p for p in survey_platforms()}
+    enzian = platforms["Enzian (full ECI)"]
+    f1 = platforms["Amazon F1 (PCIe)"]
+    assert enzian.dominates(f1)
+    assert not f1.dominates(enzian)

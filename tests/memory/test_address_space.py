@@ -1,0 +1,111 @@
+"""Tests for the partitioned physical address space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import (
+    CPU_NODE,
+    FPGA_NODE,
+    AddressSpaceError,
+    PhysicalAddressSpace,
+    Region,
+    enzian_address_map,
+)
+from repro.sim.units import GIB
+
+
+def test_region_validation():
+    with pytest.raises(ValueError):
+        Region("bad", base=-1, size=10, node=0)
+    with pytest.raises(ValueError):
+        Region("bad", base=0, size=0, node=0)
+
+
+def test_region_contains_and_offset():
+    r = Region("r", base=0x1000, size=0x1000, node=0)
+    assert r.contains(0x1000)
+    assert r.contains(0x1FFF)
+    assert not r.contains(0x2000)
+    assert r.offset_of(0x1800) == 0x800
+    with pytest.raises(AddressSpaceError):
+        r.offset_of(0x2000)
+
+
+def test_overlap_rejected():
+    with pytest.raises(AddressSpaceError):
+        PhysicalAddressSpace(
+            [
+                Region("a", base=0, size=0x2000, node=0),
+                Region("b", base=0x1000, size=0x1000, node=1),
+            ]
+        )
+
+
+def test_adjacent_regions_allowed():
+    space = PhysicalAddressSpace(
+        [
+            Region("a", base=0, size=0x1000, node=0),
+            Region("b", base=0x1000, size=0x1000, node=1),
+        ]
+    )
+    assert space.is_total_partition()
+
+
+def test_lookup_unmapped_raises():
+    space = PhysicalAddressSpace([Region("a", base=0x1000, size=0x1000, node=0)])
+    with pytest.raises(AddressSpaceError):
+        space.lookup(0)
+    with pytest.raises(AddressSpaceError):
+        space.lookup(0x2000)
+
+
+def test_enzian_map_partition_between_nodes():
+    space = enzian_address_map()
+    assert space.home_node(0) == CPU_NODE
+    assert space.home_node(127 * GIB) == CPU_NODE
+    fpga_dram = space.region("fpga-dram")
+    assert space.home_node(fpga_dram.base) == FPGA_NODE
+
+
+def test_enzian_map_capacities():
+    space = enzian_address_map()
+    assert space.total_bytes(node=CPU_NODE) == 128 * GIB
+    assert space.total_bytes(node=FPGA_NODE) == 512 * GIB
+
+
+def test_enzian_map_io_uncacheable():
+    space = enzian_address_map()
+    assert not space.region("cpu-io").cacheable
+    assert not space.region("fpga-io").cacheable
+    assert space.region("fpga-dram").cacheable
+
+
+def test_logical_view_window_exists():
+    space = enzian_address_map()
+    views = space.region("fpga-views")
+    assert views.kind == "logical_view"
+    assert views.node == FPGA_NODE
+
+
+def test_region_by_name_missing():
+    space = enzian_address_map()
+    with pytest.raises(AddressSpaceError):
+        space.region("nope")
+
+
+def test_small_fpga_build():
+    space = enzian_address_map(fpga_dram_gib=64)
+    assert space.total_bytes(node=FPGA_NODE) == 64 * GIB
+
+
+@given(addr=st.integers(min_value=0, max_value=(1 << 41) - 1))
+def test_lookup_agrees_with_contains(addr):
+    space = enzian_address_map()
+    try:
+        region = space.lookup(addr)
+    except AddressSpaceError:
+        assert not any(r.contains(addr) for r in space.regions)
+    else:
+        assert region.contains(addr)
+        others = [r for r in space.regions if r is not region]
+        assert not any(r.contains(addr) for r in others)

@@ -1,0 +1,65 @@
+"""Tests for the DDR4 models."""
+
+import pytest
+
+from repro.memory import (
+    DdrChannelParams,
+    DramConfig,
+    enzian_cpu_dram,
+    enzian_fpga_dram,
+)
+
+
+def test_ddr4_2133_peak_rate():
+    ch = DdrChannelParams(speed_mt=2133)
+    # 2133 MT/s * 8 B = 17.064 GB/s
+    assert ch.peak_bytes_per_ns == pytest.approx(17.064, rel=1e-3)
+
+
+def test_cpu_dram_matches_figure4():
+    dram = enzian_cpu_dram()
+    assert dram.capacity_gib == 128
+    # Figure 4 annotates the CPU DRAM at 50-70 GiB/s; peak 4x17 GB/s.
+    assert 50.0 <= dram.peak_bandwidth_gibps <= 70.0
+
+
+def test_fpga_dram_matches_figure4():
+    dram = enzian_fpga_dram()
+    assert dram.capacity_gib == 512
+    assert 55.0 <= dram.peak_bandwidth_gibps <= 75.0
+
+
+def test_fpga_small_build():
+    assert enzian_fpga_dram(capacity_gib=64).capacity_gib == 64
+    with pytest.raises(ValueError):
+        enzian_fpga_dram(capacity_gib=63)
+
+
+def test_sustained_below_peak():
+    dram = enzian_cpu_dram()
+    assert dram.sustained_bandwidth_gibps < dram.peak_bandwidth_gibps
+
+
+def test_burst_latency_structure():
+    dram = enzian_cpu_dram()
+    small = dram.burst_latency_ns(64)
+    large = dram.burst_latency_ns(1 << 20)
+    assert small >= dram.channel.access_latency_ns
+    assert large > small
+    with pytest.raises(ValueError):
+        dram.burst_latency_ns(0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        DdrChannelParams(speed_mt=0)
+    with pytest.raises(ValueError):
+        DdrChannelParams(efficiency=0)
+    with pytest.raises(ValueError):
+        DramConfig(channels=0)
+
+
+def test_channel_scaling():
+    one = DramConfig(channels=1)
+    four = DramConfig(channels=4)
+    assert four.peak_bandwidth_gibps == pytest.approx(4 * one.peak_bandwidth_gibps)

@@ -1,0 +1,117 @@
+"""Tests for Ethernet links and the switch."""
+
+import pytest
+
+from repro.net import EthernetLink, Frame, Switch, two_hosts_via_switch
+from repro.sim import Kernel
+
+
+def test_frame_validation():
+    with pytest.raises(ValueError):
+        Frame("a", "b", None, size_bytes=0)
+    frame = Frame("a", "b", None, size_bytes=100)
+    assert frame.wire_bytes == 138
+
+
+def test_link_delivers_with_latency():
+    kernel = Kernel()
+    link = EthernetLink(kernel, rate_gbps=100.0, propagation_ns=500.0)
+    arrivals = []
+    link.attach("b", lambda f: arrivals.append(kernel.now))
+    link.send(Frame("a", "b", None, size_bytes=1500))
+    kernel.run()
+    ser = (1500 + 38) / 12.5
+    assert arrivals[0] == pytest.approx(ser + 500.0)
+
+
+def test_link_serializes_back_to_back():
+    kernel = Kernel()
+    link = EthernetLink(kernel, rate_gbps=100.0, propagation_ns=0.0)
+    arrivals = []
+    link.attach("b", lambda f: arrivals.append(kernel.now))
+    for _ in range(3):
+        link.send(Frame("a", "b", None, size_bytes=1500))
+    kernel.run()
+    deltas = [y - x for x, y in zip(arrivals, arrivals[1:])]
+    ser = (1500 + 38) / 12.5
+    assert all(d == pytest.approx(ser) for d in deltas)
+
+
+def test_unknown_destination_without_uplink_raises():
+    kernel = Kernel()
+    link = EthernetLink(kernel)
+    with pytest.raises(ValueError):
+        link.send(Frame("a", "nowhere", None, size_bytes=64))
+
+
+def test_loss_rate_drops_frames():
+    kernel = Kernel()
+    link = EthernetLink(kernel, loss_rate=0.5, seed=42)
+    received = []
+    link.attach("b", lambda f: received.append(f))
+    for _ in range(200):
+        link.send(Frame("a", "b", None, size_bytes=64))
+    kernel.run()
+    assert 40 < len(received) < 160
+    assert link.stats["dropped"] == 200 - len(received)
+
+
+def test_loss_rate_validation():
+    kernel = Kernel()
+    with pytest.raises(ValueError):
+        EthernetLink(kernel, loss_rate=1.0)
+    with pytest.raises(ValueError):
+        EthernetLink(kernel, rate_gbps=0)
+
+
+def test_switch_forwards_between_hosts():
+    kernel = Kernel()
+    switch, link_a, link_b = two_hosts_via_switch(kernel)
+    received = []
+    link_a.attach("enzianA", lambda f: received.append(("A", f.payload)))
+    link_b.attach("enzianB", lambda f: received.append(("B", f.payload)))
+    link_a.send(Frame("enzianA", "enzianB", "ping", size_bytes=64))
+    kernel.run()
+    assert received == [("B", "ping")]
+    assert switch.stats["forwarded"] == 1
+
+
+def test_switch_bidirectional():
+    kernel = Kernel()
+    switch, link_a, link_b = two_hosts_via_switch(kernel)
+    received = []
+    link_a.attach("enzianA", lambda f: received.append("A"))
+    link_b.attach("enzianB", lambda f: received.append("B"))
+    link_a.send(Frame("enzianA", "enzianB", None, size_bytes=64))
+    link_b.send(Frame("enzianB", "enzianA", None, size_bytes=64))
+    kernel.run()
+    assert sorted(received) == ["A", "B"]
+
+
+def test_switch_drops_unknown_mac():
+    kernel = Kernel()
+    switch, link_a, _ = two_hosts_via_switch(kernel)
+    link_a.send(Frame("enzianA", "ghost", None, size_bytes=64))
+    kernel.run()
+    assert switch.stats["dropped_unknown"] == 1
+
+
+def test_switch_adds_forwarding_latency():
+    kernel = Kernel()
+    switch, link_a, link_b = two_hosts_via_switch(kernel)
+    direct_times, switched_times = [], []
+    link_b.attach("enzianB", lambda f: switched_times.append(kernel.now))
+    link_a.send(Frame("enzianA", "enzianB", None, size_bytes=64))
+    kernel.run()
+    # Through-switch time exceeds twice the one-link serialization+prop.
+    one_link = (64 + 38) / 12.5 + 500.0
+    assert switched_times[0] >= 2 * one_link
+
+
+def test_duplicate_connect_rejected():
+    kernel = Kernel()
+    switch = Switch(kernel)
+    link = EthernetLink(kernel)
+    switch.connect(link, "h")
+    with pytest.raises(ValueError):
+        switch.connect(link, "h")

@@ -1,0 +1,43 @@
+"""Tests for the iperf-like measurement harness."""
+
+import pytest
+
+from repro.net import FpgaTcpStack, run_iperf, sweep_window
+
+
+def test_lossless_goodput_near_wire_rate():
+    result = run_iperf(1_000_000)
+    assert result.goodput_gbps > 85.0
+    assert result.retransmit_rate == 0.0
+
+
+def test_measured_goodput_corroborates_fig7_model():
+    """The DES transport and the Figure 7 stack model agree within 15%."""
+    measured = run_iperf(1 << 20, mtu=2048).goodput_gbps
+    modelled = FpgaTcpStack().throughput_gbps(1 << 20, mtu=2048)
+    assert abs(measured - modelled) / modelled < 0.15
+
+
+def test_loss_reduces_goodput_and_counts_retransmits():
+    clean = run_iperf(500_000)
+    lossy = run_iperf(500_000, loss_rate=0.02, timeout_ns=50_000)
+    assert lossy.goodput_gbps < clean.goodput_gbps
+    assert lossy.retransmit_rate > 0.0
+
+
+def test_window_sweep_monotone_until_bdp():
+    results = sweep_window(500_000, [1, 4, 16, 64])
+    goodputs = [results[w].goodput_gbps for w in (1, 4, 16, 64)]
+    assert goodputs[0] < goodputs[1] < goodputs[2]
+    assert goodputs[3] >= goodputs[2] * 0.95  # beyond BDP: flat
+
+
+def test_rate_limits_goodput():
+    slow = run_iperf(500_000, rate_gbps=10.0)
+    assert slow.goodput_gbps < 10.0
+    assert slow.goodput_gbps > 7.0
+
+
+def test_payload_validation():
+    with pytest.raises(ValueError):
+        run_iperf(0)

@@ -1,0 +1,115 @@
+"""Tests for the RDMA stack: functional verbs and Figure 8 shape."""
+
+import pytest
+
+from repro.net import (
+    QueuePair,
+    RdmaError,
+    RdmaOp,
+    RdmaTarget,
+    figure8_paths,
+)
+
+
+def test_write_then_read_round_trip():
+    target = RdmaTarget(4096)
+    rkey = target.register(0, 4096)
+    qp = QueuePair(target)
+    qp.post_write(rkey, 100, b"hello rdma")
+    assert qp.post_read(rkey, 100, 10) == b"hello rdma"
+    assert qp.completions == 2
+
+
+def test_region_bounds_enforced():
+    target = RdmaTarget(4096)
+    rkey = target.register(1024, 1024)
+    qp = QueuePair(target)
+    with pytest.raises(RdmaError):
+        qp.post_write(rkey, 0, b"x")
+    with pytest.raises(RdmaError):
+        qp.post_read(rkey, 2047, 2)
+    qp.post_write(rkey, 1024, b"ok")
+
+
+def test_read_only_region():
+    target = RdmaTarget(4096)
+    rkey = target.register(0, 4096, writable=False)
+    qp = QueuePair(target)
+    with pytest.raises(RdmaError):
+        qp.post_write(rkey, 0, b"x")
+    assert qp.post_read(rkey, 0, 4) == b"\x00" * 4
+
+
+def test_unknown_and_deregistered_rkey():
+    target = RdmaTarget(4096)
+    qp = QueuePair(target)
+    with pytest.raises(RdmaError):
+        qp.post_read(99, 0, 1)
+    rkey = target.register(0, 64)
+    target.deregister(rkey)
+    with pytest.raises(RdmaError):
+        qp.post_read(rkey, 0, 1)
+    with pytest.raises(RdmaError):
+        target.deregister(rkey)
+
+
+def test_register_outside_memory():
+    target = RdmaTarget(128)
+    with pytest.raises(RdmaError):
+        target.register(0, 256)
+
+
+def test_figure8_has_five_paths():
+    paths = figure8_paths()
+    assert set(paths) == {
+        "Alveo DRAM",
+        "Alveo Host",
+        "Mellanox Host",
+        "Enzian DRAM",
+        "Enzian Host",
+    }
+
+
+def test_enzian_dram_beats_alveo_dram():
+    """§5.2: 'superior throughput and latency when accessing the 512 GiB
+    of DDR4 on the FPGA side'."""
+    paths = figure8_paths()
+    size = 8192
+    assert paths["Enzian DRAM"].latency_ns(size, RdmaOp.READ) <= paths[
+        "Alveo DRAM"
+    ].latency_ns(size, RdmaOp.READ)
+    assert paths["Enzian DRAM"].throughput_gibps(size, RdmaOp.READ) >= paths[
+        "Alveo DRAM"
+    ].throughput_gibps(size, RdmaOp.READ)
+
+
+def test_enzian_host_beats_alveo_host():
+    """Coherent ECI access to host memory vs PCIe DMA."""
+    paths = figure8_paths()
+    for size in (128, 1024, 4096):
+        assert paths["Enzian Host"].latency_ns(size, RdmaOp.WRITE) < paths[
+            "Alveo Host"
+        ].latency_ns(size, RdmaOp.WRITE)
+
+
+def test_latencies_in_paper_band():
+    """Figure 8 y-axes run 0-8 us for the sweep sizes."""
+    paths = figure8_paths()
+    for name, model in paths.items():
+        for size in (128, 1024, 16384):
+            lat_us = model.latency_ns(size, RdmaOp.READ) / 1000.0
+            assert 1.0 <= lat_us <= 12.0, (name, size, lat_us)
+
+
+def test_throughput_band():
+    """Figure 8: throughput curves top out near 12 GiB/s."""
+    paths = figure8_paths()
+    top = paths["Enzian DRAM"].throughput_gibps(16384, RdmaOp.READ)
+    assert 6.0 <= top <= 14.0
+
+
+def test_latency_monotone_in_size():
+    model = figure8_paths()["Enzian Host"]
+    sizes = [2**i for i in range(7, 15)]
+    lats = [model.latency_ns(s, RdmaOp.READ) for s in sizes]
+    assert lats == sorted(lats)

@@ -1,0 +1,106 @@
+"""Tests for the Go-Back-N reliable stream over lossy links."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.net import ReliableReceiver, ReliableSender, two_hosts_via_switch
+from repro.sim import Kernel
+
+
+def run_transfer(payload, loss_rate=0.0, window=16, mtu=1024, seed_offset=0):
+    kernel = Kernel()
+    switch, link_a, link_b = two_hosts_via_switch(kernel, loss_rate=loss_rate)
+    if seed_offset:
+        link_a._rng.seed(seed_offset)
+        link_b._rng.seed(seed_offset + 1)
+    sender = ReliableSender(
+        kernel, link_a, local="enzianA", remote="enzianB", window=window, mtu=mtu
+    )
+    receiver = ReliableReceiver(kernel, link_b, local="enzianB", remote="enzianA")
+    stats = kernel.run_process(sender.send(payload))
+    return receiver, stats, kernel
+
+
+def test_lossless_delivery():
+    payload = bytes(range(256)) * 20
+    receiver, stats, _ = run_transfer(payload)
+    assert receiver.data == payload
+    assert stats["retransmitted"] == 0
+
+
+def test_empty_payload():
+    receiver, _, _ = run_transfer(b"")
+    assert receiver.data == b""
+
+
+def test_single_segment():
+    receiver, _, _ = run_transfer(b"hello", mtu=1500)
+    assert receiver.data == b"hello"
+
+
+@pytest.mark.parametrize("loss_rate", [0.02, 0.10, 0.25])
+def test_delivery_despite_loss(loss_rate):
+    payload = bytes(i % 251 for i in range(20_000))
+    receiver, stats, _ = run_transfer(payload, loss_rate=loss_rate)
+    assert receiver.data == payload
+    assert stats["retransmitted"] > 0
+
+
+def test_retransmissions_grow_with_loss():
+    payload = bytes(50_000)
+    _, low_loss, _ = run_transfer(payload, loss_rate=0.02)
+    _, high_loss, _ = run_transfer(payload, loss_rate=0.20)
+    assert high_loss["retransmitted"] > low_loss["retransmitted"]
+
+
+def test_window_one_is_stop_and_wait():
+    payload = bytes(8_000)
+    _, stats_w1, k1 = run_transfer(payload, window=1)
+    _, stats_w16, k16 = run_transfer(payload, window=16)
+    assert k1.now > k16.now  # pipelining speeds up the transfer
+    assert stats_w1["sent"] >= stats_w16["sent"] - stats_w16["retransmitted"]
+
+
+def test_extreme_loss_eventually_fails():
+    kernel = Kernel()
+    switch, link_a, link_b = two_hosts_via_switch(kernel, loss_rate=0.98)
+    sender = ReliableSender(
+        kernel, link_a, "enzianA", "enzianB", max_retries=5, timeout_ns=10_000
+    )
+    ReliableReceiver(kernel, link_b, "enzianB", "enzianA")
+    with pytest.raises(ConnectionError):
+        kernel.run_process(sender.send(bytes(10_000)))
+
+
+def test_parameter_validation():
+    kernel = Kernel()
+    switch, link_a, _ = two_hosts_via_switch(kernel)
+    with pytest.raises(ValueError):
+        ReliableSender(kernel, link_a, "a", "b", window=0)
+    with pytest.raises(ValueError):
+        ReliableSender(kernel, link_a, "a", "b", mtu=10)
+
+
+def test_in_order_delivery_callback():
+    kernel = Kernel()
+    switch, link_a, link_b = two_hosts_via_switch(kernel, loss_rate=0.1)
+    chunks = []
+    sender = ReliableSender(kernel, link_a, "enzianA", "enzianB", mtu=100)
+    ReliableReceiver(
+        kernel, link_b, "enzianB", "enzianA", deliver=lambda d: chunks.append(d)
+    )
+    payload = bytes(i % 256 for i in range(2_000))
+    kernel.run_process(sender.send(payload))
+    assert b"".join(chunks) == payload
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    size=st.integers(min_value=0, max_value=30_000),
+    loss=st.floats(min_value=0.0, max_value=0.3),
+    window=st.integers(min_value=1, max_value=64),
+)
+def test_reliable_delivery_property(size, loss, window):
+    payload = bytes(i % 256 for i in range(size))
+    receiver, _, _ = run_transfer(payload, loss_rate=loss, window=window)
+    assert receiver.data == payload

@@ -1,0 +1,135 @@
+"""Tests for the Dagger-style RPC stack."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.rpc import (
+    RpcClient,
+    RpcError,
+    RpcMessage,
+    RpcServer,
+    decode_rpc,
+    encode_rpc,
+    fpga_rpc_path,
+    rpc_latency_ns,
+    rpc_throughput_per_s,
+    software_rpc_path,
+)
+
+
+def loopback(server):
+    return RpcClient(server.handle_wire)
+
+
+def test_round_trip_call():
+    server = RpcServer()
+    server.register(1, lambda payload: payload.upper())
+    client = loopback(server)
+    assert client.call(1, b"hello") == b"HELLO"
+    assert server.stats["requests"] == 1
+
+
+def test_multiple_methods_and_ids():
+    server = RpcServer()
+    server.register(1, lambda p: b"one")
+    server.register(2, lambda p: b"two")
+    client = loopback(server)
+    assert client.call(2) == b"two"
+    assert client.call(1) == b"one"
+    assert client.call(1) == b"one"
+
+
+def test_unknown_method():
+    server = RpcServer()
+    client = loopback(server)
+    with pytest.raises(RpcError, match="no such method"):
+        client.call(99)
+    assert server.stats["errors"] == 1
+
+
+def test_application_error_propagates():
+    server = RpcServer()
+
+    def boom(payload):
+        raise ValueError("kaboom")
+
+    server.register(1, boom)
+    client = loopback(server)
+    with pytest.raises(RpcError, match="kaboom"):
+        client.call(1)
+
+
+def test_duplicate_registration_rejected():
+    server = RpcServer()
+    server.register(1, lambda p: p)
+    with pytest.raises(RpcError):
+        server.register(1, lambda p: p)
+
+
+def test_crc_detects_corruption():
+    wire = bytearray(encode_rpc(RpcMessage(1, 1, b"payload")))
+    wire[10] ^= 0x01
+    with pytest.raises(RpcError, match="CRC"):
+        decode_rpc(bytes(wire))
+
+
+def test_bad_magic_and_short_frames():
+    wire = bytearray(encode_rpc(RpcMessage(1, 1, b"x")))
+    with pytest.raises(RpcError):
+        decode_rpc(wire[:5])
+    # Corrupting the magic also breaks the CRC; rebuild with bad magic.
+    import struct
+    import zlib
+
+    body = struct.pack("<HHIIi", 0x1234, 1, 1, 1, 0) + b"x"
+    framed = body + struct.pack("<I", zlib.crc32(body))
+    with pytest.raises(RpcError, match="magic"):
+        decode_rpc(framed)
+
+
+def test_message_validation():
+    with pytest.raises(RpcError):
+        RpcMessage(method=0x10000, request_id=1, payload=b"")
+    with pytest.raises(RpcError):
+        RpcMessage(method=1, request_id=1, payload=bytes(17 * 1024))
+
+
+@given(
+    method=st.integers(min_value=0, max_value=0xFFFF),
+    request_id=st.integers(min_value=0, max_value=2**32 - 1),
+    payload=st.binary(max_size=512),
+)
+def test_frame_round_trip_property(method, request_id, payload):
+    message = RpcMessage(method, request_id, payload)
+    assert decode_rpc(encode_rpc(message)) == message
+
+
+def test_fpga_path_latency_and_throughput_win():
+    fpga = fpga_rpc_path()
+    soft = software_rpc_path()
+    assert rpc_latency_ns(fpga) < rpc_latency_ns(soft) / 5
+    assert rpc_throughput_per_s(fpga) > 5 * rpc_throughput_per_s(soft)
+    # The FPGA path sits in the microsecond RPC regime Dagger targets.
+    assert rpc_latency_ns(fpga) < 5_000.0
+
+
+def test_rpc_over_reliable_transport():
+    """End-to-end: RPC frames across the lossy simulated network."""
+    from repro.net import ReliableReceiver, ReliableSender, two_hosts_via_switch
+    from repro.sim import Kernel
+
+    server = RpcServer()
+    server.register(7, lambda p: p[::-1])
+
+    kernel = Kernel()
+    _, link_a, link_b = two_hosts_via_switch(kernel, loss_rate=0.05)
+    request_wire = encode_rpc(RpcMessage(7, 1, b"abcdef"))
+    sender = ReliableSender(kernel, link_a, "enzianA", "enzianB", mtu=256)
+    received = []
+    ReliableReceiver(
+        kernel, link_b, "enzianB", "enzianA",
+        deliver=lambda chunk: received.append(chunk),
+    )
+    kernel.run_process(sender.send(request_wire))
+    response = server.handle_wire(b"".join(received))
+    assert decode_rpc(response).payload == b"fedcba"

@@ -1,0 +1,70 @@
+"""Tests for the TCP stack performance models (Figure 7 shape)."""
+
+import pytest
+
+from repro.net import FpgaTcpStack, LinuxTcpStack, flows_to_saturate
+
+
+def test_fpga_stack_saturates_at_2kib_mtu():
+    """§5.2: Enzian saturates 100 Gb/s with an MTU as low as 2 KiB."""
+    stack = FpgaTcpStack()
+    goodput = stack.throughput_gbps(1 << 26, mtu=2048)
+    assert goodput > 0.90 * 100.0
+
+
+def test_fpga_stack_flow_count_independent():
+    stack = FpgaTcpStack()
+    one = stack.throughput_gbps(1 << 24, flows=1)
+    many = stack.throughput_gbps(1 << 24, flows=8)
+    assert one == pytest.approx(many)
+
+
+def test_linux_single_flow_cannot_saturate():
+    stack = LinuxTcpStack()
+    goodput = stack.throughput_gbps(1 << 26, flows=1)
+    assert goodput < 0.5 * 100.0
+
+
+def test_linux_needs_about_four_flows():
+    assert flows_to_saturate(LinuxTcpStack()) in (3, 4, 5)
+
+
+def test_fpga_latency_much_lower_than_linux():
+    """Figure 7 top panel: Enzian latency far below the kernel stack."""
+    fpga = FpgaTcpStack()
+    linux = LinuxTcpStack()
+    for size in (2 << 10, 64 << 10, 1 << 20):
+        assert fpga.one_way_latency_ns(size) < linux.one_way_latency_ns(size) / 2
+
+
+def test_latency_grows_with_transfer_size():
+    fpga = FpgaTcpStack()
+    sizes = [2**i << 10 for i in range(1, 11)]
+    latencies = [fpga.one_way_latency_ns(s) for s in sizes]
+    assert latencies == sorted(latencies)
+
+
+def test_linux_latency_in_paper_range():
+    """Linux one-way latency: tens to hundreds of microseconds."""
+    linux = LinuxTcpStack()
+    assert 20_000 <= linux.one_way_latency_ns(2 << 10) <= 120_000
+    assert linux.one_way_latency_ns(1 << 20) <= 600_000
+
+
+def test_throughput_rises_with_transfer_size():
+    fpga = FpgaTcpStack()
+    small = fpga.throughput_gbps(2 << 10)
+    large = fpga.throughput_gbps(1 << 20)
+    assert large > small
+
+
+def test_tiny_mtu_hurts_fpga_throughput():
+    stack = FpgaTcpStack()
+    assert stack.throughput_gbps(1 << 26, mtu=256) < stack.throughput_gbps(
+        1 << 26, mtu=2048
+    )
+
+
+def test_linux_flows_validation():
+    with pytest.raises(ValueError):
+        LinuxTcpStack().throughput_gbps(1 << 20, flows=0)

@@ -1,0 +1,166 @@
+"""Tests for past-time LTL and the compiled monitors.
+
+The key property: the incremental monitor agrees with the reference
+trace semantics on random formulas over random traces.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fpga import CoyoteShell
+from repro.rtverify import (
+    Historically,
+    Monitor,
+    Once,
+    Since,
+    TraceUnit,
+    Yesterday,
+    atom,
+    check_response,
+    estimate_resources,
+    evaluate_trace,
+)
+
+p, q, r = atom("p"), atom("q"), atom("r")
+
+
+def steps(*names_per_step):
+    return [set(names) for names in names_per_step]
+
+
+def test_atom_and_boolean_connectives():
+    trace = steps(("p",), ("q",), ("p", "q"), ())
+    assert evaluate_trace(p, trace) == [True, False, True, False]
+    assert evaluate_trace(p & q, trace) == [False, False, True, False]
+    assert evaluate_trace(p | q, trace) == [True, True, True, False]
+    assert evaluate_trace(~p, trace) == [False, True, False, True]
+    assert evaluate_trace(p.implies(q), trace) == [False, True, True, True]
+
+
+def test_yesterday_semantics():
+    trace = steps(("p",), (), ("p",))
+    assert evaluate_trace(Yesterday(p), trace) == [False, True, False]
+
+
+def test_once_latches():
+    trace = steps((), ("p",), (), ())
+    assert evaluate_trace(Once(p), trace) == [False, True, True, True]
+
+
+def test_historically_breaks_once():
+    trace = steps(("p",), ("p",), (), ("p",))
+    assert evaluate_trace(Historically(p), trace) == [True, True, False, False]
+
+
+def test_since_semantics():
+    # p S q: q happened, and p held ever since.
+    trace = steps(("q",), ("p",), ("p",), (), ("p",))
+    assert evaluate_trace(Since(p, q), trace) == [True, True, True, False, False]
+
+
+def test_since_retriggers():
+    trace = steps(("q",), (), ("q", "p"), ("p",))
+    assert evaluate_trace(Since(p, q), trace) == [True, False, True, True]
+
+
+def test_monitor_matches_reference_on_examples():
+    formulas = [
+        p,
+        ~p,
+        p & q,
+        Yesterday(p | q),
+        Once(p & ~q),
+        Historically(p.implies(Once(q))),
+        Since(p, q),
+        Since(p | q, r),
+    ]
+    trace = steps(("p",), ("q",), ("p", "r"), (), ("q", "r"), ("p", "q", "r"))
+    for formula in formulas:
+        assert Monitor(formula).run(trace) == evaluate_trace(formula, trace), str(formula)
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        return draw(st.sampled_from([p, q, r]))
+    kind = draw(st.integers(min_value=0, max_value=7))
+    if kind == 0:
+        return draw(st.sampled_from([p, q, r]))
+    sub = formulas(depth=depth - 1)
+    if kind == 1:
+        return ~draw(sub)
+    if kind == 2:
+        return draw(sub) & draw(sub)
+    if kind == 3:
+        return draw(sub) | draw(sub)
+    if kind == 4:
+        return Yesterday(draw(sub))
+    if kind == 5:
+        return Once(draw(sub))
+    if kind == 6:
+        return Historically(draw(sub))
+    return Since(draw(sub), draw(sub))
+
+
+traces = st.lists(
+    st.sets(st.sampled_from(["p", "q", "r"])), min_size=1, max_size=12
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(formula=formulas(), trace=traces)
+def test_monitor_equals_reference_semantics(formula, trace):
+    assert Monitor(formula).run(trace) == evaluate_trace(formula, trace)
+
+
+def test_monitor_violation_reporting():
+    # "every release is preceded by an acquire" (the OS-invariant shape).
+    acquire, release = atom("acquire"), atom("release")
+    invariant = release.implies(Once(acquire))
+    good = steps(("acquire",), (), ("release",))
+    bad = steps(("release",),)
+    assert check_response(invariant, good) is None
+    assert check_response(invariant, bad) == 0
+    monitor = Monitor(invariant)
+    monitor.run(bad + good)
+    assert monitor.ever_violated
+    assert monitor.violations == [0]
+    monitor.reset()
+    assert not monitor.ever_violated
+
+
+def test_trace_unit_collects_events():
+    unit = TraceUnit(core_id=3)
+    unit.emit("syscall", "acquire")
+    unit.emit()
+    unit.emit("release")
+    assert unit.stream() == [{"syscall", "acquire"}, set(), {"release"}]
+
+
+def test_resource_estimate_scales_with_formula():
+    small = estimate_resources(Monitor(p))
+    big = estimate_resources(
+        Monitor(Historically((p & Once(q)).implies(Since(q, r))))
+    )
+    assert big.luts > small.luts
+    assert big.ffs > small.ffs
+
+
+def test_monitor_fits_in_a_vfpga_slot():
+    """The zero-overhead claim: a realistic monitor is tiny next to the
+    fabric, so it loads into a slot like any AFU."""
+    from repro.fpga import Afu
+
+    invariant = Historically(atom("irq_exit").implies(Once(atom("irq_enter"))))
+    monitor = Monitor(invariant)
+    resources = estimate_resources(monitor, clock_domains=48)  # one per core
+    shell = CoyoteShell()
+    afu = Afu("rt-monitor", resources)
+    shell.load_afu(0, afu)
+    assert afu.loaded
+    assert resources.fraction_of(shell.fabric.capacity) < 0.001
+
+
+def test_state_bits_counted_per_temporal_operator():
+    formula = Since(Yesterday(p), Once(q))
+    assert Monitor(formula).state_bits == 3
