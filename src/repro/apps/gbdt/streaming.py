@@ -49,13 +49,22 @@ def run_streaming_inference(
     batch_tuples: int = 1024,
     host_bandwidth_bytes_per_ns: float = 10.0,
     double_buffered: bool = True,
+    obs=None,
 ) -> StreamingResult:
     """Simulate streaming ``features`` through the engine.
 
     Copy time comes from the host link bandwidth; compute time from the
     engine's tuples/s.  Predictions are computed functionally on the
     same batch boundaries, so results are exactly the ensemble's.
+
+    With a registry attached as ``obs``, each batch reports per-stage
+    latency histograms (``app_gbdt_stage_ns`` for copy / compute /
+    total, the last including buffer and engine queueing) and a tuple
+    counter; observation never perturbs the schedule.
     """
+    from ...obs import NULL_REGISTRY
+
+    obs = obs if obs is not None else NULL_REGISTRY
     if batch_tuples < 1:
         raise ValueError("batch_tuples must be positive")
     features = np.asarray(features)
@@ -76,15 +85,30 @@ def run_streaming_inference(
 
     def batch_pipeline(index: int, batch: np.ndarray):
         # Stage 1: claim a buffer, then the DMA engine, and copy in.
+        t_start = kernel.now
         yield buffers.acquire()
         yield dma_busy.acquire()
+        t_copy = kernel.now
         yield Timeout(copy_ns)
+        if obs:
+            obs.histogram("app_gbdt_stage_ns", {"stage": "copy"}).observe(
+                kernel.now - t_copy
+            )
         dma_busy.release(kernel)
         # Stage 2: the (single) engine computes; the buffer frees when
         # the compute drains it.
         yield engine_busy.acquire()
+        t_compute = kernel.now
         yield Timeout(compute_ns * len(batch) / batch_tuples)
         predictions[index] = accelerator.infer(batch)
+        if obs:
+            obs.histogram("app_gbdt_stage_ns", {"stage": "compute"}).observe(
+                kernel.now - t_compute
+            )
+            obs.histogram("app_gbdt_stage_ns", {"stage": "total"}).observe(
+                kernel.now - t_start
+            )
+            obs.counter("app_gbdt_tuples_total").inc(len(batch))
         engine_busy.release(kernel)
         buffers.release(kernel)
 

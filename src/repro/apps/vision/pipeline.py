@@ -12,6 +12,7 @@ measurements.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 from typing import Dict
 
@@ -34,9 +35,25 @@ class ReductionMode(enum.Enum):
 
 # -- functional pipelines ---------------------------------------------------
 
-def soft_pipeline(frame: np.ndarray) -> np.ndarray:
+def _observe_stage(obs, stage: str, t0_ns: int) -> int:
+    """Record one wall-clock stage duration; returns a fresh stage start."""
+    t1 = time.perf_counter_ns()
+    obs.histogram("app_vision_stage_ns", {"stage": stage}).observe(t1 - t0_ns)
+    return t1
+
+
+def soft_pipeline(frame: np.ndarray, obs=None) -> np.ndarray:
     """All-software reference: RGB2Y then blur."""
-    return gaussian_blur3(rgb_to_y(frame))
+    if not obs:
+        return gaussian_blur3(rgb_to_y(frame))
+    t = time.perf_counter_ns()
+    y = rgb_to_y(frame)
+    t = _observe_stage(obs, "rgb2y", t)
+    blurred = gaussian_blur3(y)
+    _observe_stage(obs, "blur", t)
+    obs.counter("app_vision_frames_total", {"mode": ReductionMode.NONE.value}).inc()
+    obs.counter("app_vision_pixels_total").inc(frame.shape[0] * frame.shape[1])
+    return blurred
 
 
 def reduce_frame(frame: np.ndarray, mode: ReductionMode) -> np.ndarray:
@@ -49,16 +66,34 @@ def reduce_frame(frame: np.ndarray, mode: ReductionMode) -> np.ndarray:
     return pack4(quantize4(y)).reshape(y.shape[0], y.shape[1] // 2)
 
 
-def hard_pipeline(reduced: np.ndarray, mode: ReductionMode) -> np.ndarray:
+def hard_pipeline(reduced: np.ndarray, mode: ReductionMode, obs=None) -> np.ndarray:
     """The CPU side after hardware reduction: (unpack +) blur."""
     if mode is ReductionMode.NONE:
-        return soft_pipeline(reduced)
+        return soft_pipeline(reduced, obs=obs)
     if mode is ReductionMode.Y8:
-        return gaussian_blur3(reduced)
+        if not obs:
+            return gaussian_blur3(reduced)
+        t = time.perf_counter_ns()
+        blurred = gaussian_blur3(reduced)
+        _observe_stage(obs, "blur", t)
+        obs.counter("app_vision_frames_total", {"mode": mode.value}).inc()
+        obs.counter("app_vision_pixels_total").inc(reduced.shape[0] * reduced.shape[1])
+        return blurred
+    if not obs:
+        codes = unpack4(reduced.reshape(-1)).reshape(
+            reduced.shape[0], reduced.shape[1] * 2
+        )
+        return gaussian_blur3(dequantize4(codes))
+    t = time.perf_counter_ns()
     codes = unpack4(reduced.reshape(-1)).reshape(
         reduced.shape[0], reduced.shape[1] * 2
     )
-    return gaussian_blur3(dequantize4(codes))
+    t = _observe_stage(obs, "unpack", t)
+    blurred = gaussian_blur3(dequantize4(codes))
+    _observe_stage(obs, "blur", t)
+    obs.counter("app_vision_frames_total", {"mode": mode.value}).inc()
+    obs.counter("app_vision_pixels_total").inc(codes.shape[0] * codes.shape[1])
+    return blurred
 
 
 # -- performance model ---------------------------------------------------

@@ -78,8 +78,14 @@ class PowerManager:
         loads: Optional[LoadBook] = None,
         requirements: Sequence[RailRequirement] = ALL_RAILS,
         regulator_params: Optional[RegulatorParams] = None,
+        obs=None,
     ):
+        from ..obs import NULL_REGISTRY
+
+        self.obs = obs if obs is not None else NULL_REGISTRY
         self.clock = clock or BoardClock()
+        if obs is not None:
+            obs.use_clock(lambda: self.clock.now_s, override=False)
         self.loads = loads or LoadBook()
         self.bus = I2cBus("pmbus0")
         self.smbus = SmbusController(self.bus)
@@ -162,6 +168,11 @@ class PowerManager:
             if not self.regulators[rail].live:
                 raise PowerManagerError(f"rail {rail} failed to reach regulation")
             self.events.append((self.clock.now_s, f"on:{rail}"))
+            if self.obs:
+                self.obs.counter("bmc_rail_events_total", {"op": "on"}).inc()
+                self.obs.gauge("bmc_rails_live").set(
+                    sum(1 for r in self.regulators.values() if r.live)
+                )
 
     def _bring_down(self, rails: Sequence[RailRequirement]) -> None:
         group = {r.rail for r in rails}
@@ -170,6 +181,11 @@ class PowerManager:
             self._operation(rail, Operation.OFF)
             self.clock.advance(0.002)
             self.events.append((self.clock.now_s, f"off:{rail}"))
+            if self.obs:
+                self.obs.counter("bmc_rail_events_total", {"op": "off"}).inc()
+                self.obs.gauge("bmc_rails_live").set(
+                    sum(1 for r in self.regulators.values() if r.live)
+                )
 
     def common_power_up(self) -> None:
         """PSU plugged in: standby, main, and clock domains."""

@@ -92,7 +92,10 @@ class TelemetryService:
         manager: PowerManager,
         rails: Optional[Dict[str, str]] = None,
         sample_period_ms: float = 20.0,
+        obs=None,
     ):
+        from ..obs import NULL_REGISTRY
+
         if sample_period_ms <= 0:
             raise ValueError("sample period must be positive")
         self.manager = manager
@@ -102,6 +105,9 @@ class TelemetryService:
             label: PowerTrace(label) for label in self.rails
         }
         self.marks: List[PhaseMark] = []
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        if obs is not None:
+            obs.use_clock(lambda: self.manager.clock.now_s, override=False)
 
     def _sample_all(self) -> None:
         now = self.manager.clock.now_s
@@ -114,6 +120,17 @@ class TelemetryService:
             self.traces[label].samples.append(
                 PowerSample(now, regulator.vout, regulator.iout)
             )
+            if self.obs:
+                key = {"rail": label}
+                self.obs.gauge("bmc_rail_volts", key).set(regulator.vout)
+                self.obs.gauge("bmc_rail_amps", key).set(regulator.iout)
+                self.obs.gauge("bmc_rail_watts", key).set(
+                    regulator.vout * regulator.iout
+                )
+        if self.obs:
+            self.obs.counter(
+                "bmc_samples_total", help="telemetry sweeps completed"
+            ).inc()
 
     def run_phases(self, phases: Sequence[Phase]) -> None:
         """Execute phases, sampling throughout."""

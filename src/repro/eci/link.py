@@ -73,8 +73,13 @@ class EciLinkTransport(Transport):
     the same link.
     """
 
-    def __init__(self, kernel: Kernel, params: Optional[EciLinkParams] = None):
-        super().__init__(kernel)
+    def __init__(
+        self,
+        kernel: Kernel,
+        params: Optional[EciLinkParams] = None,
+        obs=None,
+    ):
+        super().__init__(kernel, obs=obs)
         self.params = params or EciLinkParams()
         # (link index, src, dst) -> time the serializer frees up
         self._free_at: Dict[Tuple[int, int, int], float] = {}
@@ -106,6 +111,10 @@ class EciLinkTransport(Transport):
             if available <= 0:
                 # No buffer at the receiver for this VC: park the message.
                 self.stats["credit_stalls"] += 1
+                if self.obs:
+                    self.obs.counter(
+                        "eci_credit_stalls_total", {"vc": message.vc.name}
+                    ).inc()
                 self._waiting.setdefault(vc_key, []).append(message)
                 return
             self._credits[vc_key] = available - 1
@@ -122,6 +131,13 @@ class EciLinkTransport(Transport):
         self.stats["messages"] += 1
         self.stats["bytes_per_link"][link] += message.wire_bytes
         self.stats["queueing_ns"] += start - now
+        if self.obs:
+            self.obs.counter(
+                "eci_link_bytes_total", {"link": str(link)}
+            ).inc(message.wire_bytes)
+            self.obs.histogram(
+                "eci_link_queueing_ns", help="serializer wait before transmit"
+            ).observe(start - now)
         self.kernel.call_at(arrival, lambda _: self._consume(message))
 
     def _consume(self, message: Message) -> None:

@@ -85,12 +85,20 @@ class Transport:
     """Delivers messages between protocol nodes.
 
     Per-(src, dst, VC) ordering must be preserved by implementations.
+    Passing a :class:`repro.obs.MetricsRegistry` as ``obs`` records
+    per-VC message and byte counters for every send; agents attached to
+    the transport inherit the same registry for their own counters.
     """
 
-    def __init__(self, kernel: Kernel):
+    def __init__(self, kernel: Kernel, obs=None):
+        from ..obs import NULL_REGISTRY
+
         self.kernel = kernel
         self._nodes: Dict[int, "ProtocolNode"] = {}
         self.observers: list[Callable[[float, Message], None]] = []
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        if obs is not None:
+            obs.use_clock(lambda: self.kernel.now, override=False)
 
     def attach(self, node: "ProtocolNode") -> None:
         if node.node_id in self._nodes:
@@ -100,6 +108,10 @@ class Transport:
     def send(self, message: Message) -> None:
         for observer in self.observers:
             observer(self.kernel.now, message)
+        if self.obs:
+            vc = {"vc": message.vc.name}
+            self.obs.counter("eci_messages_total", vc).inc()
+            self.obs.counter("eci_bytes_total", vc).inc(message.wire_bytes)
         self._deliver(message)
 
     def _deliver(self, message: Message) -> None:
@@ -115,8 +127,8 @@ class Transport:
 class InstantTransport(Transport):
     """Fixed-latency delivery; latency 0 is valid for correctness tests."""
 
-    def __init__(self, kernel: Kernel, latency_ns: float = 0.0):
-        super().__init__(kernel)
+    def __init__(self, kernel: Kernel, latency_ns: float = 0.0, obs=None):
+        super().__init__(kernel, obs=obs)
         self.latency_ns = latency_ns
 
     def _deliver(self, message: Message) -> None:
@@ -194,6 +206,18 @@ class CacheAgent(ProtocolNode):
             "evictions": 0,
             "probes": 0,
         }
+        self.obs = transport.obs
+        if self.obs:
+            self.state_observers.append(self._observe_transition)
+
+    def _observe_transition(
+        self, node: int, addr: int, old: CacheState, new: CacheState
+    ) -> None:
+        if old is not new:
+            self.obs.counter(
+                "eci_state_transitions_total",
+                {"node": self.name, "from": old.value, "to": new.value},
+            ).inc()
 
     # -- public API (simulation processes) ------------------------------
 
@@ -563,6 +587,7 @@ class HomeAgent(ProtocolNode):
             "fnak_retries": 0,
             "io_ops": 0,
         }
+        self.obs = transport.obs
 
     # -- message intake ---------------------------------------------------
 
@@ -623,12 +648,20 @@ class HomeAgent(ProtocolNode):
                 self._apply_writeback(message)
             elif message.mtype in (MessageType.RLDS, MessageType.RLDD, MessageType.RSTD):
                 self.stats["requests"] += 1
+                if self.obs:
+                    self.obs.counter(
+                        "eci_home_requests_total", {"type": message.mtype.name}
+                    ).inc()
                 yield from self._handle_request(addr, queue, message)
             else:
                 raise ProtocolError(f"{self.name}: unexpected on line queue: {message}")
 
     def _apply_writeback(self, message: Message) -> None:
         self.stats["writebacks"] += 1
+        if self.obs:
+            self.obs.counter(
+                "eci_writebacks_total", {"type": message.mtype.name}
+            ).inc()
         addr = line_address(message.addr)
         entry = self.directory.setdefault(addr, DirectoryEntry())
         if message.mtype is MessageType.VICD:
@@ -775,6 +808,8 @@ class HomeAgent(ProtocolNode):
         self.stats["forwards"] += 1
         if mtype is MessageType.FINV:
             self.stats["invalidations"] += 1
+        if self.obs:
+            self.obs.counter("eci_forwards_total", {"type": mtype.name}).inc()
         probe_txid = next(self._probe_txids)
         done = Event(f"{self.name}.probe{probe_txid}->{target}")
         self._completion_waiters[probe_txid] = done
@@ -794,6 +829,8 @@ class HomeAgent(ProtocolNode):
         # FNAK: a VICD/VICC from the target is in flight; wait for it on
         # this line's queue, apply it, and report the miss.
         self.stats["fnak_retries"] += 1
+        if self.obs:
+            self.obs.counter("eci_fnak_retries_total").inc()
         yield from self._absorb_writeback_from(addr, queue, target)
         return False
 

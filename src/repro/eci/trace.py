@@ -19,6 +19,8 @@ from .serialization import decode_prefix, encode
 
 _RECORD_HEADER = struct.Struct("<dI")  # timestamp (ns, f64), record length
 TRACE_MAGIC = b"ECITRACE"
+DROP_MAGIC = b"ECIDROPS"  # optional trailer carrying the drop count
+_DROP_TRAILER = struct.Struct("<Q")
 
 
 @dataclass(frozen=True)
@@ -100,12 +102,20 @@ class TraceRecorder:
     # -- persistence -------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Serialize the trace to the on-disk format."""
+        """Serialize the trace to the on-disk format.
+
+        A non-zero drop count is persisted in a trailer so a decoded
+        capture still reports how much it is missing; drop-free traces
+        keep the original byte layout.
+        """
         chunks = [TRACE_MAGIC]
         for record in self.records:
             wire = encode(record.message)
             chunks.append(_RECORD_HEADER.pack(record.timestamp, len(wire)))
             chunks.append(wire)
+        if self.dropped:
+            chunks.append(DROP_MAGIC)
+            chunks.append(_DROP_TRAILER.pack(self.dropped))
         return b"".join(chunks)
 
     @classmethod
@@ -116,6 +126,13 @@ class TraceRecorder:
         recorder = cls()
         offset = len(TRACE_MAGIC)
         while offset < len(data):
+            if data[offset : offset + len(DROP_MAGIC)] == DROP_MAGIC:
+                offset += len(DROP_MAGIC)
+                (recorder.dropped,) = _DROP_TRAILER.unpack_from(data, offset)
+                offset += _DROP_TRAILER.size
+                if offset != len(data):
+                    raise ValueError("trailing bytes after drop trailer")
+                break
             timestamp, length = _RECORD_HEADER.unpack_from(data, offset)
             offset += _RECORD_HEADER.size
             message, consumed = decode_prefix(data[offset : offset + length])
@@ -128,6 +145,15 @@ class TraceRecorder:
     # -- rendering ---------------------------------------------------------
 
     def format(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
-        """Render records (default: all) as decoder output, one per line."""
+        """Render records (default: all) as decoder output, one per line.
+
+        A full render of a capture that hit its ``limit`` ends with a
+        summary line so truncated traces are never mistaken for
+        complete ones.
+        """
         source = self.records if records is None else records
-        return "\n".join(record.format() for record in source)
+        lines = [record.format() for record in source]
+        if records is None and self.dropped:
+            limit = f" (limit={self.limit})" if self.limit is not None else ""
+            lines.append(f"... {self.dropped} records dropped{limit}")
+        return "\n".join(lines)

@@ -90,17 +90,28 @@ class RdmaTarget:
 class QueuePair:
     """The active side: issues verbs against a target."""
 
-    def __init__(self, target: RdmaTarget):
+    def __init__(self, target: RdmaTarget, obs=None):
+        from ..obs import NULL_REGISTRY
+
         self.target = target
         self.completions = 0
+        self.obs = obs if obs is not None else NULL_REGISTRY
 
     def post_write(self, rkey: int, addr: int, data: bytes) -> None:
         self.target.execute(RdmaOp.WRITE, rkey, addr, data)
         self.completions += 1
+        if self.obs:
+            op = {"op": "write"}
+            self.obs.counter("net_rdma_ops_total", op).inc()
+            self.obs.counter("net_rdma_bytes_total", op).inc(len(data))
 
     def post_read(self, rkey: int, addr: int, length: int) -> bytes:
         result = self.target.execute(RdmaOp.READ, rkey, addr, length=length)
         self.completions += 1
+        if self.obs:
+            op = {"op": "read"}
+            self.obs.counter("net_rdma_ops_total", op).inc()
+            self.obs.counter("net_rdma_bytes_total", op).inc(length)
         return result
 
 

@@ -40,7 +40,11 @@ class ReliableSender:
         mtu: int = 1500,
         timeout_ns: float = 2_000_000.0,  # 2 ms retransmission timer
         max_retries: int = 50,
+        obs=None,
     ):
+        from ..obs import NULL_REGISTRY
+
+        self.obs = obs if obs is not None else NULL_REGISTRY
         if window < 1:
             raise ValueError("window must be >= 1")
         if mtu < 64:
@@ -65,6 +69,8 @@ class ReliableSender:
         if segment.kind != "ack":
             return
         self.stats["acks"] += 1
+        if self.obs:
+            self.obs.counter("net_acks_total").inc()
         if segment.seq > self.base:
             self.base = segment.seq
             if self._ack_event is not None and not self._ack_event.fired:
@@ -82,6 +88,8 @@ class ReliableSender:
             )
         )
         self.stats["sent"] += 1
+        if self.obs:
+            self.obs.counter("net_segments_sent_total").inc()
 
     def send(self, payload: bytes):
         """Process: reliably deliver ``payload``; returns stats dict."""
@@ -110,6 +118,10 @@ class ReliableSender:
                         f"{self.local}: {retries} consecutive timeouts"
                     )
                 self.stats["retransmitted"] += self.next_seq - self.base
+                if self.obs:
+                    self.obs.counter("net_retransmits_total").inc(
+                        self.next_seq - self.base
+                    )
                 self.next_seq = self.base
             elif self.base != before:
                 retries = 0

@@ -58,8 +58,11 @@ class LinuxTcpParams:
 class FpgaTcpStack:
     """Performance model of the FPGA-terminated stack."""
 
-    def __init__(self, params: FpgaTcpParams | None = None):
+    def __init__(self, params: FpgaTcpParams | None = None, obs=None):
+        from ..obs import NULL_REGISTRY
+
         self.params = params or FpgaTcpParams()
+        self.obs = obs if obs is not None else NULL_REGISTRY
 
     def pipeline_rate_bytes_per_ns(self, mtu: int) -> float:
         """Payload rate through the pipeline at a given segment size."""
@@ -80,20 +83,34 @@ class FpgaTcpStack:
         # Small transfers do not amortize the stack latency.
         p = self.params
         time_ns = transfer_bytes / rate + p.stack_latency_ns + p.network_latency_ns
-        return transfer_bytes / time_ns * 8
+        goodput = transfer_bytes / time_ns * 8
+        if self.obs:
+            stack = {"stack": "fpga"}
+            self.obs.counter("net_tcp_transfers_total", stack).inc()
+            self.obs.counter("net_tcp_bytes_total", stack).inc(transfer_bytes)
+            self.obs.gauge("net_tcp_goodput_gbps", stack).set(goodput)
+        return goodput
 
     def one_way_latency_ns(self, transfer_bytes: int, mtu: int = 2048) -> float:
         """Half the ping-pong round trip for ``transfer_bytes``."""
         p = self.params
         rate = min(self.pipeline_rate_bytes_per_ns(mtu), self.wire_rate_bytes_per_ns(mtu))
-        return p.stack_latency_ns + p.network_latency_ns + transfer_bytes / rate
+        latency = p.stack_latency_ns + p.network_latency_ns + transfer_bytes / rate
+        if self.obs:
+            self.obs.histogram(
+                "net_tcp_latency_ns", {"stack": "fpga"}
+            ).observe(latency)
+        return latency
 
 
 class LinuxTcpStack:
     """Performance model of the kernel stack."""
 
-    def __init__(self, params: LinuxTcpParams | None = None):
+    def __init__(self, params: LinuxTcpParams | None = None, obs=None):
+        from ..obs import NULL_REGISTRY
+
         self.params = params or LinuxTcpParams()
+        self.obs = obs if obs is not None else NULL_REGISTRY
 
     def per_flow_rate_bytes_per_ns(self) -> float:
         p = self.params
@@ -108,13 +125,24 @@ class LinuxTcpStack:
         wire = gbps_to_bytes_per_ns(p.link_gbps) * p.mtu / (p.mtu + HEADERS_BYTES)
         rate = min(cpu_rate, wire)
         time_ns = transfer_bytes / rate + p.stack_latency_ns + p.network_latency_ns
-        return transfer_bytes / time_ns * 8
+        goodput = transfer_bytes / time_ns * 8
+        if self.obs:
+            stack = {"stack": "linux"}
+            self.obs.counter("net_tcp_transfers_total", stack).inc()
+            self.obs.counter("net_tcp_bytes_total", stack).inc(transfer_bytes)
+            self.obs.gauge("net_tcp_goodput_gbps", stack).set(goodput)
+        return goodput
 
     def one_way_latency_ns(self, transfer_bytes: int, mtu: int | None = None) -> float:
         p = self.params
         rate = min(self.per_flow_rate_bytes_per_ns(),
                    gbps_to_bytes_per_ns(p.link_gbps))
-        return p.stack_latency_ns + p.network_latency_ns + transfer_bytes / rate
+        latency = p.stack_latency_ns + p.network_latency_ns + transfer_bytes / rate
+        if self.obs:
+            self.obs.histogram(
+                "net_tcp_latency_ns", {"stack": "linux"}
+            ).observe(latency)
+        return latency
 
 
 def flows_to_saturate(stack: LinuxTcpStack, target_fraction: float = 0.95) -> int:

@@ -1,0 +1,64 @@
+"""Platform-wide observability: metrics registry, tracer, exporters.
+
+Usage::
+
+    from repro.obs import MetricsRegistry
+    from repro.sim import Kernel
+
+    obs = MetricsRegistry(record_events=True)
+    kernel = Kernel(obs=obs)            # metrics stamped with kernel.now
+    ...
+    print(summary_table(obs))           # per-component roll-up
+    print(prometheus_text(obs))         # scrape-format snapshot
+    log = events_jsonl(obs)             # replayable event log
+
+Components not given a registry default to :data:`NULL_REGISTRY` and
+pay (at most) one truthiness check per operation.
+"""
+
+from .export import (
+    component_of,
+    component_summary,
+    events_jsonl,
+    parse_jsonl,
+    prometheus_text,
+    snapshot_jsonl,
+    summary_table,
+)
+from .metrics import (
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    ObsError,
+    ObsEvent,
+    labels_key,
+)
+from .tracer import NULL_SPAN, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "ObsError",
+    "ObsEvent",
+    "Span",
+    "Tracer",
+    "component_of",
+    "component_summary",
+    "events_jsonl",
+    "labels_key",
+    "parse_jsonl",
+    "prometheus_text",
+    "snapshot_jsonl",
+    "summary_table",
+]

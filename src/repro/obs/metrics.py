@@ -1,0 +1,356 @@
+"""Simulated-time-aware metrics: counters, gauges, log-bucketed histograms.
+
+The registry is the platform-wide measurement substrate the paper's
+tooling implies (§4.1, §6): every layer of the software twin -- the
+event kernel, the ECI link and protocol agents, the BMC telemetry
+service, the network stacks, and the application pipelines -- reports
+into one :class:`MetricsRegistry`, stamped with *simulated* time
+(``Kernel.now``, or a board clock) rather than wall time.
+
+Zero-overhead contract
+----------------------
+Every instrumented component defaults to :data:`NULL_REGISTRY`, a
+null-object registry whose instruments are shared no-op singletons and
+which is *falsy*.  Hot paths gate their bookkeeping with
+``if self.obs: ...`` so that, with no registry attached, the only cost
+is a single truthiness check -- benchmark outputs are bit-identical
+with and without the hooks (covered by ``tests/obs``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+#: Values at or below zero land in the histogram bucket with this bound.
+ZERO_BUCKET = 0.0
+
+
+class ObsError(ValueError):
+    """An observability-API misuse (kind conflict, double finish, ...)."""
+
+
+def labels_key(labels: Optional[Mapping[str, Any]]) -> LabelsKey:
+    """Canonical, hashable form of a label set (sorted string pairs)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One timestamped update, recorded when the registry logs events."""
+
+    t: float
+    kind: str          # 'counter' | 'gauge' | 'histogram' | 'span_start' | 'span_end'
+    name: str
+    labels: LabelsKey
+    value: float
+
+    def to_dict(self) -> dict:
+        return {
+            "t": self.t,
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Instrument:
+    """Common identity plumbing for one (name, labels) series."""
+
+    kind = "instrument"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 key: LabelsKey, help: str = ""):
+        self._registry = registry
+        self.name = name
+        self.labels_key = key
+        self.help = help
+
+    @property
+    def labels(self) -> dict:
+        return dict(self.labels_key)
+
+    def _emit(self, value: float) -> None:
+        self._registry._record(self.kind, self.name, self.labels_key, value)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.labels})"
+
+
+class Counter(Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, key, help=""):
+        super().__init__(registry, name, key, help)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObsError(f"counter {self.name!r} can only increase, got {amount}")
+        self.value += amount
+        self._emit(self.value)
+
+
+class Gauge(Instrument):
+    """A value that can move in either direction."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, key, help=""):
+        super().__init__(registry, name, key, help)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self._emit(self.value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+
+class Histogram(Instrument):
+    """Log-bucketed distribution: bucket *i* holds values in
+    ``(base**(i-1), base**i]``; non-positive values share the
+    :data:`ZERO_BUCKET`.  Exact powers of the base land on their own
+    boundary (``observe(8)`` with base 2 goes to the ``le=8`` bucket).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, key, help="", base: float = 2.0):
+        super().__init__(registry, name, key, help)
+        if base <= 1.0:
+            raise ObsError(f"histogram base must be > 1, got {base}")
+        self.base = float(base)
+        self._buckets: Dict[float, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def bucket_bound(self, value: float) -> float:
+        """Upper bound of the bucket ``value`` falls into."""
+        if value <= 0:
+            return ZERO_BUCKET
+        # Round before ceil so that exact powers of the base are not
+        # pushed up a bucket by floating-point log error.
+        exponent = math.ceil(round(math.log(value, self.base), 9))
+        return self.base ** exponent
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        bound = self.bucket_bound(value)
+        self._buckets[bound] = self._buckets.get(bound, 0) + 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self._emit(value)
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """(upper_bound, count) pairs, sorted by bound."""
+        return sorted(self._buckets.items())
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Instrument factory, event log, and tracer root for one system.
+
+    ``clock`` supplies event timestamps; a :class:`repro.sim.Kernel`
+    built with ``Kernel(obs=registry)`` installs its own ``now`` unless
+    a clock was already set.  ``record_events`` turns on the append-only
+    :attr:`events` log used by the JSON-lines exporter and the golden
+    trace tests.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        record_events: bool = False,
+        max_events: int = 1_000_000,
+    ):
+        self._clock = clock
+        self.record_events = record_events
+        self.max_events = max_events
+        self.dropped_events = 0
+        self.events: List[ObsEvent] = []
+        self._instruments: Dict[Tuple[str, LabelsKey], Instrument] = {}
+        # Imported here to avoid a cycle at module load time.
+        from .tracer import Tracer
+
+        self.tracer = Tracer(registry=self)
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def use_clock(self, clock: Callable[[], float], override: bool = True) -> None:
+        """Install a time source; ``override=False`` keeps an existing one."""
+        if override or self._clock is None:
+            self._clock = clock
+
+    # -- instrument factories --------------------------------------------
+
+    def _get(self, cls, name: str, labels, help: str, **kwargs) -> Instrument:
+        key = labels_key(labels)
+        existing = self._instruments.get((name, key))
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ObsError(
+                    f"metric {name!r}{dict(key)} already registered as "
+                    f"{existing.kind}, requested {cls.kind}"
+                )
+            return existing
+        instrument = cls(self, name, key, help=help, **kwargs)
+        self._instruments[(name, key)] = instrument
+        return instrument
+
+    def counter(self, name: str, labels: Optional[Mapping] = None,
+                help: str = "") -> Counter:
+        return self._get(Counter, name, labels, help)
+
+    def gauge(self, name: str, labels: Optional[Mapping] = None,
+              help: str = "") -> Gauge:
+        return self._get(Gauge, name, labels, help)
+
+    def histogram(self, name: str, labels: Optional[Mapping] = None,
+                  help: str = "", base: float = 2.0) -> Histogram:
+        return self._get(Histogram, name, labels, help, base=base)
+
+    # -- introspection ----------------------------------------------------
+
+    def metrics(self) -> Iterator[Instrument]:
+        """All instruments in deterministic (name, labels) order."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def snapshot(self) -> List[dict]:
+        """Plain-data view of every instrument (exporter input)."""
+        out = []
+        for m in self.metrics():
+            entry = {"kind": m.kind, "name": m.name, "labels": m.labels}
+            if isinstance(m, Histogram):
+                entry.update(
+                    count=m.count,
+                    sum=m.sum,
+                    min=m.min,
+                    max=m.max,
+                    base=m.base,
+                    buckets=[[bound, count] for bound, count in m.buckets()],
+                )
+            else:
+                entry["value"] = m.value
+            out.append(entry)
+        return out
+
+    # -- event log --------------------------------------------------------
+
+    def _record(self, kind: str, name: str, key: LabelsKey, value: float) -> None:
+        if not self.record_events:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(ObsEvent(self.now, kind, name, key, value))
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._instruments)} instruments, "
+            f"{len(self.events)} events)"
+        )
+
+
+# -- null objects ----------------------------------------------------------
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram.  Falsy, stateless."""
+
+    __slots__ = ()
+    name = "null"
+    help = ""
+    labels_key: LabelsKey = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Falsy registry handing out shared no-op instruments.
+
+    The default ``obs`` of every instrumented component; attaching
+    nothing must cost nothing and change nothing.
+    """
+
+    __slots__ = ("tracer",)
+    record_events = False
+    events: tuple = ()
+
+    def __init__(self):
+        from .tracer import NullTracer
+
+        self.tracer = NullTracer()
+
+    @property
+    def now(self) -> float:
+        return 0.0
+
+    def use_clock(self, clock, override: bool = True) -> None:
+        pass
+
+    def counter(self, name, labels=None, help="") -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name, labels=None, help="") -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, labels=None, help="", base: float = 2.0) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def metrics(self):
+        return iter(())
+
+    def snapshot(self) -> list:
+        return []
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NullRegistry()"
+
+
+NULL_REGISTRY = NullRegistry()

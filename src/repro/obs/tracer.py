@@ -1,0 +1,189 @@
+"""Span-based tracing over simulated time.
+
+A span covers one logical operation (a coherent write, one DMA batch,
+a power sequence) between two timestamps of the registry clock.  Spans
+nest: the tracer keeps the open-span stack, so a span started while
+another is open becomes its child, giving the parent/child context
+needed to follow one coherence transaction from CPU cache miss through
+the ECI VCs to the FPGA AFU and back.
+
+Spans are deterministic: ids are sequential integers, timestamps come
+from simulated clocks, so a traced run exports byte-identical output
+across runs (the golden-trace tests rely on this).
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .metrics import ObsError
+
+
+@dataclass
+class Span:
+    """One traced operation.  ``end is None`` while the span is open."""
+
+    name: str
+    span_id: int
+    trace_id: int
+    parent_id: Optional[int]
+    start: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    end: Optional[float] = None
+    orphaned: bool = False
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ObsError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "orphaned": self.orphaned,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Creates and finishes spans against one registry clock."""
+
+    def __init__(self, registry=None, clock=None):
+        if registry is None and clock is None:
+            raise ObsError("tracer needs a registry or a clock")
+        self._registry = registry
+        self._clock = clock
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+        self.finished: List[Span] = []
+
+    @property
+    def now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return self._registry.now
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def open_spans(self) -> List[Span]:
+        return list(self._stack)
+
+    @property
+    def orphans(self) -> List[Span]:
+        """Spans force-closed because an ancestor finished first."""
+        return [s for s in self.finished if s.orphaned]
+
+    def start_span(self, name: str, **attrs: Any) -> Span:
+        span_id = next(self._ids)
+        parent = self.current
+        span = Span(
+            name=name,
+            span_id=span_id,
+            trace_id=parent.trace_id if parent else span_id,
+            parent_id=parent.span_id if parent else None,
+            start=self.now,
+            attrs=attrs,
+        )
+        self._stack.append(span)
+        self._emit("span_start", span, span.start)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` (and orphan any children still open)."""
+        if span.end is not None:
+            raise ObsError(f"span {span.name!r} finished twice")
+        if span not in self._stack:
+            raise ObsError(f"span {span.name!r} is not open in this tracer")
+        while self._stack[-1] is not span:
+            orphan = self._stack.pop()
+            orphan.end = self.now
+            orphan.orphaned = True
+            self.finished.append(orphan)
+            self._emit("span_end", orphan, orphan.duration)
+        self._stack.pop()
+        span.end = self.now
+        self.finished.append(span)
+        self._emit("span_end", span, span.duration)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        """Context manager: start on entry, finish on exit."""
+        span = self.start_span(name, **attrs)
+        try:
+            yield span
+        finally:
+            self.finish(span)
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.finished if s.parent_id == span.span_id]
+
+    def _emit(self, kind: str, span: Span, value: float) -> None:
+        if self._registry is None:
+            return
+        self._registry._record(
+            kind,
+            span.name,
+            (
+                ("parent_id", str(span.parent_id)),
+                ("span_id", str(span.span_id)),
+                ("trace_id", str(span.trace_id)),
+            ),
+            value,
+        )
+
+
+class _NullSpan:
+    """Shared no-op span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = "null"
+    span_id = 0
+    trace_id = 0
+    parent_id = None
+    attrs: dict = {}
+    orphaned = False
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer: spans cost a context-manager entry and nothing else."""
+
+    __slots__ = ()
+    finished: tuple = ()
+    current = None
+    open_spans: list = []
+
+    def start_span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def finish(self, span) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        yield NULL_SPAN
+
+    def __bool__(self) -> bool:
+        return False

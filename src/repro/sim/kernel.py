@@ -27,7 +27,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+if TYPE_CHECKING:
+    from ..obs import MetricsRegistry
 
 
 class SimulationError(Exception):
@@ -229,19 +232,47 @@ class Process(Awaitable):
 
 
 class Kernel:
-    """The event loop: an ordered queue of timestamped callbacks."""
+    """The event loop: an ordered queue of timestamped callbacks.
 
-    def __init__(self):
+    Passing a :class:`repro.obs.MetricsRegistry` as ``obs`` turns on
+    kernel self-observation: events dispatched, processes spawned,
+    queue depth after each dispatch, and the wake latency (schedule to
+    dispatch delay) histogram.  The registry's clock is bound to this
+    kernel's ``now`` unless one was already installed.  Without ``obs``
+    the per-event cost is a single boolean check, so schedules and
+    results are bit-identical with and without instrumentation.
+    """
+
+    def __init__(self, obs: Optional["MetricsRegistry"] = None):
+        from ..obs import NULL_REGISTRY  # late import: obs builds on nothing here
+
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Callable[[Any], None], Any]] = []
+        # (when, seq, callback, value, scheduled_at)
+        self._queue: list[tuple[float, int, Callable[[Any], None], Any, float]] = []
         self._counter = itertools.count()
         self._processes: list[Process] = []
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._observed = obs is not None
+        if self._observed:
+            self.obs.use_clock(lambda: self.now, override=False)
+        self._obs_events = self.obs.counter(
+            "sim_events_total", help="kernel callbacks dispatched"
+        )
+        self._obs_processes = self.obs.counter(
+            "sim_processes_total", help="processes spawned"
+        )
+        self._obs_queue_depth = self.obs.gauge(
+            "sim_queue_depth", help="pending events after each dispatch"
+        )
+        self._obs_wake_ns = self.obs.histogram(
+            "sim_wake_latency_ns", help="schedule-to-dispatch delay"
+        )
 
     def call_at(self, when: float, callback: Callable[[Any], None], value: Any = None) -> None:
         """Schedule ``callback(value)`` at absolute time ``when`` (ns)."""
         if when < self.now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
-        heapq.heappush(self._queue, (when, next(self._counter), callback, value))
+        heapq.heappush(self._queue, (when, next(self._counter), callback, value, self.now))
 
     def call_after(self, delay: float, callback: Callable[[Any], None], value: Any = None) -> None:
         """Schedule ``callback(value)`` after ``delay`` ns."""
@@ -251,6 +282,8 @@ class Kernel:
         """Create and start a process from a generator."""
         process = Process(self, generator, name=name)
         self._processes.append(process)
+        if self._observed:
+            self._obs_processes.inc()
         process._start()
         return process
 
@@ -266,7 +299,7 @@ class Kernel:
         """
         executed = 0
         while self._queue:
-            when, _, callback, value = self._queue[0]
+            when, _, callback, value, scheduled_at = self._queue[0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
@@ -274,6 +307,10 @@ class Kernel:
             self.now = when
             callback(value)
             executed += 1
+            if self._observed:
+                self._obs_events.inc()
+                self._obs_wake_ns.observe(when - scheduled_at)
+                self._obs_queue_depth.set(len(self._queue))
             if executed > max_events:
                 raise SimulationError(f"exceeded {max_events} events; livelock?")
         if until is not None and until > self.now:

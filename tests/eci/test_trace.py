@@ -114,3 +114,63 @@ def test_clear_resets():
     _simple_workload(system)
     recorder.clear()
     assert len(recorder) == 0
+
+
+# -- drop accounting (regression: every suppressed record is counted and
+# surfaced by the decoder output and the on-disk format) -------------------
+
+def _limited_and_full(limit):
+    """Run the same workload through a limited and an unlimited recorder."""
+    system = System()
+    limited = TraceRecorder(limit=limit)
+    full = TraceRecorder()
+    system.transport.observers.append(limited)
+    system.transport.observers.append(full)
+    _simple_workload(system)
+    return limited, full
+
+
+def test_dropped_counts_every_suppressed_record():
+    limited, full = _limited_and_full(limit=2)
+    assert len(full) > 2
+    assert len(limited) == 2
+    assert limited.dropped == len(full) - 2
+
+
+def test_format_surfaces_drop_count():
+    limited, full = _limited_and_full(limit=2)
+    text = limited.format()
+    lines = text.splitlines()
+    assert len(lines) == len(limited) + 1
+    assert lines[-1] == f"... {len(full) - 2} records dropped (limit=2)"
+
+
+def test_format_of_explicit_records_has_no_drop_line():
+    limited, _ = _limited_and_full(limit=2)
+    text = limited.format(limited.records[:1])
+    assert len(text.splitlines()) == 1
+    assert "dropped" not in text
+
+
+def test_round_trip_preserves_drop_count():
+    limited, _ = _limited_and_full(limit=2)
+    assert limited.dropped > 0
+    loaded = TraceRecorder.from_bytes(limited.to_bytes())
+    assert len(loaded) == len(limited)
+    assert loaded.dropped == limited.dropped
+    assert "records dropped" in loaded.format()
+
+
+def test_dropfree_trace_bytes_have_no_trailer():
+    system, recorder = _traced_system()
+    _simple_workload(system)
+    assert recorder.dropped == 0
+    assert b"ECIDROPS" not in recorder.to_bytes()
+
+
+def test_clear_resets_drop_count():
+    limited, _ = _limited_and_full(limit=1)
+    assert limited.dropped > 0
+    limited.clear()
+    assert limited.dropped == 0
+    assert "dropped" not in limited.format()

@@ -1,0 +1,139 @@
+"""Span nesting, parent/child context, and orphan detection."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, ObsError, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+def test_tracer_requires_time_source():
+    with pytest.raises(ObsError):
+        Tracer()
+
+
+def test_nested_spans_get_parent_and_trace_id(tracer):
+    with tracer.span("root") as root:
+        with tracer.span("child") as child:
+            with tracer.span("grandchild") as grand:
+                pass
+    assert root.parent_id is None
+    assert child.parent_id == root.span_id
+    assert grand.parent_id == child.span_id
+    assert root.trace_id == child.trace_id == grand.trace_id == root.span_id
+
+
+def test_siblings_share_parent_not_ids(tracer):
+    with tracer.span("root") as root:
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+    assert a.parent_id == b.parent_id == root.span_id
+    assert a.span_id != b.span_id
+    assert tracer.children_of(root) == [a, b]
+
+
+def test_span_durations_use_clock(tracer, clock):
+    with tracer.span("outer") as outer:
+        clock.t = 10.0
+        with tracer.span("inner") as inner:
+            clock.t = 25.0
+    assert inner.start == 10.0
+    assert inner.duration == 15.0
+    assert outer.duration == 25.0
+
+
+def test_separate_roots_get_separate_traces(tracer):
+    with tracer.span("first") as first:
+        pass
+    with tracer.span("second") as second:
+        pass
+    assert first.trace_id != second.trace_id
+
+
+def test_finishing_parent_orphans_open_children(tracer, clock):
+    root = tracer.start_span("root")
+    child = tracer.start_span("child")
+    clock.t = 5.0
+    tracer.finish(root)  # child was never finished
+    assert child.orphaned
+    assert child.end == 5.0
+    assert not root.orphaned
+    assert tracer.orphans == [child]
+    assert tracer.open_spans == []
+
+
+def test_finish_twice_raises(tracer):
+    span = tracer.start_span("x")
+    tracer.finish(span)
+    with pytest.raises(ObsError):
+        tracer.finish(span)
+
+
+def test_finish_foreign_span_raises(tracer, clock):
+    other = Tracer(clock=clock)
+    span = other.start_span("elsewhere")
+    with pytest.raises(ObsError):
+        tracer.finish(span)
+
+
+def test_current_and_open_spans(tracer):
+    assert tracer.current is None
+    a = tracer.start_span("a")
+    b = tracer.start_span("b")
+    assert tracer.current is b
+    assert tracer.open_spans == [a, b]
+    assert a.open and b.open
+
+
+def test_duration_of_open_span_raises(tracer):
+    span = tracer.start_span("still-going")
+    with pytest.raises(ObsError):
+        _ = span.duration
+
+
+def test_attrs_and_to_dict(tracer):
+    with tracer.span("tx", addr=0x1000, vc="REQ") as span:
+        pass
+    d = span.to_dict()
+    assert d["attrs"] == {"addr": 0x1000, "vc": "REQ"}
+    assert d["name"] == "tx"
+    assert d["orphaned"] is False
+
+
+def test_registry_tracer_records_span_events():
+    t = [0.0]
+    r = MetricsRegistry(clock=lambda: t[0], record_events=True)
+    with r.tracer.span("op"):
+        t[0] = 4.0
+    kinds = [(e.kind, e.name) for e in r.events]
+    assert kinds == [("span_start", "op"), ("span_end", "op")]
+    assert r.events[1].value == 4.0  # duration
+
+
+def test_span_ids_are_deterministic_sequence(clock):
+    names = []
+    for _ in range(2):
+        tracer = Tracer(clock=clock)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        names.append([(s.name, s.span_id, s.parent_id) for s in tracer.finished])
+    assert names[0] == names[1] == [("b", 2, 1), ("a", 1, None)]
