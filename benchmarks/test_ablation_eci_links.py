@@ -6,9 +6,15 @@ Design choices this probes (§4.1, §5.1):
   would double these figures, but would be hard to achieve in practice");
 * the degraded 4-lane bring-up configuration (§4.4);
 * address-interleaved vs fixed link selection under protocol traffic.
+
+All sweeps are declarative: a grid of dotted-path overrides over the
+``full`` preset, expanded by :func:`repro.config.run_sweep`.  Each
+sweep cross-checks one point against a hand-built parameter object to
+pin the config-driven path to the exact pre-refactor numbers.
 """
 
 from repro.analysis import render_table
+from repro.config import preset, run_sweep
 from repro.eci import (
     CacheAgent,
     EciLinkParams,
@@ -21,37 +27,47 @@ from repro.sim import Kernel
 SIZE = 1 << 20
 
 
-def _link_sweep():
-    rows = []
-    for links_used, lanes in [(1, 12), (2, 12), (1, 4), (2, 4)]:
-        params = EciLinkParams(lanes_per_link=lanes)
-        result = simulate_transfer(SIZE, "write", link=params, links_used=links_used)
-        rows.append((links_used, lanes, result.throughput_gibps))
-    return rows
+def _write_bandwidth(cfg) -> float:
+    return simulate_transfer(
+        SIZE, "write", link=cfg.eci.link, links_used=cfg.eci.links_used
+    ).throughput_gibps
 
 
 def test_ablation_links_and_lanes(benchmark):
-    rows = benchmark(_link_sweep)
+    axes = {
+        "eci.links_used": [1, 2],
+        "eci.link.lanes_per_link": [12, 4],
+    }
+    result = benchmark(run_sweep, _write_bandwidth, axes)
     print()
     print(
-        render_table(
-            ["links", "lanes/link", "write bw [GiB/s]"],
-            rows,
+        result.table(
             title="Ablation: ECI link/lane configuration (1 MiB writes)",
+            result_header="write bw [GiB/s]",
         )
     )
-    by_config = {(links, lanes): bw for links, lanes, bw in rows}
+
+    def bw(links, lanes):
+        return result.value(**{
+            "eci.links_used": links, "eci.link.lanes_per_link": lanes
+        })
+
     # Two links nearly double one link at full lanes.
-    assert by_config[(2, 12)] > 1.5 * by_config[(1, 12)]
+    assert bw(2, 12) > 1.5 * bw(1, 12)
     # The 4-lane bring-up configuration is proportionally slower.
-    assert by_config[(1, 4)] < 0.5 * by_config[(1, 12)]
+    assert bw(1, 4) < 0.5 * bw(1, 12)
+    # The config-driven sweep reproduces the hand-built params exactly.
+    direct = simulate_transfer(
+        SIZE, "write", link=EciLinkParams(lanes_per_link=4), links_used=1
+    ).throughput_gibps
+    assert bw(1, 4) == direct
 
 
-def _policy_run(policy: str) -> float:
-    """Drive the real protocol over the timed links under each policy;
-    returns the finish time of a streaming read workload."""
+def _policy_finish_time(cfg) -> float:
+    """Drive the real protocol over the timed links under the configured
+    policy; returns the finish time of a streaming read workload."""
     kernel = Kernel()
-    transport = EciLinkTransport(kernel, EciLinkParams(policy=policy))
+    transport = EciLinkTransport.from_config(kernel, cfg)
     HomeAgent(kernel, 0, transport)
     cache = CacheAgent(kernel, 1, transport, home_for=lambda a: 0)
 
@@ -64,15 +80,15 @@ def _policy_run(policy: str) -> float:
 
 
 def test_ablation_link_policy(benchmark):
-    def run_all():
-        return {policy: _policy_run(policy) for policy in ("address", "fixed")}
-
-    times = benchmark(run_all)
+    axes = {"eci.link.policy": ["address", "fixed"]}
+    result = benchmark(run_sweep, _policy_finish_time, axes)
     print("\nstreaming 256 lines over the protocol:")
-    for policy, t in times.items():
-        print(f"  policy={policy:<8} finish={t / 1000:.2f} us")
+    for point in result:
+        policy = point.axis("eci.link.policy")
+        print(f"  policy={policy:<8} finish={point.result / 1000:.2f} us")
     # Address interleaving spreads lines across both links; a fixed
     # single link serializes all responses and can only be slower.
+    times = {p.axis("eci.link.policy"): p.result for p in result}
     assert times["address"] <= times["fixed"]
 
 
@@ -80,33 +96,39 @@ def test_ablation_window(benchmark):
     """Outstanding-transaction window: latency tolerance of the engine."""
     from repro.eci import TransferEngineParams
 
-    def sweep():
-        return {
-            window: simulate_transfer(
-                SIZE, "read", engine=TransferEngineParams(window=window)
-            ).throughput_gibps
-            for window in (1, 4, 16, 64)
-        }
+    base = preset("full").with_overrides({"eci.links_used": 1})
+    axes = {"eci.engine.window": [1, 4, 16, 64]}
 
-    curve = benchmark(sweep)
+    def read_bandwidth(cfg):
+        return simulate_transfer(
+            SIZE,
+            "read",
+            link=cfg.eci.link,
+            engine=cfg.eci.engine,
+            links_used=cfg.eci.links_used,
+        ).throughput_gibps
+
+    result = benchmark(run_sweep, read_bandwidth, axes, base)
+    curve = {p.axis("eci.engine.window"): p.result for p in result}
     print("\nwindow -> read bandwidth [GiB/s]:")
     for window, bw in curve.items():
         print(f"  {window:>3}: {bw:.2f}")
     assert curve[64] > curve[16] > curve[4] > curve[1]
     assert curve[1] < 1.0  # stop-and-wait cannot hide the round trip
+    # Exactly the pre-refactor numbers (default link, one link used).
+    direct = simulate_transfer(
+        SIZE, "read", engine=TransferEngineParams(window=16)
+    ).throughput_gibps
+    assert curve[16] == direct
 
 
 def test_ablation_vc_credits(benchmark):
     """Receiver buffering (credits per VC): too few credits serialize
     the link; a handful suffice to hide the credit-return loop."""
-    from repro.eci import CacheAgent, HomeAgent
 
-    def run_with_credits(credits: int) -> float:
+    def streaming_read_time(cfg) -> float:
         kernel = Kernel()
-        transport = EciLinkTransport(
-            kernel,
-            EciLinkParams(credits_per_vc=credits, credit_return_ns=100.0),
-        )
+        transport = EciLinkTransport.from_config(kernel, cfg)
         HomeAgent(kernel, 0, transport)
         cache = CacheAgent(kernel, 1, transport, home_for=lambda a: 0)
 
@@ -119,10 +141,10 @@ def test_ablation_vc_credits(benchmark):
         kernel.run()
         return kernel.now
 
-    def sweep():
-        return {credits: run_with_credits(credits) for credits in (1, 2, 8, 0)}
-
-    times = benchmark(sweep)
+    base = preset("full").with_overrides({"eci.link.credit_return_ns": 100.0})
+    axes = {"eci.link.credits_per_vc": [1, 2, 8, 0]}
+    result = benchmark(run_sweep, streaming_read_time, axes, base)
+    times = {p.axis("eci.link.credits_per_vc"): p.result for p in result}
     print("\ncredits per VC -> 128-line streaming read time [us]:")
     for credits, t in times.items():
         label = "inf" if credits == 0 else credits
@@ -132,3 +154,26 @@ def test_ablation_vc_credits(benchmark):
     # credit, within 2x of infinite buffering.
     assert times[8] < times[1] / 7
     assert times[8] < times[0] * 2.0
+
+
+def test_sweep_matches_manual_construction():
+    """The declarative grid and the historical hand-rolled loop agree
+    bit-for-bit on every point."""
+    manual = {}
+    for links_used, lanes in [(1, 12), (2, 12), (1, 4), (2, 4)]:
+        params = EciLinkParams(lanes_per_link=lanes)
+        manual[(links_used, lanes)] = simulate_transfer(
+            SIZE, "write", link=params, links_used=links_used
+        ).throughput_gibps
+    result = run_sweep(
+        _write_bandwidth,
+        {"eci.links_used": [1, 2], "eci.link.lanes_per_link": [12, 4]},
+    )
+    for (links, lanes), bw in manual.items():
+        assert result.value(**{
+            "eci.links_used": links, "eci.link.lanes_per_link": lanes
+        }) == bw
+    rows = [(links, lanes, bw) for (links, lanes), bw in sorted(manual.items())]
+    print()
+    print(render_table(["links", "lanes", "bw [GiB/s]"], rows,
+                       title="sweep == manual"))

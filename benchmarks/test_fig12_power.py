@@ -10,7 +10,7 @@ staircase FPGA ramp, and clean power-down tails.
 """
 
 from repro.analysis import render_table
-from repro.platform import EnzianMachine, run_figure12
+from repro.platform import run_figure12
 
 
 def test_fig12_power(benchmark):

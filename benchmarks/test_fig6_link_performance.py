@@ -10,18 +10,20 @@ claims:
 * ECI reads are slightly slower than ECI writes.
 """
 
-import pytest
 
 from repro.analysis import render_series
+from repro.config import preset
 from repro.eci import simulate_transfer
-from repro.interconnect import EciModel, alveo_u250_pcie
+from repro.interconnect import EciModel, PcieModel
 
 SIZES = [2**i for i in range(7, 15)]
 
 
 def _sweep():
-    eci = EciModel(links_used=1)
-    pcie = alveo_u250_pcie()
+    # The paper restricts traffic to one of the two links (§5.1).
+    cfg = preset("full").with_overrides({"eci.links_used": 1})
+    eci = EciModel.from_config(cfg)
+    pcie = PcieModel(cfg.interconnect.pcie, name="alveo-u250-pcie")
     data = {}
     for direction in ("read", "write"):
         data[f"eci-{direction}"] = [eci.transfer(s, direction) for s in SIZES]

@@ -10,14 +10,16 @@ Shape claims checked:
 """
 
 from repro.analysis import render_series
+from repro.config import preset
 from repro.net import FpgaTcpStack, LinuxTcpStack, flows_to_saturate
 
 SIZES_KB = [2**i for i in range(1, 11)]
 
 
 def _sweep():
-    fpga = FpgaTcpStack()
-    linux = LinuxTcpStack()
+    cfg = preset("full")
+    fpga = FpgaTcpStack.from_config(cfg)
+    linux = LinuxTcpStack.from_config(cfg)
     rows = {
         "enzian_lat_us": [],
         "linux_lat_us": [],
@@ -59,8 +61,9 @@ def test_fig7_tcp(benchmark):
 
 def test_fig7_flow_scaling(benchmark):
     """Per-flow behaviour: FPGA flat, Linux linear until the link."""
-    fpga = FpgaTcpStack()
-    linux = LinuxTcpStack()
+    cfg = preset("full")
+    fpga = FpgaTcpStack.from_config(cfg)
+    linux = LinuxTcpStack.from_config(cfg)
 
     def scaling():
         return (

@@ -21,7 +21,6 @@ from repro.eci import (
     HomeAgent,
     InstantTransport,
     MessageRuleChecker,
-    MessageType,
     TraceRecorder,
     VirtualCircuit,
 )

@@ -14,7 +14,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.platform import run_figure12
+from repro.platform import EnzianMachine, run_figure12
 
 
 def strip_chart(times, watts, width=100, height=12, label=""):
@@ -37,7 +37,7 @@ def strip_chart(times, watts, width=100, height=12, label=""):
 
 def main() -> None:
     print("running the Figure 12 scenario (boot, diagnostics, stress)...")
-    telemetry = run_figure12(sample_period_ms=20.0)
+    telemetry = run_figure12(EnzianMachine.from_preset("full"), sample_period_ms=20.0)
 
     for label in ("CPU", "FPGA", "DRAM0", "DRAM1"):
         trace = telemetry.trace(label)

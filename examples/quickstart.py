@@ -15,13 +15,16 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import EnzianMachine
-from repro.eci import CACHE_LINE_BYTES, CacheAgent, HomeAgent, InstantTransport, TraceRecorder
+from repro.eci import CacheAgent, HomeAgent, InstantTransport, TraceRecorder
 from repro.sim import Kernel
 
 
 def main() -> None:
     # -- 1. power on and boot -------------------------------------------------
-    machine = EnzianMachine()
+    # The machine is assembled from the unified configuration tree; the
+    # "full" preset is the board the paper measures.
+    machine = EnzianMachine.from_preset("full")
+    print(f"configuration: {machine.config.describe()}")
     print("powering on (BMC -> rails -> bitstream -> CPU -> BDK -> Linux)...")
     timeline = machine.power_on()
     for t_s, milestone in timeline.milestones:

@@ -51,7 +51,11 @@ def reliable_transfer_demo() -> None:
 
 def tcp_comparison() -> None:
     print("\n== Figure 7: FPGA TCP vs Linux kernel TCP ==")
-    fpga, linux = FpgaTcpStack(), LinuxTcpStack()
+    from repro.config import preset
+
+    cfg = preset("full")
+    fpga = FpgaTcpStack.from_config(cfg)
+    linux = LinuxTcpStack.from_config(cfg)
     sizes_kb = [2, 16, 128, 1024]
     print(
         render_series(

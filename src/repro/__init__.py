@@ -15,11 +15,22 @@ full API lives in the subpackages:
 * :mod:`repro.bmc`, :mod:`repro.boot` -- the control plane
 * :mod:`repro.net` -- Ethernet, TCP, RDMA
 * :mod:`repro.apps` -- evaluation workloads
+* :mod:`repro.config` -- the unified configuration tree, presets, sweeps
 * :mod:`repro.platform` -- the assembled machine
 """
 
+from .config import PlatformConfig, preset, preset_names, run_sweep
 from .platform import EnzianConfig, EnzianMachine, run_figure12
 
 __version__ = "1.0.0"
 
-__all__ = ["EnzianConfig", "EnzianMachine", "run_figure12", "__version__"]
+__all__ = [
+    "EnzianConfig",
+    "EnzianMachine",
+    "PlatformConfig",
+    "preset",
+    "preset_names",
+    "run_figure12",
+    "run_sweep",
+    "__version__",
+]

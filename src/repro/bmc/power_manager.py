@@ -110,6 +110,11 @@ class PowerManager:
             self._addresses[req.rail] = address
         self.events: List[tuple[float, str]] = []
 
+    @classmethod
+    def from_config(cls, config, obs=None) -> "PowerManager":
+        """Build from a :class:`repro.config.PlatformConfig` tree."""
+        return cls(regulator_params=config.bmc.regulator, obs=obs)
+
     # -- PMBus primitives ---------------------------------------------------
 
     def _operation(self, rail: str, value: Operation) -> None:

@@ -1,0 +1,46 @@
+"""repro.config: the unified platform configuration tree.
+
+One validated root (:class:`PlatformConfig`) aggregates every
+per-subsystem parameter dataclass; named presets capture the paper's
+design points; dotted-path overrides and the sweep runner turn "run the
+same experiment at a different design point" into data, not code.
+
+    from repro.config import preset, run_sweep
+
+    cfg = preset("bringup_4lane").with_overrides({"fpga.clock_mhz": 150.0})
+    print(cfg.describe())
+"""
+
+from .schema import ConfigError
+from .sweep import SweepPoint, SweepResult, expand_grid, run_sweep, sweep_table
+from .tree import (
+    AppsConfig,
+    BmcConfig,
+    EciConfig,
+    FpgaConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    NetConfig,
+    PlatformConfig,
+    preset,
+    preset_names,
+)
+
+__all__ = [
+    "AppsConfig",
+    "BmcConfig",
+    "ConfigError",
+    "EciConfig",
+    "FpgaConfig",
+    "InterconnectConfig",
+    "MemoryConfig",
+    "NetConfig",
+    "PlatformConfig",
+    "SweepPoint",
+    "SweepResult",
+    "expand_grid",
+    "preset",
+    "preset_names",
+    "run_sweep",
+    "sweep_table",
+]

@@ -1,0 +1,309 @@
+"""The unified platform configuration tree and its named presets.
+
+Enzian's headline claim is *generality*: one board, many configurations
+(two-link vs 4-lane bring-up ECI in §4.4, varying DRAM/clock/workload
+mixes across the §5 use cases).  :class:`PlatformConfig` makes that
+concrete for the software twin: every per-subsystem parameter dataclass
+-- ECI link and transfer engine, CPU spec, DRAM, PCIe, TCP/RDMA, FPGA
+shell, BMC electricals, workload levels -- aggregated into one
+validated root that round-trips through dicts/JSON, takes dotted-path
+overrides, and can report how far it has drifted from a preset.
+
+Presets
+-------
+``full``
+    The board the paper measures: 2x12-lane ECI, 128 GiB CPU DRAM,
+    512 GiB FPGA DRAM, 300 MHz shell clock.
+``bringup_4lane``
+    The §4.4 debug configuration: "early debugging of ECI was done
+    with 4 lanes rather than the full 24" -- one 4-lane link, the
+    64 GiB FPGA DRAM build, a conservative 100 MHz shell clock.
+``degraded``
+    A partially-failed/raced-down design point: one of the two links
+    out of service, tight per-VC receive buffering, reduced transfer
+    window, 250 MHz clock.  Exercises the flow-control and
+    load-balancing paths the healthy configurations never stress.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from ..apps.kvs import KvsPerformanceParams
+from ..apps.stress import CpuLoadLevels
+from ..bmc.regulators import RegulatorParams
+from ..bmc.thermal import ThermalParams
+from ..cpu.thunderx import ThunderXSpec
+from ..eci.link import EciLinkParams
+from ..eci.transfer import TransferEngineParams
+from ..fpga.fabric import FpgaPowerParams
+from ..interconnect.pcie import PcieParams
+from ..memory.dram import DdrChannelParams, DramConfig
+from ..net.rdma import RdmaPathParams
+from ..net.tcp import FpgaTcpParams, LinuxTcpParams
+from .schema import (
+    ConfigError,
+    apply_overrides,
+    decode,
+    diff,
+    encode,
+    get_path,
+)
+
+__all__ = [
+    "AppsConfig",
+    "BmcConfig",
+    "EciConfig",
+    "FpgaConfig",
+    "MemoryConfig",
+    "NetConfig",
+    "InterconnectConfig",
+    "PlatformConfig",
+    "preset",
+    "preset_names",
+]
+
+
+# -- sections --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EciConfig:
+    """The coherent interconnect: physical links plus transfer engine."""
+
+    #: How many of the board's links carry traffic (the paper restricts
+    #: benchmarks to one of the two links, §5.1).
+    links_used: int = 2
+    link: EciLinkParams = field(default_factory=EciLinkParams)
+    engine: TransferEngineParams = field(default_factory=TransferEngineParams)
+
+    def __post_init__(self):
+        if not 1 <= self.links_used <= self.link.links:
+            raise ValueError(
+                f"links_used must be in 1..{self.link.links}, got {self.links_used}"
+            )
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Both nodes' DRAM systems (Figure 4's capacity split)."""
+
+    cpu_dram: DramConfig = field(
+        default_factory=lambda: DramConfig(
+            channels=4, channel=DdrChannelParams(speed_mt=2133, dimm_gib=32)
+        )
+    )
+    fpga_dram: DramConfig = field(
+        default_factory=lambda: DramConfig(
+            channels=4, channel=DdrChannelParams(speed_mt=2400, dimm_gib=128)
+        )
+    )
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Non-ECI attachment models (the commercial baseline)."""
+
+    pcie: PcieParams = field(default_factory=PcieParams)
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Network stacks terminating at the FPGA or the kernel."""
+
+    fpga_tcp: FpgaTcpParams = field(default_factory=FpgaTcpParams)
+    linux_tcp: LinuxTcpParams = field(default_factory=LinuxTcpParams)
+    rdma: RdmaPathParams = field(
+        default_factory=lambda: RdmaPathParams("Enzian Host", memory_kind="eci_host")
+    )
+
+
+@dataclass(frozen=True)
+class FpgaConfig:
+    """The fabric, its shell, and the power model."""
+
+    clock_mhz: float = 300.0
+    n_slots: int = 4
+    power: FpgaPowerParams = field(default_factory=FpgaPowerParams)
+
+    def __post_init__(self):
+        if self.clock_mhz <= 0:
+            raise ValueError(f"clock_mhz must be positive, got {self.clock_mhz}")
+        if self.n_slots < 1:
+            raise ValueError(f"need at least one vFPGA slot, got {self.n_slots}")
+
+
+@dataclass(frozen=True)
+class BmcConfig:
+    """The control plane: regulators, thermals, telemetry cadence."""
+
+    regulator: RegulatorParams = field(default_factory=RegulatorParams)
+    thermal: ThermalParams = field(default_factory=ThermalParams)
+    telemetry_sample_period_ms: float = 20.0
+
+    def __post_init__(self):
+        if self.telemetry_sample_period_ms <= 0:
+            raise ValueError(
+                "telemetry_sample_period_ms must be positive, "
+                f"got {self.telemetry_sample_period_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class AppsConfig:
+    """Workload-model knobs used by the evaluation scenarios."""
+
+    cpu_load: CpuLoadLevels = field(default_factory=CpuLoadLevels)
+    kvs: KvsPerformanceParams = field(default_factory=KvsPerformanceParams)
+
+
+# -- the root --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """One fully-specified design point of the platform.
+
+    The tree aggregates the existing per-subsystem parameter dataclasses
+    unchanged -- a ``PlatformConfig`` is *the* argument to
+    :class:`repro.platform.EnzianMachine` and the ``from_config``
+    constructors across the subsystems, while each dataclass keeps
+    working standalone for back-compat.
+    """
+
+    #: Name of the preset this configuration started from (provenance).
+    preset: str = "full"
+    eci: EciConfig = field(default_factory=EciConfig)
+    cpu: ThunderXSpec = field(default_factory=ThunderXSpec)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    net: NetConfig = field(default_factory=NetConfig)
+    fpga: FpgaConfig = field(default_factory=FpgaConfig)
+    bmc: BmcConfig = field(default_factory=BmcConfig)
+    apps: AppsConfig = field(default_factory=AppsConfig)
+
+    # -- round trips -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form; exact inverse of :meth:`from_dict`."""
+        return encode(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformConfig":
+        """Strictly validated reconstruction.
+
+        Unknown keys and out-of-range values raise :class:`ConfigError`
+        with the offending dotted path.
+        """
+        return decode(cls, data)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PlatformConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError("", f"invalid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- overrides / reads -------------------------------------------------
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "PlatformConfig":
+        """A new config with dotted-path fields replaced.
+
+        ``cfg.with_overrides({"eci.link.lanes_per_link": 4})`` -- every
+        dataclass along each path is rebuilt and revalidated, so an
+        override can never produce a config that ``from_dict`` would
+        reject.
+        """
+        return apply_overrides(self, overrides)
+
+    def get(self, path: str) -> Any:
+        """Dotted-path read (``cfg.get("eci.link.lane_gbps")``)."""
+        return get_path(self, path)
+
+    # -- provenance --------------------------------------------------------
+
+    def diff(self, other: "PlatformConfig") -> Dict[str, Tuple[Any, Any]]:
+        """Leaf fields where ``other`` differs: path -> (ours, theirs)."""
+        return diff(self, other)
+
+    def deviations(self) -> Dict[str, Tuple[Any, Any]]:
+        """Fields deviating from this config's declared preset.
+
+        Returns ``{dotted_path: (preset_value, current_value)}``; empty
+        for a pristine preset.  The provenance/diff helper of the
+        "same experiment, different design point" workflow.
+        """
+        base = preset(self.preset)
+        out = diff(base, self)
+        out.pop("preset", None)
+        return out
+
+    def describe(self) -> str:
+        """Human-readable provenance summary."""
+        deviations = self.deviations()
+        if not deviations:
+            return f"preset {self.preset!r} (pristine)"
+        lines = [f"preset {self.preset!r} with {len(deviations)} override(s):"]
+        for path, (base, current) in sorted(deviations.items()):
+            lines.append(f"  {path}: {base!r} -> {current!r}")
+        return "\n".join(lines)
+
+
+# -- presets ---------------------------------------------------------------
+
+def _full() -> PlatformConfig:
+    return PlatformConfig(preset="full")
+
+
+def _bringup_4lane() -> PlatformConfig:
+    """The §4.4 ECI bring-up configuration."""
+    return PlatformConfig(
+        preset="bringup_4lane",
+        eci=EciConfig(links_used=1, link=EciLinkParams(lanes_per_link=4)),
+        memory=MemoryConfig(
+            fpga_dram=DramConfig(
+                channels=4, channel=DdrChannelParams(speed_mt=2400, dimm_gib=16)
+            )
+        ),
+        fpga=FpgaConfig(clock_mhz=100.0),
+    )
+
+
+def _degraded() -> PlatformConfig:
+    """One link down, tight buffering, reduced in-flight window."""
+    return PlatformConfig(
+        preset="degraded",
+        eci=EciConfig(
+            links_used=1,
+            link=EciLinkParams(policy="fixed", credits_per_vc=8),
+            engine=TransferEngineParams(window=16),
+        ),
+        fpga=FpgaConfig(clock_mhz=250.0),
+    )
+
+
+_PRESETS: Dict[str, Callable[[], PlatformConfig]] = {
+    "full": _full,
+    "bringup_4lane": _bringup_4lane,
+    "degraded": _degraded,
+}
+
+
+def preset_names() -> list[str]:
+    """The available named presets."""
+    return list(_PRESETS)
+
+
+def preset(name: str) -> PlatformConfig:
+    """Build a named preset configuration."""
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            "preset", f"unknown preset {name!r}; available: {', '.join(_PRESETS)}"
+        ) from None
+    return factory()

@@ -45,6 +45,11 @@ class ThunderXSoC:
             InOrderCore(self.spec.core, core_id=i) for i in range(self.spec.n_cores)
         ]
 
+    @classmethod
+    def from_config(cls, config) -> "ThunderXSoC":
+        """Build from a :class:`repro.config.PlatformConfig` tree."""
+        return cls(spec=config.cpu, dram=config.memory.cpu_dram)
+
     def pmu_totals(self) -> dict:
         """Sum PMU counters across all cores."""
         totals: dict = {}

@@ -15,8 +15,9 @@ full 24", §4.4) via ``lanes_per_link`` and ``links``.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 from ..sim import Kernel
 from ..sim.units import gbps_to_bytes_per_ns
@@ -49,6 +50,10 @@ class EciLinkParams:
             raise ValueError("encoding_efficiency must be in (0, 1]")
         if self.policy not in ("address", "round_robin", "fixed"):
             raise ValueError(f"unknown policy {self.policy!r}")
+        if not 0 <= self.fixed_link < self.links:
+            raise ValueError(
+                f"fixed_link must be in 0..{self.links - 1}, got {self.fixed_link}"
+            )
         if self.credits_per_vc < 0:
             raise ValueError("credits_per_vc must be non-negative")
 
@@ -87,13 +92,18 @@ class EciLinkTransport(Transport):
         # Credit-based flow control, per (dst, VC): independent buffer
         # classes so requests can never block responses.
         self._credits: Dict[Tuple[int, VirtualCircuit], int] = {}
-        self._waiting: Dict[Tuple[int, VirtualCircuit], list] = {}
+        self._waiting: Dict[Tuple[int, VirtualCircuit], Deque[Message]] = {}
         self.stats = {
             "messages": 0,
             "bytes_per_link": [0] * self.params.links,
             "queueing_ns": 0.0,
             "credit_stalls": 0,
         }
+
+    @classmethod
+    def from_config(cls, kernel: Kernel, config, obs=None) -> "EciLinkTransport":
+        """Build from a :class:`repro.config.PlatformConfig` tree."""
+        return cls(kernel, params=config.eci.link, obs=obs)
 
     def select_link(self, message: Message) -> int:
         policy = self.params.policy
@@ -115,7 +125,7 @@ class EciLinkTransport(Transport):
                     self.obs.counter(
                         "eci_credit_stalls_total", {"vc": message.vc.name}
                     ).inc()
-                self._waiting.setdefault(vc_key, []).append(message)
+                self._waiting.setdefault(vc_key, deque()).append(message)
                 return
             self._credits[vc_key] = available - 1
         self._transmit(message)
@@ -153,7 +163,7 @@ class EciLinkTransport(Transport):
         waiting = self._waiting.get(vc_key)
         if waiting:
             # Hand the credit straight to the oldest parked message.
-            self._transmit(waiting.pop(0))
+            self._transmit(waiting.popleft())
         else:
             self._credits[vc_key] = self._credits.get(vc_key, 0) + 1
 

@@ -38,7 +38,6 @@ from .messages import (
     CACHE_LINE_BYTES,
     Message,
     MessageType,
-    VirtualCircuit,
     line_address,
 )
 

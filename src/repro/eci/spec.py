@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from .messages import MessageType, VirtualCircuit, vc_for
+from .messages import MessageType, vc_for
 from .protocol import CacheAgent, CacheState, ProtocolError
 
 # -- transition relation -------------------------------------------------

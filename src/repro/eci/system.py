@@ -14,7 +14,6 @@ from typing import Optional
 
 from ..memory.address_space import (
     CPU_NODE,
-    FPGA_NODE,
     PhysicalAddressSpace,
     enzian_address_map,
 )

@@ -12,7 +12,7 @@ steps).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -111,6 +111,11 @@ class Fabric:
         self.capacity = capacity
         self.power_params = power or FpgaPowerParams()
         self.regions: Dict[str, Region] = {}
+
+    @classmethod
+    def from_config(cls, config) -> "Fabric":
+        """Build from a :class:`repro.config.PlatformConfig` tree."""
+        return cls(power=config.fpga.power)
 
     @property
     def allocated(self) -> FabricResources:

@@ -115,6 +115,21 @@ class CoyoteShell:
         self.services: Dict[str, object] = {}
         self.reconfigurations = 0
 
+    @classmethod
+    def from_config(
+        cls, config, fabric: Optional[Fabric] = None
+    ) -> "CoyoteShell":
+        """Build from a :class:`repro.config.PlatformConfig` tree.
+
+        The shell bitstream is synthesized for the configured clock and
+        the fabric (unless one is passed in) carries the configured
+        power model."""
+        return cls(
+            fabric=fabric or Fabric.from_config(config),
+            n_slots=config.fpga.n_slots,
+            shell_bitstream=eci_shell_bitstream(config.fpga.clock_mhz),
+        )
+
     @property
     def clock_mhz(self) -> float:
         return self.shell_bitstream.clock_mhz

@@ -22,6 +22,16 @@ class EciModel(InterconnectModel):
         self.engine = engine or TransferEngineParams()
         self.name = name or f"eci-{links_used}link"
 
+    @classmethod
+    def from_config(cls, config, name: str | None = None) -> "EciModel":
+        """Build from a :class:`repro.config.PlatformConfig` tree."""
+        return cls(
+            links_used=config.eci.links_used,
+            link=config.eci.link,
+            engine=config.eci.engine,
+            name=name,
+        )
+
     def transfer_latency_ns(self, size_bytes: int, direction: str) -> float:
         result = simulate_transfer(
             size_bytes,

@@ -136,6 +136,16 @@ class RdmaPerformanceModel:
         self.dram = dram or enzian_fpga_dram()
         self._pcie = PcieModel(PcieParams())
 
+    @classmethod
+    def from_config(cls, config) -> "RdmaPerformanceModel":
+        """Build from a :class:`repro.config.PlatformConfig` tree.
+
+        Uses the configured RDMA path, the FPGA-side DRAM system, and
+        the PCIe attachment parameters."""
+        model = cls(config.net.rdma, dram=config.memory.fpga_dram)
+        model._pcie = PcieModel(config.interconnect.pcie)
+        return model
+
     def _memory_time_ns(self, size: int, direction: str) -> float:
         kind = self.params.memory_kind
         if kind == "local_dram":

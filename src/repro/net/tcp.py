@@ -64,6 +64,11 @@ class FpgaTcpStack:
         self.params = params or FpgaTcpParams()
         self.obs = obs if obs is not None else NULL_REGISTRY
 
+    @classmethod
+    def from_config(cls, config, obs=None) -> "FpgaTcpStack":
+        """Build from a :class:`repro.config.PlatformConfig` tree."""
+        return cls(params=config.net.fpga_tcp, obs=obs)
+
     def pipeline_rate_bytes_per_ns(self, mtu: int) -> float:
         """Payload rate through the pipeline at a given segment size."""
         p = self.params
@@ -111,6 +116,11 @@ class LinuxTcpStack:
 
         self.params = params or LinuxTcpParams()
         self.obs = obs if obs is not None else NULL_REGISTRY
+
+    @classmethod
+    def from_config(cls, config, obs=None) -> "LinuxTcpStack":
+        """Build from a :class:`repro.config.PlatformConfig` tree."""
+        return cls(params=config.net.linux_tcp, obs=obs)
 
     def per_flow_rate_bytes_per_ns(self) -> float:
         p = self.params

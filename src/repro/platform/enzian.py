@@ -5,22 +5,30 @@ manager, telemetry, consoles), the boot orchestration, the ThunderX-1
 SoC model, the FPGA fabric with the Coyote shell, the partitioned
 address space, and the ECI performance models -- the software twin of
 Figure 4's block diagram.
+
+A machine is built from a :class:`repro.config.PlatformConfig` tree
+(one validated root covering every subsystem), usually via a named
+preset::
+
+    machine = EnzianMachine.from_preset("bringup_4lane")
+
+The historical :class:`EnzianConfig` knob bundle keeps working and is
+translated onto the tree internally.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..bmc import ConsoleMux, Phase, PowerManager, TelemetryService
 from ..boot import BootOrchestrator, BootTimeline
+from ..config import PlatformConfig, preset
 from ..cpu import ThunderXSoC
-from ..eci.link import EciLinkParams
 from ..fpga import CoyoteShell, Fabric
 from ..interconnect import EciModel
 from ..memory import PhysicalAddressSpace, enzian_address_map
 from ..apps.stress import (
-    CpuLoadLevels,
     FpgaPowerBurn,
     apply_cpu_phase,
     apply_fpga_burn,
@@ -31,46 +39,72 @@ from ..apps.stress import (
 
 @dataclass(frozen=True)
 class EnzianConfig:
-    """Build options for a machine instance."""
+    """Legacy build options for a machine instance.
+
+    Retained for back-compat; prefer :class:`repro.config.PlatformConfig`
+    presets with dotted-path overrides.
+    """
 
     cpu_dram_gib: int = 128
     fpga_dram_gib: int = 512
     fpga_clock_mhz: float = 300.0
     eci_links: int = 2
 
+    def to_platform_config(self) -> PlatformConfig:
+        """Translate the legacy knobs onto the unified tree."""
+        return preset("full").with_overrides(
+            {
+                "memory.cpu_dram.channel.dimm_gib": self.cpu_dram_gib // 4,
+                "memory.fpga_dram.channel.dimm_gib": self.fpga_dram_gib // 4,
+                "fpga.clock_mhz": self.fpga_clock_mhz,
+                "eci.links_used": self.eci_links,
+            }
+        )
+
 
 class EnzianMachine:
     """One Enzian board, from PSU to Linux."""
 
-    def __init__(self, config: Optional[EnzianConfig] = None):
-        self.config = config or EnzianConfig()
-        self.power = PowerManager()
+    def __init__(
+        self, config: Optional[Union[PlatformConfig, EnzianConfig]] = None
+    ):
+        if config is None:
+            config = preset("full")
+        elif isinstance(config, EnzianConfig):
+            config = config.to_platform_config()
+        self.config: PlatformConfig = config
+        self.power = PowerManager.from_config(config)
         self.consoles = ConsoleMux()
         self.boot = BootOrchestrator(self.power, consoles=self.consoles)
-        self.soc = ThunderXSoC()
-        self.fabric = Fabric()
+        self.soc = ThunderXSoC.from_config(config)
+        self.fabric = Fabric.from_config(config)
         self.shell: Optional[CoyoteShell] = None
         self.address_space: PhysicalAddressSpace = enzian_address_map(
-            self.config.cpu_dram_gib, self.config.fpga_dram_gib
+            config.memory.cpu_dram.capacity_gib,
+            config.memory.fpga_dram.capacity_gib,
         )
-        self.eci = EciModel(
-            links_used=self.config.eci_links,
-            link=EciLinkParams(),
-        )
+        self.eci = EciModel.from_config(config)
+
+    @classmethod
+    def from_preset(cls, name: str) -> "EnzianMachine":
+        """Build a machine from a named configuration preset."""
+        return cls(preset(name))
 
     # -- lifecycle ---------------------------------------------------------
 
     def power_on(self) -> BootTimeline:
         """Full §4.4 sequence; instantiates the shell once ECI is up."""
         timeline = self.boot.power_on_to_linux()
-        self.shell = CoyoteShell(fabric=self.fabric)
+        self.shell = CoyoteShell.from_config(self.config, fabric=self.fabric)
         return timeline
 
     @property
     def running(self) -> bool:
         return self.boot.linux_running
 
-    def telemetry(self, sample_period_ms: float = 20.0) -> TelemetryService:
+    def telemetry(self, sample_period_ms: Optional[float] = None) -> TelemetryService:
+        if sample_period_ms is None:
+            sample_period_ms = self.config.bmc.telemetry_sample_period_ms
         return TelemetryService(self.power, sample_period_ms=sample_period_ms)
 
 
@@ -84,9 +118,10 @@ def figure12_phases(machine: EnzianMachine) -> list[Phase]:
     """
     power = machine.power
     loads = power.loads
-    levels = CpuLoadLevels()
-    burn = FpgaPowerBurn(clock_mhz=machine.config.fpga_clock_mhz)
-    shell_idle_w = fpga_idle_shell_watts(machine.config.fpga_clock_mhz)
+    levels = machine.config.apps.cpu_load
+    clock_mhz = machine.config.fpga.clock_mhz
+    burn = FpgaPowerBurn(clock_mhz=clock_mhz)
+    shell_idle_w = fpga_idle_shell_watts(clock_mhz)
 
     def cpu_on():
         power.cpu_power_up()

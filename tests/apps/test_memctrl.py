@@ -5,7 +5,6 @@ the *real* MOESI protocol and must receive exactly the bytes software
 conversion produces -- the heart of the §5.4 claim.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.memctrl import ReductionEngine, ReductionHomeAgent, ViewWindow

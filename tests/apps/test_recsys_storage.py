@@ -7,9 +7,7 @@ from repro.apps.recsys import (
     EmbeddingModel,
     RecsysAccelerator,
     RecsysError,
-    eci_host_placement,
     enzian_fpga_placement,
-    pcie_host_placement,
     placement_comparison,
 )
 from repro.apps.storage import (

@@ -2,11 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given
 from hypothesis.extra import numpy as hnp
 
 from repro.apps.vision import (
-    MODE_TIMINGS,
     ReductionMode,
     VisionPerformanceModel,
     dequantize4,

@@ -160,7 +160,6 @@ def test_pec_corruption_detected():
     # wire error, flip a bit in the PEC path instead:
     device.handle_read = original
     from repro.bmc import SmbusError
-    from repro.bmc.smbus import crc8 as _crc8
 
     class WireCorruptingDevice(RegisterDevice):
         def read_bytes(self, length):

@@ -6,7 +6,6 @@ from repro.bmc import PowerManager
 from repro.boot import BootOrchestrator
 from repro.boot.shell_commands import (
     CommandError,
-    CommandShell,
     make_bdk_shell,
     make_bmc_shell,
 )

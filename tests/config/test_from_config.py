@@ -1,0 +1,87 @@
+"""The from_config constructors: every subsystem builds off one tree."""
+
+import pytest
+
+from repro.bmc import PowerManager
+from repro.config import preset
+from repro.cpu import ThunderXSoC
+from repro.eci import EciLinkParams, EciLinkTransport
+from repro.fpga import CoyoteShell, Fabric
+from repro.interconnect import EciModel, PcieModel
+from repro.net import FpgaTcpStack, LinuxTcpStack
+from repro.net.rdma import RdmaOp, RdmaPerformanceModel
+from repro.sim import Kernel
+
+
+@pytest.fixture
+def cfg():
+    return preset("full")
+
+
+def test_eci_model_from_config_equals_manual(cfg):
+    from_tree = EciModel.from_config(cfg)
+    manual = EciModel(links_used=2, link=EciLinkParams())
+    size = 1 << 20
+    for direction in ("read", "write"):
+        assert from_tree.transfer_latency_ns(size, direction) == manual.transfer_latency_ns(size, direction)
+
+
+def test_eci_model_from_config_respects_overrides():
+    cfg = preset("full").with_overrides(
+        {"eci.links_used": 1, "eci.link.lanes_per_link": 4}
+    )
+    model = EciModel.from_config(cfg)
+    assert model.links_used == 1
+    assert model.link.lanes_per_link == 4
+
+
+def test_link_transport_from_config():
+    cfg = preset("degraded")
+    transport = EciLinkTransport.from_config(Kernel(), cfg)
+    assert transport.params == cfg.eci.link
+    assert transport.params.policy == "fixed"
+    assert transport.params.credits_per_vc == 8
+
+
+def test_tcp_stacks_from_config(cfg):
+    fpga = FpgaTcpStack.from_config(cfg)
+    linux = LinuxTcpStack.from_config(cfg)
+    size = 128_000
+    assert fpga.throughput_gbps(size) == FpgaTcpStack().throughput_gbps(size)
+    assert linux.throughput_gbps(size) == LinuxTcpStack().throughput_gbps(size)
+
+
+def test_rdma_model_from_config(cfg):
+    model = RdmaPerformanceModel.from_config(cfg)
+    assert model.params.memory_kind == "eci_host"
+    assert model.latency_ns(4096, RdmaOp.READ) > 0
+
+
+def test_fabric_and_shell_from_config():
+    cfg = preset("bringup_4lane")
+    fabric = Fabric.from_config(cfg)
+    shell = CoyoteShell.from_config(cfg, fabric=fabric)
+    assert shell.fabric is fabric
+    assert shell.clock_mhz == pytest.approx(100.0)
+    assert len(shell.slots) == cfg.fpga.n_slots
+
+
+def test_power_manager_from_config(cfg):
+    from repro.bmc.power_manager import COMMON_RAILS, FPGA_RAILS
+
+    manager = PowerManager.from_config(cfg)
+    manager.common_power_up()
+    manager.fpga_power_up()
+    assert manager.rails_live(COMMON_RAILS)
+    assert manager.rails_live(FPGA_RAILS)
+
+
+def test_soc_from_config(cfg):
+    soc = ThunderXSoC.from_config(cfg)
+    assert soc.spec == cfg.cpu
+    assert soc.dram == cfg.memory.cpu_dram
+
+
+def test_pcie_model_from_tree_section(cfg):
+    model = PcieModel(cfg.interconnect.pcie)
+    assert model.params == cfg.interconnect.pcie

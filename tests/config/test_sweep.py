@@ -1,0 +1,137 @@
+"""The sweep runner: grid expansion, per-point configs, obs export."""
+
+import pytest
+
+from repro.config import (
+    ConfigError,
+    SweepResult,
+    expand_grid,
+    preset,
+    run_sweep,
+    sweep_table,
+)
+from repro.obs import MetricsRegistry
+
+
+# -- expand_grid -----------------------------------------------------------
+
+def test_expand_grid_cartesian_order():
+    grid = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+    assert grid == [
+        {"a": 1, "b": "x"},
+        {"a": 1, "b": "y"},
+        {"a": 2, "b": "x"},
+        {"a": 2, "b": "y"},
+    ]
+
+
+def test_expand_grid_empty_axes_is_single_point():
+    assert expand_grid({}) == [{}]
+
+
+def test_expand_grid_empty_axis_rejected():
+    with pytest.raises(ValueError, match="'a' has no values"):
+        expand_grid({"a": []})
+
+
+# -- run_sweep -------------------------------------------------------------
+
+def test_sweep_builds_config_per_point():
+    seen = []
+
+    def probe(cfg):
+        seen.append((cfg.eci.links_used, cfg.eci.link.lanes_per_link))
+        return cfg.eci.links_used * cfg.eci.link.lanes_per_link
+
+    result = run_sweep(
+        probe,
+        axes={"eci.links_used": [1, 2], "eci.link.lanes_per_link": [4, 12]},
+    )
+    assert seen == [(1, 4), (1, 12), (2, 4), (2, 12)]
+    assert len(result) == 4
+    # Each point carries the config it was measured with.
+    for point in result:
+        assert point.config.eci.links_used == point.axis("eci.links_used")
+
+
+def test_sweep_base_accepts_preset_name_or_config():
+    fn = lambda cfg: cfg.fpga.clock_mhz  # noqa: E731
+    by_name = run_sweep(fn, axes={"eci.links_used": [1]}, base="bringup_4lane")
+    by_cfg = run_sweep(fn, axes={"eci.links_used": [1]}, base=preset("bringup_4lane"))
+    assert by_name.points[0].result == by_cfg.points[0].result == 100.0
+
+
+def test_sweep_invalid_axis_value_fails_with_path():
+    with pytest.raises(ConfigError, match=r"eci\.link\.lanes_per_link"):
+        run_sweep(lambda cfg: 0, axes={"eci.link.lanes_per_link": [12, -1]})
+
+
+def test_value_lookup_exact_and_partial():
+    result = run_sweep(
+        lambda cfg: cfg.eci.links_used * 10 + cfg.eci.link.lanes_per_link,
+        axes={"eci.links_used": [1, 2], "eci.link.lanes_per_link": [4, 12]},
+    )
+    assert result.value(**{"eci.links_used": 2, "eci.link.lanes_per_link": 4}) == 24
+    with pytest.raises(KeyError, match="unknown axis"):
+        result.value(**{"eci.links": 2})
+    with pytest.raises(KeyError, match="no sweep point"):
+        result.value(**{"eci.links_used": 3})
+    with pytest.raises(KeyError, match="2 sweep points"):
+        result.value(**{"eci.links_used": 1})
+
+
+def test_rows_and_table():
+    result = run_sweep(
+        lambda cfg: float(cfg.eci.links_used),
+        axes={"eci.links_used": [1, 2]},
+    )
+    assert result.rows() == [(1, 1.0), (2, 2.0)]
+    text = result.table(title="links", result_header="bw")
+    assert "links" in text and "bw" in text and "eci.links_used" in text
+
+
+def test_sweep_exports_labelled_gauges():
+    registry = MetricsRegistry()
+    run_sweep(
+        lambda cfg: float(cfg.eci.links_used),
+        axes={"eci.links_used": [1, 2]},
+        obs=registry,
+        metric="bw",
+    )
+    samples = {
+        tuple(sorted(m.labels.items())): m.value
+        for m in registry.metrics()
+        if m.name == "bw"
+    }
+    assert samples == {
+        (("eci.links_used", "1"),): 1.0,
+        (("eci.links_used", "2"),): 2.0,
+    }
+
+
+def test_sweep_exports_dict_results_as_suffixed_gauges():
+    registry = MetricsRegistry()
+    run_sweep(
+        lambda cfg: {"bw": 1.5, "lat": 2.5, "note": "skip-me"},
+        axes={"eci.links_used": [1]},
+        obs=registry,
+        metric="m",
+    )
+    names = {m.name for m in registry.metrics()}
+    assert names == {"m_bw", "m_lat"}
+
+
+def test_sweep_table_convenience():
+    text = sweep_table(
+        lambda cfg: cfg.eci.links_used,
+        axes={"eci.links_used": [1, 2]},
+        title="t",
+        result_header="r",
+    )
+    assert isinstance(text, str) and "eci.links_used" in text
+
+
+def test_sweep_result_is_iterable_collection():
+    result = run_sweep(lambda cfg: 0, axes={"eci.links_used": [1, 2]})
+    assert isinstance(result, SweepResult)
+    assert [p.axis("eci.links_used") for p in result] == [1, 2]

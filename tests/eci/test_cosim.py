@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eci import CACHE_LINE_BYTES, CacheAgent, CoherenceChecker, HomeAgent
+from repro.eci import CACHE_LINE_BYTES, CacheAgent, HomeAgent
 from repro.eci.cosim import CosimCoordinator, CosimError, CosimSide
 
 PATTERN = bytes([0x42]) * CACHE_LINE_BYTES

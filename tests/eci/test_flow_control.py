@@ -138,3 +138,36 @@ def test_zero_credits_disables_flow_control():
 def test_negative_credit_param_rejected():
     with pytest.raises(ValueError):
         EciLinkParams(credits_per_vc=-1)
+
+
+def test_parked_messages_drain_in_fifo_order():
+    # The credit-wait queue is a deque; a long backlog must drain
+    # strictly oldest-first as credits trickle back.
+    kernel = Kernel()
+    params = EciLinkParams(
+        credits_per_vc=1, credit_return_ns=10.0, propagation_ns=0.0
+    )
+    transport = EciLinkTransport(kernel, params)
+    sink = Sink()
+    transport.attach(sink)
+    n = 50
+    for i in range(n):
+        transport.send(Message(MessageType.RLDS, src=1, dst=0, addr=i * 0x80))
+    kernel.run()
+    assert len(sink.received) == n
+    assert [m.addr for m in sink.received] == [i * 0x80 for i in range(n)]
+    assert transport.stats["credit_stalls"] == n - 1
+
+
+def test_waiting_queues_are_deques():
+    from collections import deque
+
+    kernel = Kernel()
+    transport = EciLinkTransport(
+        kernel, EciLinkParams(credits_per_vc=1, credit_return_ns=1000.0)
+    )
+    sink = Sink()
+    transport.attach(sink)
+    for i in range(3):
+        transport.send(Message(MessageType.RLDS, src=1, dst=0, addr=i))
+    assert all(isinstance(q, deque) for q in transport._waiting.values())

@@ -1,7 +1,6 @@
 """Model checking the abstract protocol + correspondence with the
 concrete agents."""
 
-import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -10,7 +9,6 @@ from repro.eci import CACHE_LINE_BYTES
 from repro.eci.formal import (
     AbstractState,
     CacheState,
-    ExplorationResult,
     SpecViolation,
     check_invariants,
     current_value,
@@ -113,7 +111,6 @@ def test_exhaustive_exploration_three_caches():
 def test_concrete_agents_refine_abstract_model(ops):
     """Replaying any operation sequence, the concrete system's stable
     states and final value match the abstract model's."""
-    from repro.eci.formal import TRANSACTIONS
 
     abstract = initial_state(2)
     system = System(n_caches=2, latency_ns=5.0)

@@ -5,7 +5,6 @@ between tools (§4.1), so the decoder must reject arbitrary garbage
 with :class:`SerializationError` -- never crash, never mis-decode.
 """
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.eci import (

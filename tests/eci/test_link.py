@@ -41,6 +41,16 @@ def test_param_validation():
         EciLinkParams(policy="weird")
 
 
+def test_fixed_link_must_address_an_existing_link():
+    with pytest.raises(ValueError, match="fixed_link"):
+        EciLinkParams(links=2, fixed_link=2)
+    with pytest.raises(ValueError, match="fixed_link"):
+        EciLinkParams(links=2, fixed_link=-1)
+    # The boundary values are fine.
+    assert EciLinkParams(links=2, fixed_link=1).fixed_link == 1
+    assert EciLinkParams(links=4, fixed_link=3).fixed_link == 3
+
+
 def test_address_policy_interleaves_consecutive_lines():
     kernel = Kernel()
     transport = EciLinkTransport(kernel, EciLinkParams(policy="address"))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eci import CACHE_LINE_BYTES, CacheState, ProtocolError
+from repro.eci import CACHE_LINE_BYTES, CacheState
 from repro.sim import Timeout
 
 LINE_A = 0x0000

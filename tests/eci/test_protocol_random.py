@@ -8,7 +8,6 @@ checkers enforce the state invariants on every transition.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.eci import CACHE_LINE_BYTES, CacheState

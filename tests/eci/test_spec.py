@@ -10,7 +10,7 @@ from repro.eci import (
     MessageType,
     transition_allowed,
 )
-from repro.eci.spec import SENDER_ROLE, CoherenceChecker, MessageRuleChecker
+from repro.eci.spec import SENDER_ROLE, MessageRuleChecker
 
 from .conftest import System
 

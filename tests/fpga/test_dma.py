@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.eci import CACHE_LINE_BYTES, CacheAgent, HomeAgent, InstantTransport
+from repro.eci import CACHE_LINE_BYTES
 from repro.eci.system import TwoSocketSystem
 from repro.fpga.dma import CacheLineDma, DmaDescriptor, DmaError
-from repro.sim import Kernel, Timeout
+from repro.sim import Timeout
 
 
 def make_dma():

@@ -5,7 +5,7 @@ import pytest
 
 from repro.eci import CACHE_LINE_BYTES, CacheAgent, HomeAgent
 from repro.eci.cosim import CosimCoordinator, CosimSide
-from repro.sim import Kernel, Timeout
+from repro.sim import Timeout
 
 
 def test_cosim_contention_between_sides():

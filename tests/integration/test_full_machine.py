@@ -87,8 +87,7 @@ def test_monitor_afu_watches_protocol_events():
         CacheAgent,
         HomeAgent,
         InstantTransport,
-        MessageType,
-    )
+        )
     from repro.rtverify import Monitor, Once, atom
     from repro.sim import Kernel
 

@@ -6,7 +6,6 @@ same physics they should agree.  Disagreement here means one of them
 drifted -- these tests pin them together.
 """
 
-import pytest
 
 from repro.eci import (
     CacheAgent,

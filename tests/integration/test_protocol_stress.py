@@ -7,7 +7,6 @@ scale" -- with all invariants checked on every transition.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.eci import CACHE_LINE_BYTES, CacheState

@@ -1,6 +1,5 @@
 """Tests for the Catapult bump-in-the-wire configuration."""
 
-import pytest
 
 from repro.net.bump import catapult_topology
 from repro.net.ethernet import Frame

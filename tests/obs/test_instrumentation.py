@@ -22,7 +22,6 @@ from repro.eci import (
     EciLinkTransport,
     HomeAgent,
     InstantTransport,
-    MessageType,
     TraceRecorder,
     VirtualCircuit,
 )

@@ -5,9 +5,6 @@ import pytest
 from repro.obs import (
     NULL_INSTRUMENT,
     NULL_REGISTRY,
-    Counter,
-    Gauge,
-    Histogram,
     MetricsRegistry,
     NullRegistry,
     ObsError,

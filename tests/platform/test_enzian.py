@@ -84,3 +84,36 @@ def test_figure12_dram_rails_active_during_memtest():
     i0, i1 = telemetry.phase_window("idle-start")
     assert dram.mean_watts(i0, i1) == 0.0
     assert active > 5.0
+
+
+def test_machine_from_preset_wiring():
+    from repro.config import preset
+
+    machine = EnzianMachine.from_preset("bringup_4lane")
+    assert machine.config == preset("bringup_4lane")
+    assert machine.config.eci.link.lanes_per_link == 4
+    assert machine.eci.links_used == 1
+    # 4 channels x 16 GiB DIMMs on the debug board.
+    assert machine.address_space.total_bytes(node=1) == 64 << 30
+    machine.power_on()
+    assert machine.shell.clock_mhz == pytest.approx(100.0)
+
+
+def test_machine_accepts_platform_config_directly():
+    from repro.config import preset
+
+    cfg = preset("full").with_overrides({"fpga.clock_mhz": 250.0})
+    machine = EnzianMachine(cfg)
+    assert machine.config is cfg
+    machine.power_on()
+    assert machine.shell.clock_mhz == pytest.approx(250.0)
+
+
+def test_legacy_enzian_config_translates_onto_the_tree():
+    legacy = EnzianConfig(fpga_dram_gib=64, eci_links=1, fpga_clock_mhz=200.0)
+    machine = EnzianMachine(legacy)
+    deviations = machine.config.deviations()
+    assert deviations["memory.fpga_dram.channel.dimm_gib"] == (128, 16)
+    assert deviations["eci.links_used"] == (2, 1)
+    assert deviations["fpga.clock_mhz"] == (300.0, 200.0)
+    assert machine.address_space.total_bytes(node=1) == 64 << 30

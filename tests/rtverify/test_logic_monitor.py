@@ -4,7 +4,6 @@ The key property: the incremental monitor agrees with the reference
 trace semantics on random formulas over random traces.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.fpga import CoyoteShell

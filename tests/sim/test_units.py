@@ -1,0 +1,96 @@
+"""Unit-conversion helpers: round trips and error paths."""
+
+import pytest
+
+from repro.sim.units import (
+    GIB,
+    KIB,
+    MIB,
+    bytes_per_ns_to_gbps,
+    bytes_per_ns_to_gibps,
+    cycles_to_ns,
+    gbps_to_bytes_per_ns,
+    gibps_to_bytes_per_ns,
+    nanoseconds,
+    ns_to_cycles,
+    seconds,
+    transfer_time_ns,
+)
+
+
+# -- rate round trips ------------------------------------------------------
+
+@pytest.mark.parametrize("gbps", [0.1, 1.0, 10.0, 100.0, 480.0])
+def test_gbps_round_trip(gbps):
+    assert bytes_per_ns_to_gbps(gbps_to_bytes_per_ns(gbps)) == pytest.approx(gbps)
+
+
+@pytest.mark.parametrize("gibps", [0.5, 14.4, 28.8, 170.0])
+def test_gibps_round_trip(gibps):
+    assert bytes_per_ns_to_gibps(gibps_to_bytes_per_ns(gibps)) == pytest.approx(gibps)
+
+
+def test_gbps_reference_points():
+    # 8 Gb/s is exactly one byte per nanosecond; 100 G Ethernet is 12.5 B/ns.
+    assert gbps_to_bytes_per_ns(8.0) == pytest.approx(1.0)
+    assert gbps_to_bytes_per_ns(100.0) == pytest.approx(12.5)
+
+
+def test_gibps_reference_point():
+    # 1 GiB/s moves 2**30 bytes in 1e9 ns.
+    assert gibps_to_bytes_per_ns(1.0) == pytest.approx(GIB / 1e9)
+
+
+def test_gb_vs_gib_distinction():
+    # The decimal and binary rates differ by exactly 2**30 / 10**9 * 8.
+    ratio = bytes_per_ns_to_gbps(1.0) / bytes_per_ns_to_gibps(1.0)
+    assert ratio == pytest.approx(8 * GIB / 1e9)
+
+
+# -- time round trips ------------------------------------------------------
+
+@pytest.mark.parametrize("ns", [1.0, 1e3, 1e6, 1e9, 2.5e9])
+def test_seconds_round_trip(ns):
+    assert nanoseconds(seconds(ns)) == pytest.approx(ns)
+
+
+@pytest.mark.parametrize("freq_mhz", [100.0, 300.0, 322.0, 2000.0])
+@pytest.mark.parametrize("cycles", [1.0, 7.0, 1024.0])
+def test_cycles_round_trip(cycles, freq_mhz):
+    assert ns_to_cycles(cycles_to_ns(cycles, freq_mhz), freq_mhz) == pytest.approx(
+        cycles
+    )
+
+
+def test_cycles_reference_points():
+    # One cycle at 1 GHz is exactly 1 ns; at 100 MHz it is 10 ns.
+    assert cycles_to_ns(1.0, 1000.0) == pytest.approx(1.0)
+    assert cycles_to_ns(1.0, 100.0) == pytest.approx(10.0)
+
+
+# -- transfer times --------------------------------------------------------
+
+def test_transfer_time_reference():
+    # 1 MiB at 1 B/ns takes MIB nanoseconds; KiB at 0.5 B/ns takes 2 KiB ns.
+    assert transfer_time_ns(MIB, 1.0) == pytest.approx(MIB)
+    assert transfer_time_ns(KIB, 0.5) == pytest.approx(2 * KIB)
+
+
+def test_transfer_time_consistent_with_rate_helpers():
+    size = 4 * MIB
+    rate = gibps_to_bytes_per_ns(14.4)
+    assert transfer_time_ns(size, rate) == pytest.approx(size / rate)
+
+
+# -- error paths -----------------------------------------------------------
+
+@pytest.mark.parametrize("rate", [0.0, -1.0, -12.5])
+def test_transfer_time_rejects_nonpositive_rate(rate):
+    with pytest.raises(ValueError, match="rate must be positive"):
+        transfer_time_ns(1024, rate)
+
+
+@pytest.mark.parametrize("freq", [0.0, -300.0])
+def test_cycles_to_ns_rejects_nonpositive_frequency(freq):
+    with pytest.raises(ValueError, match="frequency must be positive"):
+        cycles_to_ns(100.0, freq)
