@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Chaos soak: boot an Enzian through a seeded fault storm.
+
+Generates a deterministic fault storm (link bit-flips, a CRC error
+storm, a lane drop with retraining, net frame loss, a PMBus rail trip
+during bring-up, a firmware stage hang, a telemetry glitch), arms it on
+a full machine, and runs the soak harness.  The same seed always
+reproduces the same injection trace and the same recovery counters.
+
+Run:  python examples/fault_soak.py [--seed N]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.faults.soak import random_storm, run_soak
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7, help="storm seed")
+    args = parser.parse_args()
+
+    storm = random_storm(args.seed)
+    print(f"fault storm (seed={args.seed}):")
+    for spec in storm.events:
+        print(f"  {spec.describe()}")
+
+    report = run_soak(args.seed, storm=storm)
+
+    print("\ninjection trace:")
+    for t, site, kind, detail in report.trace:
+        print(f"  t={t:12.1f}  {site}/{kind}  {detail}")
+
+    print("\noutcome:")
+    state = "RUNNING" if report.running else f"FAILED ({report.failure})"
+    print(f"  machine:            {state}")
+    print(f"  boot milestones:    {' -> '.join(report.milestones)}")
+    print(f"  fault kinds fired:  {', '.join(report.injected_kinds)}")
+    print(f"  credits conserved:  {report.credits_conserved}")
+    print(
+        f"  net transfer:       completed={report.transfer_completed} "
+        f"intact={report.transfer_intact}"
+    )
+
+    print("\nrecovery counters:")
+    interesting = (
+        "faults_injected_total",
+        "eci_crc_errors_total",
+        "eci_link_retransmits_total",
+        "eci_retrains_total",
+        "bmc_resequences_total",
+        "boot_stage_hangs_total",
+        "boot_stage_retries_total",
+        "net_retransmits_total",
+        "net_transfers_aborted_total",
+    )
+    for name, value in sorted(report.counters.items()):
+        if any(name.startswith(prefix) for prefix in interesting):
+            print(f"  {name:58s} {value:g}")
+
+    # The invariants CI holds every seed to.
+    assert report.running, report.failure
+    assert report.credits_conserved, "flow-control credits leaked"
+    assert len(report.injected_kinds) >= 5
+    same = run_soak(args.seed, storm=storm)
+    assert same.trace == report.trace, "soak run was not deterministic"
+    print("\nOK: machine survived the storm; trace reproduced exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,7 @@ rails to settle.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .i2c import I2cBus
 from .pmbus import Operation, PmbusCommand, StatusBit, VOUT_MODE_DEFAULT, linear11_decode, linear16_decode
@@ -69,6 +69,42 @@ class PowerManagerError(RuntimeError):
     """A rail failed to come up or a sequence was rejected."""
 
 
+class RailFaultError(PowerManagerError):
+    """A specific rail tripped protection during bring-up.
+
+    Carries the rail name and raw STATUS_WORD so recovery logic (and
+    the fault-injection soak) can reason about *what* failed.
+    """
+
+    def __init__(self, rail: str, status: int, reason: str):
+        super().__init__(f"rail {rail} {reason} (status: {decode_status(status)})")
+        self.rail = rail
+        self.status = status
+
+
+#: STATUS_WORD bits worth naming in diagnostics, most severe first.
+_STATUS_FLAGS = (
+    (StatusBit.IOUT_OC, "OCP"),
+    (StatusBit.VOUT_OV, "OVP"),
+    (StatusBit.TEMPERATURE, "OTP"),
+    (StatusBit.VIN_UV, "VIN-UV"),
+    (StatusBit.CML, "CML"),
+    (StatusBit.BUSY, "BUSY"),
+    (StatusBit.OFF, "OFF"),
+)
+
+#: The protection bits that mean "this rail tripped".
+FAULT_STATUS_MASK = (
+    int(StatusBit.IOUT_OC) | int(StatusBit.VOUT_OV) | int(StatusBit.TEMPERATURE)
+)
+
+
+def decode_status(status: int) -> str:
+    """Human-readable decoding of a PMBus STATUS_WORD (``"OCP|OFF"``)."""
+    names = [name for bit, name in _STATUS_FLAGS if status & int(bit)]
+    return "|".join(names) if names else "ok"
+
+
 class PowerManager:
     """The BMC firmware's power-control stack."""
 
@@ -78,6 +114,8 @@ class PowerManager:
         loads: Optional[LoadBook] = None,
         requirements: Sequence[RailRequirement] = ALL_RAILS,
         regulator_params: Optional[RegulatorParams] = None,
+        max_resequence_attempts: int = 0,
+        resequence_backoff_s: float = 0.25,
         obs=None,
     ):
         from ..obs import NULL_REGISTRY
@@ -86,6 +124,18 @@ class PowerManager:
         self.clock = clock or BoardClock()
         if obs is not None:
             obs.use_clock(lambda: self.clock.now_s, override=False)
+        if max_resequence_attempts < 0:
+            raise ValueError("max_resequence_attempts must be non-negative")
+        if resequence_backoff_s < 0:
+            raise ValueError("resequence_backoff_s must be non-negative")
+        #: Recovery policy: how many times a faulting rail group is shut
+        #: down, cleared, and re-sequenced before the fault is fatal.
+        #: 0 keeps the historical fail-fast behaviour.
+        self.max_resequence_attempts = max_resequence_attempts
+        self.resequence_backoff_s = resequence_backoff_s
+        #: Fault-injection hook, called as ``hook("settle", rail)`` after
+        #: each rail's settle window.  None costs one comparison per rail.
+        self.fault_hook: Optional[Callable[[str, str], None]] = None
         self.loads = loads or LoadBook()
         self.bus = I2cBus("pmbus0")
         self.smbus = SmbusController(self.bus)
@@ -113,7 +163,13 @@ class PowerManager:
     @classmethod
     def from_config(cls, config, obs=None) -> "PowerManager":
         """Build from a :class:`repro.config.PlatformConfig` tree."""
-        return cls(regulator_params=config.bmc.regulator, obs=obs)
+        recovery = config.faults.recovery
+        return cls(
+            regulator_params=config.bmc.regulator,
+            max_resequence_attempts=recovery.max_resequence_attempts,
+            resequence_backoff_s=recovery.resequence_backoff_s,
+            obs=obs,
+        )
 
     # -- PMBus primitives ---------------------------------------------------
 
@@ -150,7 +206,13 @@ class PowerManager:
     # -- sequences ------------------------------------------------------------
 
     def _bring_up(self, rails: Sequence[RailRequirement]) -> None:
-        """Enable a rail group in solver order, verifying before acting."""
+        """Enable a rail group in solver order, verifying before acting.
+
+        A rail fault mid-sequence triggers the recovery path: gracefully
+        shut the group back down in reverse order, clear the latched
+        faults, back off, and re-sequence -- up to
+        ``max_resequence_attempts`` times before the fault is fatal.
+        """
         group = {r.rail for r in rails}
         order = [r for r in solve_sequence(self.requirements.values()) if r in group]
         verify_sequence(
@@ -164,20 +226,50 @@ class PowerManager:
                 for r in rails
             ],
         )
+        attempt = 0
+        while True:
+            try:
+                self._enable_in_order(order)
+                return
+            except RailFaultError:
+                attempt += 1
+                if attempt > self.max_resequence_attempts:
+                    raise
+                self._recover_group(order, attempt)
+
+    def _enable_in_order(self, order: Sequence[str]) -> None:
         for rail in order:
             self._operation(rail, Operation.ON)
             self.clock.advance(self.requirements[rail].settle_ms / 1000.0)
+            if self.fault_hook is not None:
+                self.fault_hook("settle", rail)
             status = self.read_status(rail)
-            if status & int(StatusBit.IOUT_OC) or status & int(StatusBit.VOUT_OV):
-                raise PowerManagerError(f"rail {rail} faulted during bring-up")
+            if status & FAULT_STATUS_MASK:
+                raise RailFaultError(rail, status, "faulted during bring-up")
             if not self.regulators[rail].live:
-                raise PowerManagerError(f"rail {rail} failed to reach regulation")
+                raise RailFaultError(rail, status, "failed to reach regulation")
             self.events.append((self.clock.now_s, f"on:{rail}"))
             if self.obs:
                 self.obs.counter("bmc_rail_events_total", {"op": "on"}).inc()
                 self.obs.gauge("bmc_rails_live").set(
                     sum(1 for r in self.regulators.values() if r.live)
                 )
+
+    def _recover_group(self, order: Sequence[str], attempt: int) -> None:
+        """Graceful shutdown + fault clearing + backoff for one group."""
+        for rail in reversed(order):
+            if self.regulators[rail].enabled or self.regulators[rail].faulted:
+                self._operation(rail, Operation.OFF)
+                self.clock.advance(0.002)
+                self.events.append((self.clock.now_s, f"off:{rail}"))
+        for rail in order:
+            self.clear_faults(rail)
+        # Exponential backoff: transient conditions (thermal spikes,
+        # inrush collisions) get time to decay before the retry.
+        self.clock.advance(self.resequence_backoff_s * (2 ** (attempt - 1)))
+        self.events.append((self.clock.now_s, f"resequence:{attempt}"))
+        if self.obs:
+            self.obs.counter("bmc_resequences_total").inc()
 
     def _bring_down(self, rails: Sequence[RailRequirement]) -> None:
         group = {r.rail for r in rails}

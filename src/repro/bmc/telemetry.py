@@ -108,6 +108,12 @@ class TelemetryService:
         self.obs = obs if obs is not None else NULL_REGISTRY
         if obs is not None:
             obs.use_clock(lambda: self.manager.clock.now_s, override=False)
+        #: Fault-injection hook: may replace a sample (sensor glitch) or
+        #: trip after-sequencing rail faults.  None costs one comparison
+        #: per rail per sweep.
+        self.fault_hook: Optional[
+            Callable[[str, str, PowerSample], PowerSample]
+        ] = None
 
     def _sample_all(self) -> None:
         now = self.manager.clock.now_s
@@ -117,9 +123,10 @@ class TelemetryService:
             # print_current_all and the power-manager tests); sampling
             # all rails through the bus at 20 ms would saturate it,
             # which is why the real firmware batches reads per rail.
-            self.traces[label].samples.append(
-                PowerSample(now, regulator.vout, regulator.iout)
-            )
+            sample = PowerSample(now, regulator.vout, regulator.iout)
+            if self.fault_hook is not None:
+                sample = self.fault_hook(label, rail, sample)
+            self.traces[label].samples.append(sample)
             if self.obs:
                 key = {"rail": label}
                 self.obs.gauge("bmc_rail_volts", key).set(regulator.vout)

@@ -15,14 +15,14 @@ loaded when the CPU comes out of reset.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..bmc.console import ConsoleMux
 from ..bmc.power_manager import PowerManager
 from ..fpga.bitstream import Bitstream, ConfigPort, eci_shell_bitstream
 from .bdk import Bdk, SimulatedDram
 from .devicetree import enzian_topology, render_dts
-from .firmware import BootError, FirmwareChain, standard_stages
+from .firmware import BootError, BootStage, FirmwareChain, standard_stages
 
 
 @dataclass
@@ -53,7 +53,16 @@ class BootOrchestrator:
         consoles: Optional[ConsoleMux] = None,
         dram_bytes: int = 1 << 16,  # simulated test-DRAM size (kept small)
         config_port: Optional[ConfigPort] = None,
+        max_stage_retries: int = 0,
+        stage_timeout_s: float = 5.0,
+        obs=None,
     ):
+        from ..obs import NULL_REGISTRY
+
+        if max_stage_retries < 0:
+            raise ValueError("max_stage_retries must be non-negative")
+        if stage_timeout_s <= 0:
+            raise ValueError("stage_timeout_s must be positive")
         self.power = power
         self.consoles = consoles or ConsoleMux()
         self.dram = SimulatedDram(dram_bytes)
@@ -62,6 +71,12 @@ class BootOrchestrator:
         self.fpga_bitstream: Optional[Bitstream] = None
         self.timeline = BootTimeline()
         self.linux_running = False
+        #: Recovery policy for firmware stages (0 = historical fail-fast).
+        self.max_stage_retries = max_stage_retries
+        self.stage_timeout_s = stage_timeout_s
+        #: Fault-injection hook: returns 'hang' | 'fail' | None per attempt.
+        self.fault_hook: Optional[Callable[[str], Optional[str]]] = None
+        self.obs = obs if obs is not None else NULL_REGISTRY
 
     @property
     def clock(self):
@@ -116,6 +131,46 @@ class BootOrchestrator:
             return trained
         return trained
 
+    def _run_stage(self, chain: FirmwareChain, stage: BootStage) -> None:
+        """One firmware stage with hang-timeout and bounded retry.
+
+        A hang burns ``stage_timeout_s`` of board time before the
+        watchdog declares the stage dead; hangs and failures alike are
+        retried up to ``max_stage_retries`` times before the boot is
+        abandoned with the stage's original error.
+        """
+        attempt = 0
+        while True:
+            injected = (
+                self.fault_hook(stage.name) if self.fault_hook is not None else None
+            )
+            try:
+                if injected == "hang":
+                    self.clock.advance(self.stage_timeout_s)
+                    if self.obs:
+                        self.obs.counter(
+                            "boot_stage_hangs_total", {"stage": stage.name}
+                        ).inc()
+                    raise BootError(
+                        f"stage {stage.name!r} hung (watchdog after "
+                        f"{self.stage_timeout_s}s)"
+                    )
+                if injected == "fail":
+                    raise BootError(f"stage {stage.name!r} failed (injected)")
+                chain.run_stage(stage)
+                return
+            except BootError:
+                attempt += 1
+                if attempt > self.max_stage_retries:
+                    raise
+                self.consoles.uarts["cpu0"].emit(
+                    f"retrying stage {stage.name} (attempt {attempt + 1})"
+                )
+                if self.obs:
+                    self.obs.counter(
+                        "boot_stage_retries_total", {"stage": stage.name}
+                    ).inc()
+
     def boot_to_linux(self) -> None:
         """ATF -> UEFI -> Linux, with the generated device tree."""
         chain = FirmwareChain(self.clock)
@@ -126,7 +181,7 @@ class BootOrchestrator:
             ),
         )
         for stage in stages:
-            chain.run_stage(stage)
+            self._run_stage(chain, stage)
             self._mark(stage.name)
         topology = enzian_topology()
         self.device_tree = render_dts(topology)

@@ -17,6 +17,9 @@ from .tree import (
     AppsConfig,
     BmcConfig,
     EciConfig,
+    FaultRecoveryConfig,
+    FaultSpec,
+    FaultsConfig,
     FpgaConfig,
     InterconnectConfig,
     MemoryConfig,
@@ -31,6 +34,9 @@ __all__ = [
     "BmcConfig",
     "ConfigError",
     "EciConfig",
+    "FaultRecoveryConfig",
+    "FaultSpec",
+    "FaultsConfig",
     "FpgaConfig",
     "InterconnectConfig",
     "MemoryConfig",

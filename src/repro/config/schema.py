@@ -22,7 +22,7 @@ tree whose leaves are ints, floats, bools, strings, or tuples of those.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Mapping, Tuple, get_type_hints
+from typing import Any, Dict, Mapping, Tuple, get_args, get_type_hints
 
 
 class ConfigError(ValueError):
@@ -116,6 +116,17 @@ def _decode_value(hint: Any, value: Any, path: str) -> Any:
     if hint is tuple or getattr(hint, "__origin__", None) is tuple:
         if not isinstance(value, (list, tuple)):
             raise ConfigError(path, f"expected a sequence, got {value!r}")
+        args = get_args(hint)
+        # Homogeneous tuples of nested dataclasses (Tuple[X, ...]) decode
+        # element-by-element; an already-constructed element passes through.
+        if len(args) == 2 and args[1] is Ellipsis and dataclasses.is_dataclass(args[0]):
+            element_cls = args[0]
+            return tuple(
+                item
+                if isinstance(item, element_cls)
+                else decode(element_cls, item, f"{path}[{i}]")
+                for i, item in enumerate(value)
+            )
         return tuple(value)
     return value
 

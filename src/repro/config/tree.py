@@ -38,6 +38,7 @@ from ..bmc.thermal import ThermalParams
 from ..cpu.thunderx import ThunderXSpec
 from ..eci.link import EciLinkParams
 from ..eci.transfer import TransferEngineParams
+from ..faults.plan import FaultRecoveryConfig, FaultsConfig, FaultSpec
 from ..fpga.fabric import FpgaPowerParams
 from ..interconnect.pcie import PcieParams
 from ..memory.dram import DdrChannelParams, DramConfig
@@ -56,6 +57,9 @@ __all__ = [
     "AppsConfig",
     "BmcConfig",
     "EciConfig",
+    "FaultRecoveryConfig",
+    "FaultSpec",
+    "FaultsConfig",
     "FpgaConfig",
     "MemoryConfig",
     "NetConfig",
@@ -181,6 +185,8 @@ class PlatformConfig:
     fpga: FpgaConfig = field(default_factory=FpgaConfig)
     bmc: BmcConfig = field(default_factory=BmcConfig)
     apps: AppsConfig = field(default_factory=AppsConfig)
+    #: Deterministic fault-injection plan; empty = no machinery armed.
+    faults: FaultsConfig = field(default_factory=FaultsConfig)
 
     # -- round trips -------------------------------------------------------
 

@@ -40,6 +40,10 @@ class EciLinkParams:
     credits_per_vc: int = 0
     #: Receiver-side buffer drain time per message (credit return delay).
     credit_return_ns: float = 20.0
+    #: Time a link spends retraining after a lane change (§4.4 bring-up).
+    retrain_ns: float = 5_000.0
+    #: Go-back retransmit attempts per message before it is declared lost.
+    crc_retry_limit: int = 8
 
     def __post_init__(self):
         if self.links < 1:
@@ -56,6 +60,10 @@ class EciLinkParams:
             )
         if self.credits_per_vc < 0:
             raise ValueError("credits_per_vc must be non-negative")
+        if self.retrain_ns < 0:
+            raise ValueError("retrain_ns must be non-negative")
+        if self.crc_retry_limit < 0:
+            raise ValueError("crc_retry_limit must be non-negative")
 
     @property
     def link_rate_bytes_per_ns(self) -> float:
@@ -76,6 +84,25 @@ class EciLinkTransport(Transport):
     additional propagation delay.  Per-line ordering is preserved under
     the default ``address`` policy because a line's traffic always picks
     the same link.
+
+    Fault tolerance
+    ---------------
+    The link layer survives the perturbations bring-up produces on the
+    real board (§4.4):
+
+    * **CRC-protected retransmit** -- a corrupted message (injected via
+      :meth:`inject_bit_flips` or a ``fault_rate`` drawn from the
+      kernel's seeded RNG) fails its CRC at the receiver, which drains
+      the buffer (returning the flow-control credit) and NAKs; the
+      sender goes back and re-queues the message, re-acquiring a credit
+      (*credit reclamation*), up to ``crc_retry_limit`` attempts.
+    * **Lane degradation / retraining** -- :meth:`drop_lanes` narrows a
+      link (the paper's 4-of-24-lane bring-up mode): the link retrains
+      for ``retrain_ns`` (no transmission starts meanwhile) and then
+      carries traffic at the degraded rate until restored.
+
+    With no faults injected, none of this machinery runs: timings and
+    statistics are bit-identical to the fault-free model.
     """
 
     def __init__(
@@ -92,12 +119,23 @@ class EciLinkTransport(Transport):
         # Credit-based flow control, per (dst, VC): independent buffer
         # classes so requests can never block responses.
         self._credits: Dict[Tuple[int, VirtualCircuit], int] = {}
-        self._waiting: Dict[Tuple[int, VirtualCircuit], Deque[Message]] = {}
+        self._waiting: Dict[Tuple[int, VirtualCircuit], Deque[Tuple[Message, int]]] = {}
+        # Per-link physical state (lane degradation + retraining).
+        self.lanes = [self.params.lanes_per_link] * self.params.links
+        self._rate = [self.params.link_rate_bytes_per_ns] * self.params.links
+        self._retrain_until = [0.0] * self.params.links
+        # Fault injection: one-shot corruptions and a stochastic BER.
+        self._corrupt_next = 0
+        self.fault_rate = 0.0
         self.stats = {
             "messages": 0,
             "bytes_per_link": [0] * self.params.links,
             "queueing_ns": 0.0,
             "credit_stalls": 0,
+            "crc_errors": 0,
+            "retransmits": 0,
+            "messages_lost": 0,
+            "retrains": 0,
         }
 
     @classmethod
@@ -115,6 +153,9 @@ class EciLinkTransport(Transport):
         return (line_address(message.addr) // 128) % self.params.links
 
     def _deliver(self, message: Message) -> None:
+        self._admit(message, 0)
+
+    def _admit(self, message: Message, retries: int) -> None:
         if self.params.credits_per_vc:
             vc_key = (message.dst, message.vc)
             available = self._credits.setdefault(vc_key, self.params.credits_per_vc)
@@ -125,17 +166,19 @@ class EciLinkTransport(Transport):
                     self.obs.counter(
                         "eci_credit_stalls_total", {"vc": message.vc.name}
                     ).inc()
-                self._waiting.setdefault(vc_key, deque()).append(message)
+                self._waiting.setdefault(vc_key, deque()).append((message, retries))
                 return
             self._credits[vc_key] = available - 1
-        self._transmit(message)
+        self._transmit(message, retries)
 
-    def _transmit(self, message: Message) -> None:
+    def _transmit(self, message: Message, retries: int = 0) -> None:
         link = self.select_link(message)
         key = (link, message.src, message.dst)
         now = self.kernel.now
-        start = max(now, self._free_at.get(key, 0.0))
-        ser = message.wire_bytes / self.params.link_rate_bytes_per_ns
+        # A retraining link starts no new transmission until it is done;
+        # _retrain_until is 0.0 on a healthy link, so the max is a no-op.
+        start = max(now, self._free_at.get(key, 0.0), self._retrain_until[link])
+        ser = message.wire_bytes / self._rate[link]
         self._free_at[key] = start + ser
         arrival = start + ser + self.params.propagation_ns
         self.stats["messages"] += 1
@@ -148,7 +191,16 @@ class EciLinkTransport(Transport):
             self.obs.histogram(
                 "eci_link_queueing_ns", help="serializer wait before transmit"
             ).observe(start - now)
-        self.kernel.call_at(arrival, lambda _: self._consume(message))
+        corrupt = False
+        if self._corrupt_next:
+            self._corrupt_next -= 1
+            corrupt = True
+        elif self.fault_rate and self.kernel.rng.random() < self.fault_rate:
+            corrupt = True
+        if corrupt:
+            self.kernel.call_at(arrival, lambda _: self._arrive_corrupt(message, retries))
+        else:
+            self.kernel.call_at(arrival, lambda _: self._consume(message))
 
     def _consume(self, message: Message) -> None:
         self._handoff(message)
@@ -159,13 +211,97 @@ class EciLinkTransport(Transport):
                 lambda _: self._return_credit((message.dst, message.vc)),
             )
 
+    def _arrive_corrupt(self, message: Message, retries: int) -> None:
+        """A message whose CRC fails at the receiver: drain, NAK, go back."""
+        self.stats["crc_errors"] += 1
+        if self.obs:
+            self.obs.counter(
+                "eci_crc_errors_total", {"vc": message.vc.name}
+            ).inc()
+        if self.params.credits_per_vc:
+            # The corrupt message still occupied a receive buffer; it
+            # drains normally and its credit returns -- the retransmitted
+            # copy must claim a fresh credit (credit reclamation).
+            self.kernel.call_after(
+                self.params.credit_return_ns,
+                lambda _: self._return_credit((message.dst, message.vc)),
+            )
+        if retries >= self.params.crc_retry_limit:
+            self.stats["messages_lost"] += 1
+            if self.obs:
+                self.obs.counter("eci_messages_lost_total").inc()
+            return
+        self.stats["retransmits"] += 1
+        if self.obs:
+            self.obs.counter("eci_link_retransmits_total").inc()
+        # NAK propagates back to the sender, which re-queues the message.
+        self.kernel.call_after(
+            self.params.propagation_ns,
+            lambda _: self._admit(message, retries + 1),
+        )
+
     def _return_credit(self, vc_key: Tuple[int, VirtualCircuit]) -> None:
         waiting = self._waiting.get(vc_key)
         if waiting:
             # Hand the credit straight to the oldest parked message.
-            self._transmit(waiting.popleft())
+            parked, retries = waiting.popleft()
+            self._transmit(parked, retries)
         else:
             self._credits[vc_key] = self._credits.get(vc_key, 0) + 1
+
+    # -- fault injection + recovery surface ---------------------------------
+
+    def inject_bit_flips(self, count: int = 1) -> None:
+        """Corrupt the next ``count`` transmissions (CRC failure on arrival)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self._corrupt_next += count
+
+    def drop_lanes(self, link: int, lanes: int, retrain_ns: Optional[float] = None) -> None:
+        """Degrade ``link`` to ``lanes`` serdes lanes and retrain it.
+
+        Models the §4.4 bring-up reality of links that only train at a
+        reduced width: the link carries nothing for ``retrain_ns``, then
+        runs at the degraded rate.
+        """
+        if not 0 <= link < self.params.links:
+            raise ValueError(f"link must be in 0..{self.params.links - 1}, got {link}")
+        if not 1 <= lanes <= self.params.lanes_per_link:
+            raise ValueError(
+                f"lanes must be in 1..{self.params.lanes_per_link}, got {lanes}"
+            )
+        self.lanes[link] = lanes
+        self._rate[link] = (
+            gbps_to_bytes_per_ns(self.params.lane_gbps * lanes)
+            * self.params.encoding_efficiency
+        )
+        duration = self.params.retrain_ns if retrain_ns is None else retrain_ns
+        self._retrain_until[link] = max(
+            self._retrain_until[link], self.kernel.now + duration
+        )
+        self.stats["retrains"] += 1
+        if self.obs:
+            self.obs.counter("eci_retrains_total", {"link": str(link)}).inc()
+            self.obs.gauge("eci_link_lanes", {"link": str(link)}).set(lanes)
+
+    def restore_lanes(self, link: int, retrain_ns: Optional[float] = None) -> None:
+        """Bring ``link`` back to full width (another retraining cycle)."""
+        self.drop_lanes(link, self.params.lanes_per_link, retrain_ns=retrain_ns)
+
+    def credits_conserved(self) -> bool:
+        """True when every flow-control credit has returned home.
+
+        The invariant the chaos soak asserts after traffic drains: no
+        credit was leaked by the corrupt-drain/retransmit path and no
+        message is still parked waiting for one.
+        """
+        if not self.params.credits_per_vc:
+            return True
+        if any(self._waiting.values()):
+            return False
+        return all(
+            count == self.params.credits_per_vc for count in self._credits.values()
+        )
 
     def utilization(self, wall_ns: float) -> list[float]:
         """Fraction of each link's one-direction capacity used so far."""

@@ -1,0 +1,29 @@
+"""repro.faults -- deterministic fault injection and chaos soak testing.
+
+A :class:`FaultsConfig` plan (part of the platform config tree)
+describes *what goes wrong and when*; a :class:`FaultInjector` arms it
+onto live subsystems; :mod:`repro.faults.soak` runs seeded fault storms
+against whole machines and checks the recovery invariants.
+
+``soak`` is deliberately not imported here: it pulls in the platform
+layer, which imports the config tree, which imports this package.
+Import it explicitly as ``repro.faults.soak``.
+"""
+
+from .inject import FaultInjector
+from .plan import (
+    BOARD_CLOCK_SITES,
+    SITE_KINDS,
+    FaultRecoveryConfig,
+    FaultSpec,
+    FaultsConfig,
+)
+
+__all__ = [
+    "BOARD_CLOCK_SITES",
+    "FaultInjector",
+    "FaultRecoveryConfig",
+    "FaultSpec",
+    "FaultsConfig",
+    "SITE_KINDS",
+]

@@ -1,0 +1,168 @@
+"""The fault plan: a typed, validated description of a fault campaign.
+
+Bring-up on the real board is a parade of partial failures -- ECI links
+that train at 4 of 24 lanes (§4.4), regulators that trip OCP mid
+sequence (§4.2/§4.3), firmware stages that hang on a dead NUMA node.
+:class:`FaultsConfig` makes those perturbations *data*: a tuple of
+:class:`FaultSpec` entries, each naming an injection site, a fault
+kind, and when/how often it fires.  The plan lives in the ``faults``
+section of :class:`repro.config.PlatformConfig`, so a fault campaign is
+configured, overridden, swept, and serialized exactly like any other
+design-point parameter.
+
+Every schedule decision is deterministic: one-shot faults fire at a
+fixed simulated time (or board time), and rate-based faults draw from
+the simulation kernel's single seeded RNG.  Identical seeds therefore
+give identical fault traces.
+
+Sites and kinds
+---------------
+============  =====================================  ==========================
+site          kinds                                  arg / value meaning
+============  =====================================  ==========================
+eci.link      bit_flip, crc_storm, lane_drop         arg: link index;
+                                                     value: lanes after drop
+net           drop, duplicate, reorder               rate over [at, at+duration)
+bmc.rail      ocp, ovp, otp                          arg: rail name
+telemetry     glitch                                 arg: domain label;
+                                                     value: amps multiplier
+boot.stage    hang, fail                             arg: stage name
+============  =====================================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+#: Legal fault kinds per injection site.
+SITE_KINDS: Dict[str, FrozenSet[str]] = {
+    "eci.link": frozenset({"bit_flip", "crc_storm", "lane_drop"}),
+    "net": frozenset({"drop", "duplicate", "reorder"}),
+    "bmc.rail": frozenset({"ocp", "ovp", "otp"}),
+    "telemetry": frozenset({"glitch"}),
+    "boot.stage": frozenset({"hang", "fail"}),
+}
+
+#: Sites whose ``at`` is measured on the board clock (seconds); the
+#: rest use simulation time (nanoseconds).
+BOARD_CLOCK_SITES = frozenset({"bmc.rail", "telemetry", "boot.stage"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled injection against a named site.
+
+    ``at`` is a not-before time: simulated nanoseconds for the
+    event-kernel sites (``eci.link``, ``net``), board-clock seconds for
+    the control-plane sites.  ``count`` bounds how many times the fault
+    fires (rate-based kinds instead use ``rate`` over the window
+    ``[at, at + duration)``).
+    """
+
+    site: str
+    kind: str
+    at: float = 0.0
+    count: int = 1
+    rate: float = 0.0
+    duration: float = 0.0
+    arg: str = ""
+    value: float = 0.0
+
+    def __post_init__(self):
+        kinds = SITE_KINDS.get(self.site)
+        if kinds is None:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known: {', '.join(sorted(SITE_KINDS))}"
+            )
+        if self.kind not in kinds:
+            raise ValueError(
+                f"site {self.site!r} has no fault kind {self.kind!r}; "
+                f"known: {', '.join(sorted(kinds))}"
+            )
+        if self.at < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.at}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be non-negative, got {self.duration}")
+        if self.site == "bmc.rail" and not self.arg:
+            raise ValueError("bmc.rail faults need arg=<rail name>")
+        if self.site == "boot.stage" and not self.arg:
+            raise ValueError("boot.stage faults need arg=<stage name>")
+        if self.kind == "lane_drop" and not self.value >= 1:
+            raise ValueError("lane_drop needs value=<lanes remaining> >= 1")
+        if self.kind in ("crc_storm", "drop", "duplicate", "reorder"):
+            if self.rate <= 0:
+                raise ValueError(f"{self.kind} needs a positive rate")
+
+    def describe(self) -> str:
+        extra = f" {self.arg}" if self.arg else ""
+        return f"{self.site}/{self.kind}{extra} @ {self.at:g}"
+
+
+@dataclass(frozen=True)
+class FaultRecoveryConfig:
+    """Recovery-policy knobs for the control-plane subsystems.
+
+    The link- and net-layer recovery parameters live with their own
+    parameter dataclasses (:class:`repro.eci.link.EciLinkParams`,
+    :class:`repro.net.reliable.ReliableSender`); the power manager and
+    boot orchestrator have no parameter dataclass of their own, so
+    their policies live here.
+    """
+
+    #: Re-sequence attempts after a rail faults mid bring-up.  The
+    #: default 0 keeps the historical fail-fast behaviour: recovery is
+    #: opt-in, so a plain machine still surfaces a tripped rail as an
+    #: immediate error.
+    max_resequence_attempts: int = 0
+    #: Board-clock backoff between re-sequence attempts (doubles per try).
+    resequence_backoff_s: float = 0.25
+    #: Retries per firmware boot stage before the boot is abandoned
+    #: (0 = fail-fast, as above).
+    max_stage_retries: int = 0
+    #: Board time a hung stage burns before it is declared failed.
+    stage_timeout_s: float = 5.0
+
+    def __post_init__(self):
+        if self.max_resequence_attempts < 0:
+            raise ValueError("max_resequence_attempts must be non-negative")
+        if self.resequence_backoff_s < 0:
+            raise ValueError("resequence_backoff_s must be non-negative")
+        if self.max_stage_retries < 0:
+            raise ValueError("max_stage_retries must be non-negative")
+        if self.stage_timeout_s <= 0:
+            raise ValueError("stage_timeout_s must be positive")
+
+
+@dataclass(frozen=True)
+class FaultsConfig:
+    """The ``faults`` section of the platform configuration tree.
+
+    An empty ``events`` tuple means *no fault machinery is armed at
+    all*: every hook stays ``None`` and the twin's behaviour (and every
+    benchmark number) is bit-identical to a build without this module.
+    """
+
+    #: Seed for the kernel RNG during fault runs (rate-based draws).
+    seed: int = 0xFA17
+    events: Tuple[FaultSpec, ...] = ()
+    recovery: FaultRecoveryConfig = field(default_factory=FaultRecoveryConfig)
+
+    def __post_init__(self):
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.events)
+
+    def for_site(self, site: str) -> Tuple[FaultSpec, ...]:
+        return tuple(e for e in self.events if e.site == site)
+
+    def kinds(self) -> FrozenSet[str]:
+        """Distinct fault kinds this plan injects."""
+        return frozenset(e.kind for e in self.events)

@@ -2,7 +2,7 @@
 
 from .ethernet import ETH_OVERHEAD_BYTES, EthernetLink, Frame
 from .iperf import IperfResult, run_iperf, sweep_window
-from .reliable import ReliableReceiver, ReliableSender, Segment
+from .reliable import ReliableReceiver, ReliableSender, Segment, TransferAborted
 from .rdma import (
     QueuePair,
     RdmaError,
@@ -39,6 +39,7 @@ __all__ = [
     "ReliableReceiver",
     "ReliableSender",
     "Segment",
+    "TransferAborted",
     "Switch",
     "figure8_paths",
     "flows_to_saturate",

@@ -52,7 +52,7 @@ class EthernetLink:
         rate_gbps: float = 100.0,
         propagation_ns: float = 500.0,
         loss_rate: float = 0.0,
-        seed: int = 1,
+        seed: Optional[int] = 1,
         name: str = "eth",
     ):
         if rate_gbps <= 0:
@@ -65,11 +65,25 @@ class EthernetLink:
         self.propagation_ns = propagation_ns
         self.loss_rate = loss_rate
         self.name = name
-        self._rng = random.Random(seed)
+        # seed=None routes the loss process through the kernel's single
+        # seeded RNG (the deterministic fault-injection regime); a local
+        # seed keeps the historical per-link stream for existing models.
+        self._rng = kernel.rng if seed is None else random.Random(seed)
+        #: Optional fault-injection hook: returns 'drop' | 'dup' |
+        #: 'reorder' | None for each frame.  None (the default) costs
+        #: one comparison per send and changes nothing.
+        self.fault_hook: Optional[Callable[[Frame], Optional[str]]] = None
         self._endpoints: dict[str, Callable[[Frame], None]] = {}
         self._uplink: Optional[Callable[[Frame], None]] = None
         self._busy_until: dict[str, float] = {}
-        self.stats = {"frames": 0, "dropped": 0, "bytes": 0}
+        self.stats = {
+            "frames": 0,
+            "dropped": 0,
+            "bytes": 0,
+            "faulted": 0,
+            "duplicated": 0,
+            "reordered": 0,
+        }
 
     def attach(self, address: str, handler: Callable[[Frame], None]) -> None:
         if address in self._endpoints:
@@ -95,4 +109,23 @@ class EthernetLink:
             return
         arrival = start + ser + self.propagation_ns
         handler = self._endpoints.get(frame.dst, self._uplink)
+        if self.fault_hook is not None:
+            action = self.fault_hook(frame)
+            if action is not None:
+                self.stats["faulted"] += 1
+                if action == "drop":
+                    self.stats["dropped"] += 1
+                    return
+                if action == "dup":
+                    # The duplicate trails the original by one frame time.
+                    self.stats["duplicated"] += 1
+                    self.kernel.call_at(arrival + ser, lambda _: handler(frame))
+                elif action == "reorder":
+                    # Delay past the frames behind it: it arrives late.
+                    self.stats["reordered"] += 1
+                    self.kernel.call_at(
+                        arrival + 4 * ser + self.propagation_ns,
+                        lambda _: handler(frame),
+                    )
+                    return
         self.kernel.call_at(arrival, lambda _: handler(frame))

@@ -27,6 +27,26 @@ class Segment:
     data: bytes = b""
 
 
+class TransferAborted(ConnectionError):
+    """A reliable transfer gave up after exhausting its retry budget.
+
+    Carries enough state for give-up accounting: how far the transfer
+    got, how many timeouts it burned, and the sender's stats snapshot.
+    """
+
+    def __init__(self, local: str, retries: int, delivered: int, total: int,
+                 stats: Optional[dict] = None):
+        super().__init__(
+            f"{local}: aborted after {retries} consecutive timeouts "
+            f"({delivered}/{total} segments acked)"
+        )
+        self.local = local
+        self.retries = retries
+        self.delivered = delivered
+        self.total = total
+        self.stats = dict(stats or {})
+
+
 class ReliableSender:
     """Go-Back-N sender over one link endpoint."""
 
@@ -40,6 +60,8 @@ class ReliableSender:
         mtu: int = 1500,
         timeout_ns: float = 2_000_000.0,  # 2 ms retransmission timer
         max_retries: int = 50,
+        backoff: float = 1.0,
+        max_timeout_ns: float = 64_000_000.0,
         obs=None,
     ):
         from ..obs import NULL_REGISTRY
@@ -49,6 +71,8 @@ class ReliableSender:
             raise ValueError("window must be >= 1")
         if mtu < 64:
             raise ValueError("mtu too small")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
         self.kernel = kernel
         self.link = link
         self.local = local
@@ -57,11 +81,15 @@ class ReliableSender:
         self.mtu = mtu
         self.timeout_ns = timeout_ns
         self.max_retries = max_retries
+        #: Multiplier applied to the retransmission timer per consecutive
+        #: timeout (1.0 = fixed timer, the historical behaviour).
+        self.backoff = backoff
+        self.max_timeout_ns = max_timeout_ns
         self.base = 0                 # oldest unacked segment
         self.next_seq = 0
         self._segments: List[bytes] = []
         self._ack_event: Optional[Event] = None
-        self.stats = {"sent": 0, "retransmitted": 0, "acks": 0}
+        self.stats = {"sent": 0, "retransmitted": 0, "acks": 0, "aborted": 0}
         link.attach(f"{local}#tx", self._on_frame)
 
     def _on_frame(self, frame: Frame) -> None:
@@ -100,6 +128,7 @@ class ReliableSender:
         self.base = 0
         self.next_seq = 0
         retries = 0
+        timeout_ns = self.timeout_ns
         while self.base < total:
             # Fill the window.
             while self.next_seq < min(self.base + self.window, total):
@@ -108,15 +137,18 @@ class ReliableSender:
             # Wait for an ACK advancing the base, or a timeout.
             self._ack_event = Event("ack")
             before = self.base
-            start = self.kernel.now
-            index, _ = yield _first_of(self.kernel, self._ack_event, self.timeout_ns)
+            index, _ = yield _first_of(self.kernel, self._ack_event, timeout_ns)
             if self.base == before and index == 1:
                 # Timeout with no progress: go back N.
                 retries += 1
                 if retries > self.max_retries:
-                    raise ConnectionError(
-                        f"{self.local}: {retries} consecutive timeouts"
+                    self.stats["aborted"] += 1
+                    if self.obs:
+                        self.obs.counter("net_transfers_aborted_total").inc()
+                    raise TransferAborted(
+                        self.local, retries, self.base, total, stats=self.stats
                     )
+                timeout_ns = min(timeout_ns * self.backoff, self.max_timeout_ns)
                 self.stats["retransmitted"] += self.next_seq - self.base
                 if self.obs:
                     self.obs.counter("net_retransmits_total").inc(
@@ -125,6 +157,7 @@ class ReliableSender:
                 self.next_seq = self.base
             elif self.base != before:
                 retries = 0
+                timeout_ns = self.timeout_ns
         # Record completion time: the kernel may keep running until the
         # last (orphaned) retransmission timer expires, so callers must
         # not use kernel.now for goodput.

@@ -25,6 +25,7 @@ from ..bmc import ConsoleMux, Phase, PowerManager, TelemetryService
 from ..boot import BootOrchestrator, BootTimeline
 from ..config import PlatformConfig, preset
 from ..cpu import ThunderXSoC
+from ..faults import FaultInjector
 from ..fpga import CoyoteShell, Fabric
 from ..interconnect import EciModel
 from ..memory import PhysicalAddressSpace, enzian_address_map
@@ -66,16 +67,26 @@ class EnzianMachine:
     """One Enzian board, from PSU to Linux."""
 
     def __init__(
-        self, config: Optional[Union[PlatformConfig, EnzianConfig]] = None
+        self,
+        config: Optional[Union[PlatformConfig, EnzianConfig]] = None,
+        obs=None,
     ):
         if config is None:
             config = preset("full")
         elif isinstance(config, EnzianConfig):
             config = config.to_platform_config()
         self.config: PlatformConfig = config
-        self.power = PowerManager.from_config(config)
+        self.obs = obs
+        self.power = PowerManager.from_config(config, obs=obs)
         self.consoles = ConsoleMux()
-        self.boot = BootOrchestrator(self.power, consoles=self.consoles)
+        recovery = config.faults.recovery
+        self.boot = BootOrchestrator(
+            self.power,
+            consoles=self.consoles,
+            max_stage_retries=recovery.max_stage_retries,
+            stage_timeout_s=recovery.stage_timeout_s,
+            obs=obs,
+        )
         self.soc = ThunderXSoC.from_config(config)
         self.fabric = Fabric.from_config(config)
         self.shell: Optional[CoyoteShell] = None
@@ -84,6 +95,12 @@ class EnzianMachine:
             config.memory.fpga_dram.capacity_gib,
         )
         self.eci = EciModel.from_config(config)
+        #: Armed only when the config carries fault events -- an empty
+        #: plan leaves every hook None (the zero-cost-off contract).
+        self.injector: Optional[FaultInjector] = None
+        if config.faults.enabled:
+            self.injector = FaultInjector(config.faults, obs=obs)
+            self.injector.arm_control_plane(self.power, boot=self.boot)
 
     @classmethod
     def from_preset(cls, name: str) -> "EnzianMachine":
@@ -105,7 +122,12 @@ class EnzianMachine:
     def telemetry(self, sample_period_ms: Optional[float] = None) -> TelemetryService:
         if sample_period_ms is None:
             sample_period_ms = self.config.bmc.telemetry_sample_period_ms
-        return TelemetryService(self.power, sample_period_ms=sample_period_ms)
+        service = TelemetryService(
+            self.power, sample_period_ms=sample_period_ms, obs=self.obs
+        )
+        if self.injector is not None:
+            self.injector.arm_control_plane(self.power, telemetry=service)
+        return service
 
 
 def figure12_phases(machine: EnzianMachine) -> list[Phase]:

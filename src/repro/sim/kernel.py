@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 if TYPE_CHECKING:
@@ -241,12 +242,22 @@ class Kernel:
     kernel's ``now`` unless one was already installed.  Without ``obs``
     the per-event cost is a single boolean check, so schedules and
     results are bit-identical with and without instrumentation.
+
+    The kernel also owns the simulation's single stochastic source:
+    :attr:`rng`, a ``random.Random`` seeded with ``seed``.  Every
+    component that needs randomness scheduled against simulated time
+    (fault injection, loss processes, jitter) must draw from this RNG
+    rather than creating its own, so that one seed pins the entire
+    event trace.
     """
 
-    def __init__(self, obs: Optional["MetricsRegistry"] = None):
+    def __init__(self, obs: Optional["MetricsRegistry"] = None, seed: int = 0):
         from ..obs import NULL_REGISTRY  # late import: obs builds on nothing here
 
         self.now: float = 0.0
+        self.seed = seed
+        #: The simulation-wide RNG: all stochastic draws route through here.
+        self.rng = random.Random(seed)
         # (when, seq, callback, value, scheduled_at)
         self._queue: list[tuple[float, int, Callable[[Any], None], Any, float]] = []
         self._counter = itertools.count()

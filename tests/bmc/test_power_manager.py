@@ -206,3 +206,93 @@ def test_board_clock_monotonic():
     clock.advance(1.0)
     with pytest.raises(ValueError):
         clock.advance(-0.1)
+
+
+# -- fault path: trips during bring-up, clearing, status decoding ------------
+
+
+def test_rail_fault_during_bring_up_raises_typed_error():
+    """A rail that trips at its settle point surfaces as RailFaultError."""
+    from repro.bmc import RailFaultError
+    from repro.bmc.pmbus import StatusBit
+
+    manager = PowerManager()
+    manager.fault_hook = lambda event, rail: (
+        manager.regulators["VCCINT"]._trip(StatusBit.IOUT_OC)
+        if rail == "VCCINT"
+        else None
+    )
+    manager.common_power_up()
+    with pytest.raises(RailFaultError) as excinfo:
+        manager.fpga_power_up()
+    assert excinfo.value.rail == "VCCINT"
+    assert excinfo.value.status & int(StatusBit.IOUT_OC)
+    assert "OCP" in str(excinfo.value)
+    # Earlier rails in the group were enabled before the trip.
+    assert manager.regulators["VCCINT"].faulted
+
+
+def test_clear_faults_via_pmbus_allows_retry():
+    from repro.bmc import RailFaultError
+    from repro.bmc.pmbus import StatusBit
+
+    manager = PowerManager()
+    manager.common_power_up()
+    manager.regulators["VDD_CORE"]._trip(StatusBit.TEMPERATURE)
+    with pytest.raises(RailFaultError):
+        manager.cpu_power_up()
+    # CLEAR_FAULTS through the PMBus path resets the latched status.
+    manager.clear_faults("VDD_CORE")
+    assert manager.read_status("VDD_CORE") & int(StatusBit.TEMPERATURE) == 0
+    manager.cpu_power_up()
+    assert manager.regulators["VDD_CORE"].live
+
+
+def test_resequence_recovery_power_cycles_the_group():
+    """With a retry budget, a transient trip is recovered automatically."""
+    from repro.bmc.pmbus import StatusBit
+    from repro.obs import MetricsRegistry
+
+    obs = MetricsRegistry()
+    manager = PowerManager(
+        max_resequence_attempts=2, resequence_backoff_s=0.5, obs=obs
+    )
+    fired = []
+
+    def trip_once(event, rail):
+        if rail == "VDD_CORE" and not fired:
+            fired.append(rail)
+            manager.regulators[rail]._trip(StatusBit.VOUT_OV)
+
+    manager.fault_hook = trip_once
+    manager.common_power_up()
+    t0 = manager.clock.now_s
+    manager.cpu_power_up()
+    assert manager.regulators["VDD_CORE"].live
+    # The backoff advanced the board clock between attempts.
+    assert manager.clock.now_s - t0 >= 0.5
+    assert obs.counter("bmc_resequences_total").value == 1
+    events = [e for _, e in manager.events]
+    assert "resequence:1" in events
+    # The failed group was shut down in reverse before the retry.
+    assert any(e.startswith("off:") for e in events)
+
+
+def test_decode_status_flags():
+    from repro.bmc import decode_status
+    from repro.bmc.pmbus import StatusBit
+
+    assert decode_status(0) == "ok"
+    assert decode_status(int(StatusBit.IOUT_OC)) == "OCP"
+    assert decode_status(int(StatusBit.VOUT_OV)) == "OVP"
+    assert decode_status(int(StatusBit.TEMPERATURE)) == "OTP"
+    both = int(StatusBit.IOUT_OC) | int(StatusBit.OFF)
+    assert decode_status(both) == "OCP|OFF"
+    assert decode_status(int(StatusBit.VIN_UV)) == "VIN-UV"
+
+
+def test_resequence_validation():
+    with pytest.raises(ValueError):
+        PowerManager(max_resequence_attempts=-1)
+    with pytest.raises(ValueError):
+        PowerManager(resequence_backoff_s=-0.1)

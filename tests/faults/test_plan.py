@@ -1,0 +1,110 @@
+"""FaultSpec/FaultsConfig validation and config-tree integration."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import PlatformConfig, preset
+from repro.faults import (
+    SITE_KINDS,
+    FaultRecoveryConfig,
+    FaultSpec,
+    FaultsConfig,
+)
+
+
+def test_site_kind_whitelist():
+    with pytest.raises(ValueError):
+        FaultSpec("quantum.bus", "bit_flip")
+    with pytest.raises(ValueError):
+        FaultSpec("eci.link", "drop")  # net-only kind
+    for site, kinds in SITE_KINDS.items():
+        for kind in kinds:
+            spec = FaultSpec(
+                site,
+                kind,
+                arg="x" if site in ("bmc.rail", "boot.stage") else "",
+                value=4.0 if kind == "lane_drop" else 0.0,
+                rate=0.1 if kind in ("crc_storm", "drop", "duplicate", "reorder") else 0.0,
+            )
+            assert spec.kind == kind
+
+
+def test_spec_field_validation():
+    with pytest.raises(ValueError):
+        FaultSpec("eci.link", "bit_flip", at=-1.0)
+    with pytest.raises(ValueError):
+        FaultSpec("eci.link", "bit_flip", count=0)
+    with pytest.raises(ValueError):
+        FaultSpec("net", "drop", rate=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec("net", "drop", rate=0.0)  # rate-based kinds need rate
+    with pytest.raises(ValueError):
+        FaultSpec("bmc.rail", "ocp")  # missing arg
+    with pytest.raises(ValueError):
+        FaultSpec("boot.stage", "hang")  # missing arg
+    with pytest.raises(ValueError):
+        FaultSpec("eci.link", "lane_drop")  # missing value
+    with pytest.raises(ValueError):
+        FaultSpec("eci.link", "crc_storm", rate=0.2, duration=-1.0)
+
+
+def test_recovery_validation():
+    with pytest.raises(ValueError):
+        FaultRecoveryConfig(max_resequence_attempts=-1)
+    with pytest.raises(ValueError):
+        FaultRecoveryConfig(stage_timeout_s=0.0)
+    # Defaults are fail-fast: recovery is opt-in.
+    recovery = FaultRecoveryConfig()
+    assert recovery.max_resequence_attempts == 0
+    assert recovery.max_stage_retries == 0
+
+
+def test_plan_enabled_and_queries():
+    empty = FaultsConfig()
+    assert not empty.enabled
+    plan = FaultsConfig(
+        events=(
+            FaultSpec("eci.link", "bit_flip", at=100.0),
+            FaultSpec("net", "drop", rate=0.1),
+        )
+    )
+    assert plan.enabled
+    assert len(plan.for_site("eci.link")) == 1
+    assert plan.kinds() == {"bit_flip", "drop"}
+    assert "eci.link/bit_flip" in plan.events[0].describe()
+
+
+def test_faults_section_round_trips_through_dict_and_json():
+    plan = FaultsConfig(
+        seed=99,
+        events=(
+            FaultSpec("eci.link", "lane_drop", at=1_000.0, arg="1", value=4.0),
+            FaultSpec("bmc.rail", "ocp", arg="VDD_CORE"),
+        ),
+        recovery=FaultRecoveryConfig(max_resequence_attempts=3),
+    )
+    cfg = dataclasses.replace(preset("full"), faults=plan)
+    assert PlatformConfig.from_dict(cfg.to_dict()) == cfg
+    assert PlatformConfig.from_json(cfg.to_json()) == cfg
+    restored = PlatformConfig.from_json(cfg.to_json())
+    assert restored.faults.events[0].kind == "lane_drop"
+    assert restored.faults.recovery.max_resequence_attempts == 3
+
+
+def test_faults_dotted_path_overrides():
+    cfg = preset("full").with_overrides(
+        {
+            "faults.seed": 1234,
+            "faults.recovery.max_stage_retries": 5,
+        }
+    )
+    assert cfg.faults.seed == 1234
+    assert cfg.faults.recovery.max_stage_retries == 5
+    assert cfg.get("faults.recovery.max_stage_retries") == 5
+
+
+def test_default_tree_has_empty_plan():
+    """Every preset ships with fault injection disarmed."""
+    for name in ("full", "bringup_4lane", "degraded"):
+        assert not preset(name).faults.enabled

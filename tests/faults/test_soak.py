@@ -1,0 +1,75 @@
+"""Chaos soak: seeded fault storms against the whole machine.
+
+Marked ``chaos`` so CI can run the soak matrix separately; the tier-1
+suite still runs them (they are fast at these horizons).
+"""
+
+import pytest
+
+from repro.faults.soak import STORM_RAILS, SoakReport, random_storm, run_soak
+
+SOAK_SEEDS = (7, 1017, 424242)
+
+
+def test_random_storm_is_deterministic_and_broad():
+    storm_a = random_storm(123)
+    storm_b = random_storm(123)
+    assert storm_a == storm_b
+    assert random_storm(124) != storm_a
+    # A storm always spans all five sites and >= 6 distinct kinds.
+    assert {e.site for e in storm_a.events} == {
+        "eci.link", "net", "bmc.rail", "telemetry", "boot.stage"
+    }
+    assert len(storm_a.kinds()) >= 6
+    rail_specs = [e for e in storm_a.events if e.site == "bmc.rail"]
+    assert all(e.arg in STORM_RAILS for e in rail_specs)
+    # Recovery is armed (the machine is supposed to survive).
+    assert storm_a.recovery.max_resequence_attempts > 0
+    assert storm_a.recovery.max_stage_retries > 0
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SOAK_SEEDS)
+def test_soak_survives_storm(seed):
+    report = run_soak(seed)
+    # The machine either runs or failed with a typed error -- and under
+    # the storm's recovery budget, these seeds all reach RUNNING.
+    assert report.running, report.failure
+    assert report.milestones[-1] == "linux"
+    # At least five distinct fault kinds actually fired.
+    assert len(report.injected_kinds) >= 5
+    # No deadlock, no credit leak through the CRC/retransmit machinery.
+    assert report.credits_conserved
+    # The reliable transfer survived the net faults intact.
+    assert report.transfer_completed and report.transfer_intact
+    # Recovery actions are visible in the observability export.
+    assert report.counter("faults_injected_total") >= 5
+    assert report.counter("eci_link_retransmits_total") > 0
+    assert report.counter("eci_retrains_total") > 0
+
+
+@pytest.mark.chaos
+def test_soak_same_seed_identical_event_trace():
+    first = run_soak(SOAK_SEEDS[0])
+    second = run_soak(SOAK_SEEDS[0])
+    assert first.trace == second.trace
+    assert first.counters == second.counters
+    assert first.link_stats == second.link_stats
+    assert first.net_stats == second.net_stats
+    assert first == second
+
+
+@pytest.mark.chaos
+def test_soak_different_seeds_diverge():
+    assert run_soak(SOAK_SEEDS[0]).trace != run_soak(SOAK_SEEDS[1]).trace
+
+
+def test_empty_storm_report():
+    from repro.faults import FaultsConfig
+
+    report = run_soak(0, storm=FaultsConfig())
+    assert isinstance(report, SoakReport)
+    assert report.running
+    assert report.trace == ()
+    assert report.injected_kinds == ()
+    assert report.counter("faults_injected_total") == 0

@@ -104,3 +104,64 @@ def test_reliable_delivery_property(size, loss, window):
     payload = bytes(i % 256 for i in range(size))
     receiver, _, _ = run_transfer(payload, loss_rate=loss, window=window)
     assert receiver.data == payload
+
+
+def test_aborted_transfer_is_typed_and_counted():
+    """Exhausting the retry budget raises TransferAborted with state."""
+    from repro.net import TransferAborted
+    from repro.obs import MetricsRegistry
+
+    kernel = Kernel()
+    obs = MetricsRegistry()
+    switch, link_a, link_b = two_hosts_via_switch(kernel, loss_rate=0.95)
+    sender = ReliableSender(
+        kernel, link_a, "enzianA", "enzianB",
+        max_retries=4, timeout_ns=10_000, obs=obs,
+    )
+    ReliableReceiver(kernel, link_b, "enzianB", "enzianA")
+    with pytest.raises(TransferAborted) as excinfo:
+        kernel.run_process(sender.send(bytes(10_000)))
+    err = excinfo.value
+    assert isinstance(err, ConnectionError)  # back-compat for callers
+    assert err.retries == 5
+    assert err.total == 7  # ceil(10000 / 1500)
+    assert 0 <= err.delivered < err.total
+    assert err.stats["aborted"] == 1
+    assert obs.counter("net_transfers_aborted_total").value == 1
+
+
+def test_backoff_grows_and_resets():
+    """Consecutive timeouts double the timer; progress resets it."""
+    kernel = Kernel()
+    switch, link_a, link_b = two_hosts_via_switch(kernel)
+    sender = ReliableSender(
+        kernel, link_a, "enzianA", "enzianB",
+        timeout_ns=1_000.0, backoff=2.0, max_timeout_ns=8_000.0, max_retries=50,
+    )
+    # No receiver attached to the far side: every window times out.  The
+    # switch forwards into the void, so ACKs never come back.
+    timeouts = []
+    original = sender._transmit
+
+    def spy(index):
+        timeouts.append(kernel.now)
+        original(index)
+
+    sender._transmit = spy
+    from repro.net import TransferAborted
+
+    with pytest.raises((TransferAborted, ValueError)):
+        kernel.run_process(sender.send(b"x"))
+    gaps = [b - a for a, b in zip(timeouts, timeouts[1:])]
+    assert len(gaps) >= 4
+    # Exponential up to the cap: each gap is about double the previous.
+    assert gaps[1] > gaps[0] * 1.5
+    assert gaps[2] > gaps[1] * 1.5
+    assert max(gaps) <= 8_000.0 + 1_000.0  # capped at max_timeout_ns (+ser slack)
+
+
+def test_backoff_validation():
+    kernel = Kernel()
+    switch, link_a, _ = two_hosts_via_switch(kernel)
+    with pytest.raises(ValueError):
+        ReliableSender(kernel, link_a, "a", "b", backoff=0.5)

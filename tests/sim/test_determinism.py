@@ -117,3 +117,80 @@ def test_observed_kernel_has_identical_schedule():
     assert log_plain == log_obs
     assert end_plain == end_obs
     assert obs.counter("sim_events_total").value > 0
+
+
+# -- fault-run determinism ---------------------------------------------------
+#
+# The kernel owns the simulation's only stochastic source (kernel.rng);
+# every rate-based fault draw routes through it, so a seed pins the
+# complete fault trace: which messages corrupt, when lanes retrain,
+# which frames drop.
+
+
+def _run_fault_storm(kernel_seed: int):
+    """A CRC storm + net faults against one kernel seed; returns traces."""
+    from repro.eci.link import EciLinkParams, EciLinkTransport
+    from repro.eci.messages import Message, MessageType
+    from repro.eci.protocol import ProtocolNode
+    from repro.faults import FaultInjector, FaultSpec, FaultsConfig
+    from repro.net.ethernet import EthernetLink, Frame
+
+    class Sink(ProtocolNode):
+        def receive(self, message):
+            pass
+
+    kernel = Kernel(seed=kernel_seed)
+    transport = EciLinkTransport(
+        kernel, params=EciLinkParams(credits_per_vc=3)
+    )
+    Sink(kernel, 0, transport)
+    Sink(kernel, 1, transport)
+    link = EthernetLink(kernel, seed=None)
+    arrivals = []
+    link.attach("b", lambda f: arrivals.append((kernel.now, f.seq)))
+    plan = FaultsConfig(
+        events=(
+            FaultSpec("eci.link", "crc_storm", at=0.0, rate=0.3, duration=2_000.0),
+            FaultSpec("net", "drop", rate=0.2, count=50),
+        )
+    )
+    injector = FaultInjector(plan)
+    injector.arm_eci(transport, kernel)
+    injector.arm_ethernet(link)
+    for i in range(80):
+        message = Message(MessageType.RLDS, src=0, dst=1, addr=i * 128, txid=i)
+        kernel.call_at(i * 12.0, lambda _, m=message: transport.send(m))
+        frame = Frame(src="a", dst="b", payload=None, size_bytes=200, seq=i)
+        kernel.call_at(i * 12.0 + 3.0, lambda _, f=frame: link.send(f))
+    kernel.run()
+    return (
+        tuple(injector.trace),
+        dict(transport.stats, bytes_per_link=tuple(transport.stats["bytes_per_link"])),
+        dict(link.stats),
+        tuple(arrivals),
+        kernel.now,
+    )
+
+
+def test_fault_runs_are_seed_deterministic():
+    first = _run_fault_storm(0xEC1)
+    second = _run_fault_storm(0xEC1)
+    assert first == second
+    trace, link_stats, eth_stats, arrivals, _ = first
+    assert link_stats["crc_errors"] > 0, "storm never corrupted anything"
+    assert eth_stats["dropped"] > 0, "net faults never fired"
+    assert trace, "injector recorded nothing"
+
+
+def test_fault_runs_diverge_across_kernel_seeds():
+    assert _run_fault_storm(1)[0] != _run_fault_storm(2)[0]
+
+
+def test_kernel_rng_is_seeded_and_per_instance():
+    a, b, c = Kernel(seed=9), Kernel(seed=9), Kernel(seed=10)
+    draws_a = [a.rng.random() for _ in range(5)]
+    draws_b = [b.rng.random() for _ in range(5)]
+    draws_c = [c.rng.random() for _ in range(5)]
+    assert draws_a == draws_b
+    assert draws_a != draws_c
+    assert a.seed == 9
