@@ -1,0 +1,235 @@
+"""Hot-path performance benchmarks for the simulation twin.
+
+Each bench returns a dict with a ``rate`` (operations per second of
+wall-clock time) plus enough metadata to make the number reproducible.
+The same functions back the pytest smoke tests
+(``benchmarks/test_perf_kernel.py``), the ``BENCH_perf.json`` writer
+(``benchmarks/run_perf.py``) and the CI regression gate
+(``benchmarks/check_perf_regression.py``).
+
+Methodology: every bench runs ``repeats`` times and reports the *best*
+wall-clock rate (minimum noise estimator, like ``timeit``).  Rates are
+wall-clock performance of the simulator itself -- simulated time is
+irrelevant here except as a work counter.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim import Kernel, Timeout  # noqa: E402
+
+
+def calibrate(spins: int = 2_000_000, repeats: int = 5) -> dict:
+    """A fixed pure-Python spin loop: the host's scalar interpreter speed.
+
+    The regression gate scales committed baseline rates by the ratio of
+    fresh to committed calibration, so a slower CI runner is compared
+    against what the baseline machine *would have scored there* rather
+    than against its absolute numbers.
+    """
+
+    def work():
+        acc = 0
+        for i in range(spins):
+            acc += i & 7
+        return acc
+
+    out = _best_rate(work, spins, repeats)
+    out["unit"] = "spins/s"
+    return out
+
+
+def _best_rate(work, ops: int, repeats: int) -> dict:
+    """Run ``work()`` ``repeats`` times; rate = ops / best wall time."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        work()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return {"ops": ops, "best_s": best, "rate": ops / best}
+
+
+def bench_kernel_dispatch(events: int = 200_000, repeats: int = 3) -> dict:
+    """Raw event-loop dispatch: a self-rescheduling callback chain.
+
+    Measures the kernel's per-event overhead (queue push/pop, clock
+    advance, dispatch) with a trivial callback body, i.e. the floor any
+    simulation pays per event.
+    """
+
+    def work():
+        kernel = Kernel()
+        remaining = [events]
+
+        def tick(_):
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                kernel.call_after(1.0, tick)
+
+        kernel.call_after(1.0, tick)
+        kernel.run()
+
+    out = _best_rate(work, events, repeats)
+    out["unit"] = "events/s"
+    return out
+
+
+def bench_kernel_timeout_procs(
+    procs: int = 200, steps: int = 500, repeats: int = 3
+) -> dict:
+    """Process scheduling: many coroutines yielding Timeouts.
+
+    Exercises the full wakeup path -- Timeout subscribe, queue, process
+    resume -- which is what protocol agents actually pay per step.
+    """
+    events = procs * steps
+
+    def work():
+        kernel = Kernel()
+
+        def proc(period):
+            for _ in range(steps):
+                yield Timeout(period)
+
+        for i in range(procs):
+            kernel.spawn(proc(1.0 + (i % 7)))
+        kernel.run()
+
+    out = _best_rate(work, events, repeats)
+    out["unit"] = "events/s"
+    return out
+
+
+def bench_eci_serialization(messages: int = 20_000, repeats: int = 3) -> dict:
+    """Wire pack/unpack round-trips over every ECI message type."""
+    from repro.eci import serialization
+    from repro.eci.messages import (
+        CACHE_LINE_BYTES,
+        DATA_BEARING_TYPES,
+        MessageType,
+        Message,
+    )
+
+    line = bytes(i % 256 for i in range(CACHE_LINE_BYTES))
+    pool = []
+    for i, mtype in enumerate(MessageType):
+        if mtype in DATA_BEARING_TYPES:
+            payload = line if mtype not in (
+                MessageType.IOBST,
+                MessageType.IOBRSP,
+            ) else b"\x55" * 8
+        else:
+            payload = None
+        pool.append(
+            Message(
+                mtype,
+                src=i % 4,
+                dst=(i + 1) % 4,
+                addr=(i * CACHE_LINE_BYTES) & 0xFFFF80,
+                txid=i,
+                payload=payload,
+                requester=2 if mtype.name.startswith("F") else None,
+            )
+        )
+
+    def work():
+        for i in range(messages):
+            message = pool[i % len(pool)]
+            wire = serialization.encode(message)
+            serialization.decode(wire)
+
+    out = _best_rate(work, messages, repeats)
+    out["unit"] = "msgs/s"
+    return out
+
+
+def bench_eci_link_flits(flits: int = 20_000, repeats: int = 3) -> dict:
+    """A saturated, credit-limited ECI link: wall-clock flits/sec.
+
+    Back-to-back header-only flits from one source keep the serializer
+    busy; credit flow control is on, so the credit return path runs too.
+    """
+    from repro.eci.link import EciLinkParams, EciLinkTransport
+    from repro.eci.messages import Message, MessageType
+    from repro.eci.protocol import ProtocolNode
+
+    class Sink(ProtocolNode):
+        def receive(self, message):
+            pass
+
+    def work():
+        kernel = Kernel()
+        transport = EciLinkTransport(
+            kernel, params=EciLinkParams(credits_per_vc=8)
+        )
+        Sink(kernel, 0, transport)
+        Sink(kernel, 1, transport)
+        sent = [0]
+
+        def pump(_):
+            for _ in range(16):
+                if sent[0] >= flits:
+                    return
+                transport.send(
+                    Message(
+                        MessageType.RLDS,
+                        src=0,
+                        dst=1,
+                        addr=(sent[0] * 128) & 0xFFFF80,
+                        txid=sent[0],
+                    )
+                )
+                sent[0] += 1
+            kernel.call_after(50.0, pump)
+
+        kernel.call_after(0.0, pump)
+        kernel.run()
+        assert transport.stats["messages"] >= flits
+
+    out = _best_rate(work, flits, repeats)
+    out["unit"] = "flits/s"
+    return out
+
+
+def bench_fig7_tcp_wall(repeats: int = 5) -> dict:
+    """End-to-end fig7 TCP sweep wall time (macro bench over examples)."""
+    from repro.config import preset
+    from repro.net import FpgaTcpStack, LinuxTcpStack
+
+    sizes = [2**i * 1000 for i in range(1, 11)]
+    cfg = preset("full")
+
+    def work():
+        fpga = FpgaTcpStack.from_config(cfg)
+        linux = LinuxTcpStack.from_config(cfg)
+        for size in sizes:
+            fpga.one_way_latency_ns(size)
+            linux.one_way_latency_ns(size)
+            fpga.throughput_gbps(size)
+            linux.throughput_gbps(size)
+
+    out = _best_rate(work, len(sizes), repeats)
+    out["unit"] = "sweeps: sizes/s"
+    return out
+
+
+BENCHES = {
+    "kernel_dispatch": bench_kernel_dispatch,
+    "kernel_timeout_procs": bench_kernel_timeout_procs,
+    "eci_serialization": bench_eci_serialization,
+    "eci_link_flits": bench_eci_link_flits,
+    "fig7_tcp_wall": bench_fig7_tcp_wall,
+}
+
+
+def run_all(**overrides) -> dict:
+    results = {}
+    for name, fn in BENCHES.items():
+        results[name] = fn(**overrides.get(name, {}))
+    return results

@@ -16,7 +16,7 @@ from typing import List
 
 import numpy as np
 
-from ...sim import Kernel, Resource, Timeout
+from ...sim import Kernel, Resource
 from .accel import GbdtAccelerator, TUPLE_BYTES
 
 
@@ -89,7 +89,7 @@ def run_streaming_inference(
         yield buffers.acquire()
         yield dma_busy.acquire()
         t_copy = kernel.now
-        yield Timeout(copy_ns)
+        yield kernel.timeout(copy_ns)  # pooled: one Timeout per distinct delay
         if obs:
             obs.histogram("app_gbdt_stage_ns", {"stage": "copy"}).observe(
                 kernel.now - t_copy
@@ -99,7 +99,7 @@ def run_streaming_inference(
         # the compute drains it.
         yield engine_busy.acquire()
         t_compute = kernel.now
-        yield Timeout(compute_ns * len(batch) / batch_tuples)
+        yield kernel.timeout(compute_ns * len(batch) / batch_tuples)
         predictions[index] = accelerator.infer(batch)
         if obs:
             obs.histogram("app_gbdt_stage_ns", {"stage": "compute"}).observe(

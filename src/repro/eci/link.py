@@ -103,6 +103,21 @@ class EciLinkTransport(Transport):
 
     With no faults injected, none of this machinery runs: timings and
     statistics are bit-identical to the fault-free model.
+
+    Batched delivery scheduling
+    ---------------------------
+    Back-to-back flits on one serializer (same link, src, dst) used to
+    schedule one kernel closure each, so a credit window's worth of
+    burst traffic sat in the event heap simultaneously.  Deliveries now
+    queue on a per-serializer FIFO drained by a single re-arming kernel
+    callback (:meth:`_pump`): at most one event per serializer is in
+    the heap at any time, and no per-flit closures are allocated.
+    Ordering is provably preserved -- the FIFO is per serializer and
+    per-serializer arrival times are monotone non-decreasing (each
+    flit's ``start`` is at least the previous flit's ``free_at``) --
+    and every flit is still handed off at exactly the arrival time
+    computed when it hit the wire, so timings, stats, and traces are
+    bit-identical to the unbatched model.
     """
 
     def __init__(
@@ -115,7 +130,23 @@ class EciLinkTransport(Transport):
         self.params = params or EciLinkParams()
         # (link index, src, dst) -> time the serializer frees up
         self._free_at: Dict[Tuple[int, int, int], float] = {}
+        # (link index, src, dst) -> FIFO of (arrival, message, retries,
+        # corrupt) deliveries in flight; non-empty iff a _pump callback
+        # is armed for that serializer.
+        self._pending: Dict[
+            Tuple[int, int, int], Deque[Tuple[float, Message, int, bool]]
+        ] = {}
         self._round_robin = itertools.count()
+        # Hot-path copies of physical parameters: the link reads its
+        # EciLinkParams once, at construction (mutating params on a
+        # live transport was never supported; reconfigure by building
+        # a new transport or via drop_lanes/restore_lanes).
+        self._links = self.params.links
+        self._policy = self.params.policy
+        self._fixed_link = self.params.fixed_link
+        self._propagation_ns = self.params.propagation_ns
+        self._credit_return_ns = self.params.credit_return_ns
+        self._credits_per_vc = self.params.credits_per_vc
         # Credit-based flow control, per (dst, VC): independent buffer
         # classes so requests can never block responses.
         self._credits: Dict[Tuple[int, VirtualCircuit], int] = {}
@@ -144,21 +175,23 @@ class EciLinkTransport(Transport):
         return cls(kernel, params=config.eci.link, obs=obs)
 
     def select_link(self, message: Message) -> int:
-        policy = self.params.policy
+        policy = self._policy
+        if policy == "address":
+            # Address-interleaved: consecutive lines alternate links.
+            # (addr >> 7 is line_address(addr) // 128 for the
+            # non-negative addresses Message guarantees.)
+            return (message.addr >> 7) % self._links
         if policy == "fixed":
-            return self.params.fixed_link
-        if policy == "round_robin":
-            return next(self._round_robin) % self.params.links
-        # Address-interleaved: consecutive lines alternate links.
-        return (line_address(message.addr) // 128) % self.params.links
+            return self._fixed_link
+        return next(self._round_robin) % self._links
 
     def _deliver(self, message: Message) -> None:
         self._admit(message, 0)
 
     def _admit(self, message: Message, retries: int) -> None:
-        if self.params.credits_per_vc:
+        if self._credits_per_vc:
             vc_key = (message.dst, message.vc)
-            available = self._credits.setdefault(vc_key, self.params.credits_per_vc)
+            available = self._credits.setdefault(vc_key, self._credits_per_vc)
             if available <= 0:
                 # No buffer at the receiver for this VC: park the message.
                 self.stats["credit_stalls"] += 1
@@ -175,19 +208,21 @@ class EciLinkTransport(Transport):
         link = self.select_link(message)
         key = (link, message.src, message.dst)
         now = self.kernel.now
+        wire_bytes = message.wire_bytes
         # A retraining link starts no new transmission until it is done;
         # _retrain_until is 0.0 on a healthy link, so the max is a no-op.
         start = max(now, self._free_at.get(key, 0.0), self._retrain_until[link])
-        ser = message.wire_bytes / self._rate[link]
+        ser = wire_bytes / self._rate[link]
         self._free_at[key] = start + ser
-        arrival = start + ser + self.params.propagation_ns
-        self.stats["messages"] += 1
-        self.stats["bytes_per_link"][link] += message.wire_bytes
-        self.stats["queueing_ns"] += start - now
+        arrival = start + ser + self._propagation_ns
+        stats = self.stats
+        stats["messages"] += 1
+        stats["bytes_per_link"][link] += wire_bytes
+        stats["queueing_ns"] += start - now
         if self.obs:
             self.obs.counter(
                 "eci_link_bytes_total", {"link": str(link)}
-            ).inc(message.wire_bytes)
+            ).inc(wire_bytes)
             self.obs.histogram(
                 "eci_link_queueing_ns", help="serializer wait before transmit"
             ).observe(start - now)
@@ -197,18 +232,42 @@ class EciLinkTransport(Transport):
             corrupt = True
         elif self.fault_rate and self.kernel.rng.random() < self.fault_rate:
             corrupt = True
-        if corrupt:
-            self.kernel.call_at(arrival, lambda _: self._arrive_corrupt(message, retries))
+        pending = self._pending.get(key)
+        if pending is None:
+            pending = self._pending[key] = deque()
+        if pending:
+            # Serializer already has a delivery pump armed; this flit
+            # rides the same callback chain (arrivals are monotone per
+            # serializer, so FIFO order is arrival order).
+            pending.append((arrival, message, retries, corrupt))
         else:
-            self.kernel.call_at(arrival, lambda _: self._consume(message))
+            pending.append((arrival, message, retries, corrupt))
+            self.kernel.call_at(arrival, self._pump, key)
+
+    def _pump(self, key: Tuple[int, int, int]) -> None:
+        """Deliver the serializer's next flit; re-arm if more are in flight.
+
+        Re-arming happens *before* the handoff so that at equal
+        timestamps the next arrival keeps its pre-batching insertion
+        order relative to events the handoff schedules.
+        """
+        pending = self._pending[key]
+        _arrival, message, retries, corrupt = pending.popleft()
+        if pending:
+            self.kernel.call_at(pending[0][0], self._pump, key)
+        if corrupt:
+            self._arrive_corrupt(message, retries)
+        else:
+            self._consume(message)
 
     def _consume(self, message: Message) -> None:
         self._handoff(message)
-        if self.params.credits_per_vc:
+        if self._credits_per_vc:
             # The receive buffer drains and its credit returns.
             self.kernel.call_after(
-                self.params.credit_return_ns,
-                lambda _: self._return_credit((message.dst, message.vc)),
+                self._credit_return_ns,
+                self._return_credit,
+                (message.dst, message.vc),
             )
 
     def _arrive_corrupt(self, message: Message, retries: int) -> None:
@@ -218,13 +277,14 @@ class EciLinkTransport(Transport):
             self.obs.counter(
                 "eci_crc_errors_total", {"vc": message.vc.name}
             ).inc()
-        if self.params.credits_per_vc:
+        if self._credits_per_vc:
             # The corrupt message still occupied a receive buffer; it
             # drains normally and its credit returns -- the retransmitted
             # copy must claim a fresh credit (credit reclamation).
             self.kernel.call_after(
-                self.params.credit_return_ns,
-                lambda _: self._return_credit((message.dst, message.vc)),
+                self._credit_return_ns,
+                self._return_credit,
+                (message.dst, message.vc),
             )
         if retries >= self.params.crc_retry_limit:
             self.stats["messages_lost"] += 1
@@ -236,9 +296,11 @@ class EciLinkTransport(Transport):
             self.obs.counter("eci_link_retransmits_total").inc()
         # NAK propagates back to the sender, which re-queues the message.
         self.kernel.call_after(
-            self.params.propagation_ns,
-            lambda _: self._admit(message, retries + 1),
+            self._propagation_ns, self._readmit, (message, retries + 1)
         )
+
+    def _readmit(self, nak: Tuple[Message, int]) -> None:
+        self._admit(nak[0], nak[1])
 
     def _return_credit(self, vc_key: Tuple[int, VirtualCircuit]) -> None:
         waiting = self._waiting.get(vc_key)

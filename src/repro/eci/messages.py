@@ -167,15 +167,22 @@ class Message:
                 raise ValueError(
                     f"{self.mtype.name} payload must be 1..8 B, got {len(self.payload)}"
                 )
+        # Both derived values are pure functions of frozen fields and sit
+        # on the per-flit hot path (VC is read by flow control on admit
+        # *and* credit return); compute once at construction.
+        object.__setattr__(self, "_vc", _VC_FOR_TYPE[self.mtype])
+        object.__setattr__(
+            self, "_wire_bytes", HEADER_BYTES + (len(self.payload) if self.payload else 0)
+        )
 
     @property
     def vc(self) -> VirtualCircuit:
-        return vc_for(self.mtype)
+        return self._vc
 
     @property
     def wire_bytes(self) -> int:
         """Total bytes this message occupies on the wire."""
-        return HEADER_BYTES + (len(self.payload) if self.payload else 0)
+        return self._wire_bytes
 
     def __str__(self) -> str:
         data = f" +{len(self.payload)}B" if self.payload else ""

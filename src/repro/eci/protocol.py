@@ -33,7 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from ..sim import Channel, Event, Kernel, SimulationError, Timeout
+from ..sim import Channel, Event, Kernel, SimulationError
 from .messages import (
     CACHE_LINE_BYTES,
     Message,
@@ -305,7 +305,7 @@ class CacheAgent(ProtocolNode):
         if addr in self._mshrs:
             yield self._mshrs[addr].done
         self._evict(addr)
-        yield Timeout(0)
+        yield self.kernel.timeout(0)
 
     # -- internals -------------------------------------------------------
 

@@ -20,12 +20,37 @@ Header layout (little-endian)::
     16      4     transaction id
     20      2     payload length in bytes
     22      10    reserved (zero)
+
+Hot-path notes
+--------------
+Link-level flit serialization used to re-derive the wire layout per
+message: a fresh ``struct`` pack with a fresh reserved-bytes object, an
+enum constructor per decoded opcode, and a VC-consistency lookup per
+header.  Traffic is heavily repetitive (a saturated link replays the
+same few header shapes), so both directions now memoize on immutable
+keys:
+
+* :func:`_pack_header` is an LRU over the message-type/field tuple --
+  the virtual circuit is *derived inside* the cached call, never
+  recomputed on a hit;
+* :func:`_unpack_header` is an LRU over the raw 32 header bytes,
+  returning fully validated fields (opcode/VC tables are plain dicts,
+  not ``Enum.__call__``);
+* :func:`encode_stream` packs into one preallocated buffer instead of
+  concatenating per-message ``bytes``.
+
+The memoized paths must be bit-identical to the direct ones;
+``tests/eci/test_serialization_cache.py`` pins cached-vs-uncached
+round trips for every message type on every virtual circuit (the
+uncached references are :func:`_pack_header_uncached` /
+:func:`_unpack_header_uncached`).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterable, Iterator
+from functools import lru_cache
+from typing import Iterable, Iterator, Optional
 
 from .messages import HEADER_BYTES, Message, MessageType, VirtualCircuit, vc_for
 
@@ -36,29 +61,116 @@ _NO_REQUESTER = 0xFF
 _HEADER = struct.Struct("<HBBBBBBQIH10s")
 assert _HEADER.size == HEADER_BYTES
 
+_RESERVED = b"\x00" * 10
+
+# Enum lookups as plain dicts: Enum.__call__ costs an order of
+# magnitude more than a dict probe and sits on the per-flit path.
+_MTYPE_BY_OPCODE = {int(m): m for m in MessageType}
+_VC_BY_CODE = {int(v): v for v in VirtualCircuit}
+
 
 class SerializationError(ValueError):
     """Raised when a byte stream is not a valid ECI message."""
 
 
-def encode(message: Message) -> bytes:
-    """Serialize a message to its wire representation."""
-    payload = message.payload or b""
-    requester = _NO_REQUESTER if message.requester is None else message.requester
-    header = _HEADER.pack(
+def _pack_header_uncached(
+    mtype: MessageType,
+    src: int,
+    dst: int,
+    requester: int,
+    addr: int,
+    txid: int,
+    payload_len: int,
+) -> bytes:
+    """The direct (memoization-free) header pack; reference path."""
+    return _HEADER.pack(
         MAGIC,
         VERSION,
-        int(message.mtype),
-        int(message.vc),
+        mtype,
+        vc_for(mtype),
+        src,
+        dst,
+        requester,
+        addr,
+        txid,
+        payload_len,
+        _RESERVED,
+    )
+
+
+_pack_header = lru_cache(maxsize=4096)(_pack_header_uncached)
+
+
+def _unpack_header_uncached(
+    header: bytes,
+) -> tuple[MessageType, int, int, Optional[int], int, int, int]:
+    """Validate 32 header bytes; returns
+    ``(mtype, src, dst, requester, addr, txid, payload_len)``.
+
+    Direct (memoization-free) reference path for the cached unpack.
+    """
+    (
+        magic,
+        version,
+        opcode,
+        vc,
+        src,
+        dst,
+        requester,
+        addr,
+        txid,
+        payload_len,
+        _reserved,
+    ) = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic:#x}")
+    if version != VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    mtype = _MTYPE_BY_OPCODE.get(opcode)
+    if mtype is None:
+        raise SerializationError(f"unknown opcode {opcode:#x}")
+    circuit = _VC_BY_CODE.get(vc)
+    if circuit is None:
+        raise SerializationError(f"unknown virtual circuit {vc:#x}")
+    if circuit != vc_for(mtype):
+        raise SerializationError(
+            f"VC mismatch: {mtype.name} on VC {vc}, expected {vc_for(mtype)}"
+        )
+    return (
+        mtype,
+        src,
+        dst,
+        None if requester == _NO_REQUESTER else requester,
+        addr,
+        txid,
+        payload_len,
+    )
+
+
+_unpack_header = lru_cache(maxsize=4096)(_unpack_header_uncached)
+
+
+def encode(message: Message) -> bytes:
+    """Serialize a message to its wire representation."""
+    payload = message.payload
+    header = _pack_header(
+        message.mtype,
         message.src,
         message.dst,
-        requester,
+        _NO_REQUESTER if message.requester is None else message.requester,
         message.addr,
         message.txid,
-        len(payload),
-        b"\x00" * 10,
+        len(payload) if payload else 0,
     )
-    return header + payload
+    return header + payload if payload else header
+
+
+def encode_into(message: Message, buffer: bytearray, offset: int = 0) -> int:
+    """Serialize into a preallocated buffer; returns the new offset."""
+    wire = encode(message)
+    end = offset + len(wire)
+    buffer[offset:end] = wire
+    return end
 
 
 def decode(data: bytes) -> Message:
@@ -79,35 +191,11 @@ def decode_prefix(data: bytes) -> tuple[Message, int]:
     """
     if len(data) < HEADER_BYTES:
         raise SerializationError(f"short header: {len(data)} < {HEADER_BYTES}")
-    (
-        magic,
-        version,
-        opcode,
-        vc,
-        src,
-        dst,
-        requester,
-        addr,
-        txid,
-        payload_len,
-        _reserved,
-    ) = _HEADER.unpack_from(data)
-    if magic != MAGIC:
-        raise SerializationError(f"bad magic {magic:#x}")
-    if version != VERSION:
-        raise SerializationError(f"unsupported version {version}")
+    header = bytes(data[:HEADER_BYTES])
     try:
-        mtype = MessageType(opcode)
-    except ValueError as exc:
-        raise SerializationError(f"unknown opcode {opcode:#x}") from exc
-    try:
-        circuit = VirtualCircuit(vc)
-    except ValueError as exc:
-        raise SerializationError(f"unknown virtual circuit {vc:#x}") from exc
-    if circuit != vc_for(mtype):
-        raise SerializationError(
-            f"VC mismatch: {mtype.name} on VC {vc}, expected {vc_for(mtype)}"
-        )
+        mtype, src, dst, requester, addr, txid, payload_len = _unpack_header(header)
+    except struct.error as exc:  # pragma: no cover - length checked above
+        raise SerializationError(str(exc)) from exc
     end = HEADER_BYTES + payload_len
     if len(data) < end:
         raise SerializationError(f"short payload: {len(data)} < {end}")
@@ -120,7 +208,7 @@ def decode_prefix(data: bytes) -> tuple[Message, int]:
             addr=addr,
             txid=txid,
             payload=payload,
-            requester=None if requester == _NO_REQUESTER else requester,
+            requester=requester,
         )
     except ValueError as exc:
         raise SerializationError(str(exc)) from exc
@@ -128,14 +216,31 @@ def decode_prefix(data: bytes) -> tuple[Message, int]:
 
 
 def encode_stream(messages: Iterable[Message]) -> bytes:
-    """Concatenate the wire forms of many messages (trace file body)."""
-    return b"".join(encode(m) for m in messages)
+    """Concatenate the wire forms of many messages (trace file body).
+
+    Packs into one preallocated buffer: a trace of N messages costs one
+    allocation plus N header packs, instead of 2N intermediate byte
+    strings.
+    """
+    items = messages if isinstance(messages, (list, tuple)) else list(messages)
+    buffer = bytearray(sum(m.wire_bytes for m in items))
+    offset = 0
+    for message in items:
+        offset = encode_into(message, buffer, offset)
+    return bytes(buffer)
 
 
 def decode_stream(data: bytes) -> Iterator[Message]:
-    """Yield messages from a concatenated wire stream."""
+    """Yield messages from a concatenated wire stream.
+
+    Decodes through a ``memoryview`` so a stream of N messages costs
+    O(total) instead of the O(total^2) of re-slicing the tail per
+    message.
+    """
+    view = memoryview(data)
     offset = 0
-    while offset < len(data):
-        message, consumed = decode_prefix(data[offset:])
+    total = len(data)
+    while offset < total:
+        message, consumed = decode_prefix(view[offset:])
         yield message
         offset += consumed

@@ -9,6 +9,7 @@ process (for exercising the reliable-delivery machinery).
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -76,6 +77,12 @@ class EthernetLink:
         self._endpoints: dict[str, Callable[[Frame], None]] = {}
         self._uplink: Optional[Callable[[Frame], None]] = None
         self._busy_until: dict[str, float] = {}
+        # Per-direction FIFO of (arrival, handler, frame) deliveries in
+        # flight; non-empty iff a _pump callback is armed for that src.
+        # One re-arming kernel callback per direction replaces one
+        # closure per frame; per-src arrivals are monotone, so FIFO
+        # order is arrival order and timing is unchanged.
+        self._pending: dict[str, "deque[tuple[float, Callable[[Frame], None], Frame]]"] = {}
         self.stats = {
             "frames": 0,
             "dropped": 0,
@@ -128,4 +135,19 @@ class EthernetLink:
                         lambda _: handler(frame),
                     )
                     return
-        self.kernel.call_at(arrival, lambda _: handler(frame))
+        pending = self._pending.get(frame.src)
+        if pending is None:
+            pending = self._pending[frame.src] = deque()
+        if pending:
+            pending.append((arrival, handler, frame))
+        else:
+            pending.append((arrival, handler, frame))
+            self.kernel.call_at(arrival, self._pump, frame.src)
+
+    def _pump(self, src: str) -> None:
+        """Deliver this direction's next frame; re-arm if more are in flight."""
+        pending = self._pending[src]
+        _arrival, handler, frame = pending.popleft()
+        if pending:
+            self.kernel.call_at(pending[0][0], self._pump, src)
+        handler(frame)

@@ -9,6 +9,25 @@ fires.  The design follows the classic event-wheel structure used by
 hardware simulators: a single ordered event queue, deterministic
 tie-breaking by insertion order, and no real concurrency.
 
+Hot-path notes
+--------------
+Per-event dispatch cost decides the twin's wall-clock throughput, so
+the inner machinery is deliberately lean (see ``BENCH_perf.json`` and
+``benchmarks/perfkit.py`` for the tracked numbers):
+
+* queue entries are plain tuples ``(when, seq, callback, value)``
+  (plus a trailing ``scheduled_at`` stamp only when a metrics registry
+  is attached) -- tuple comparison keeps ``heapq`` ordering in C;
+* :meth:`Kernel.run` splits into a fast dispatch loop (no ``until``,
+  no observation) and instrumented/bounded variants, so the common
+  case pays no per-event branches for features it does not use;
+* a process yielding a :class:`Timeout` is scheduled directly on the
+  queue -- no closure, no dynamic ``_subscribe`` dispatch;
+* awaitable/process objects use ``__slots__``;
+* finished processes are reaped in amortized batches so long-running
+  simulations do not accumulate dead bookkeeping
+  (:meth:`Kernel._process_finished`).
+
 Example
 -------
 >>> k = Kernel()
@@ -25,13 +44,19 @@ Example
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import random
+from heapq import heappop, heappush
+from itertools import repeat as _repeat
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 if TYPE_CHECKING:
     from ..obs import MetricsRegistry
+
+#: Events dispatched per bounds check in the fast run loop.
+_DISPATCH_CHUNK = 4096
+
+#: Dead processes tolerated before the kernel compacts its process list.
+_REAP_THRESHOLD = 64
 
 
 class SimulationError(Exception):
@@ -53,14 +78,40 @@ class Awaitable:
     run (with the produced value) when the awaitable fires.  If the
     awaitable has already fired, the callback must be scheduled
     immediately (at the current simulation time).
+
+    :meth:`_unsubscribe` undoes a specific subscription where the
+    subclass can (an :class:`Event` removes the callback from its
+    list); the default is a no-op for awaitables whose pending firing
+    cannot be cancelled (a :class:`Timeout` already sits in the event
+    queue -- its stale firing is dropped by the subscriber instead).
+
+    :meth:`_cancel_wait` tells a *single-waiter* awaitable that its
+    waiter abandoned the operation (process interrupt).  Only resource
+    operations override it; shared awaitables (events, timeouts) must
+    keep it a no-op because other processes may still be waiting.
     """
+
+    __slots__ = ()
 
     def _subscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
         raise NotImplementedError
 
+    def _unsubscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
+        return None
+
+    def _cancel_wait(self) -> None:
+        return None
+
 
 class Timeout(Awaitable):
-    """Fires after a fixed delay, yielding ``value``."""
+    """Fires after a fixed delay, yielding ``value``.
+
+    Timeouts are immutable and carry no subscription state, so one
+    instance may be yielded any number of times by any number of
+    processes -- which is what lets :meth:`Kernel.timeout` pool them.
+    """
+
+    __slots__ = ("delay", "value")
 
     def __init__(self, delay: float, value: Any = None):
         if delay < 0:
@@ -83,12 +134,13 @@ class Event(Awaitable):
     already succeeded resumes immediately with the stored value.
     """
 
+    __slots__ = ("name", "_fired", "_value", "_callbacks")
+
     def __init__(self, name: str = ""):
         self.name = name
         self._fired = False
         self._value: Any = None
         self._callbacks: list[Callable[[Any], None]] = []
-        self._kernel: Optional[Kernel] = None
 
     @property
     def fired(self) -> bool:
@@ -115,6 +167,13 @@ class Event(Awaitable):
         else:
             self._callbacks.append(callback)
 
+    def _unsubscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
+        """Drop one pending subscription (no-op if already fired)."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
     def __repr__(self) -> str:
         state = "fired" if self._fired else "pending"
         return f"Event({self.name!r}, {state})"
@@ -122,6 +181,8 @@ class Event(Awaitable):
 
 class AllOf(Awaitable):
     """Fires once every child awaitable has fired; yields a list of values."""
+
+    __slots__ = ("children",)
 
     def __init__(self, children: Iterable[Awaitable]):
         self.children = list(children)
@@ -147,7 +208,15 @@ class AllOf(Awaitable):
 
 
 class AnyOf(Awaitable):
-    """Fires when the first child fires; yields ``(index, value)``."""
+    """Fires when the first child fires; yields ``(index, value)``.
+
+    When the winner fires, the losers' subscriptions are withdrawn
+    (where the child supports it -- see :meth:`Awaitable._unsubscribe`),
+    so repeatedly racing a long-lived :class:`Event` against timeouts
+    does not grow the event's callback list without bound.
+    """
+
+    __slots__ = ("children",)
 
     def __init__(self, children: Iterable[Awaitable]):
         self.children = list(children)
@@ -156,17 +225,24 @@ class AnyOf(Awaitable):
 
     def _subscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
         done = [False]
+        subs: list[tuple[Awaitable, Callable[[Any], None]]] = []
 
         def make_child_cb(index: int) -> Callable[[Any], None]:
             def child_cb(value: Any) -> None:
-                if not done[0]:
-                    done[0] = True
-                    callback((index, value))
+                if done[0]:
+                    return
+                done[0] = True
+                for j, (child, cb) in enumerate(subs):
+                    if j != index:
+                        child._unsubscribe(kernel, cb)
+                callback((index, value))
 
             return child_cb
 
         for i, child in enumerate(self.children):
-            child._subscribe(kernel, make_child_cb(i))
+            subs.append((child, make_child_cb(i)))
+        for child, cb in subs:
+            child._subscribe(kernel, cb)
 
 
 ProcessGenerator = Generator[Awaitable, Any, Any]
@@ -177,7 +253,25 @@ class Process(Awaitable):
 
     A process is itself awaitable: yielding a process waits for it to
     finish and produces its return value.
+
+    Wakeups carry a *subscription epoch*: every resume token is tagged
+    with the epoch current when the awaited target was subscribed, and
+    :meth:`interrupt` advances the epoch.  A wakeup whose epoch is
+    stale -- the timeout or event the process was waiting on before an
+    interrupt -- is dropped instead of resuming the generator a second
+    time with an outdated value.
     """
+
+    __slots__ = (
+        "kernel",
+        "generator",
+        "name",
+        "done",
+        "_alive",
+        "_interrupting",
+        "_epoch",
+        "_target",
+    )
 
     def __init__(self, kernel: "Kernel", generator: ProcessGenerator, name: str = ""):
         self.kernel = kernel
@@ -186,6 +280,8 @@ class Process(Awaitable):
         self.done = Event(name=f"{self.name}.done")
         self._alive = True
         self._interrupting: Optional[Interrupt] = None
+        self._epoch = 0
+        self._target: Optional[Awaitable] = None
 
     @property
     def alive(self) -> bool:
@@ -196,36 +292,66 @@ class Process(Awaitable):
         return self.done.value
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The subscription the process was parked on is abandoned: its
+        epoch goes stale (a later firing is dropped) and single-waiter
+        resource operations are cancelled so a channel item is not
+        handed to a waiter that is no longer there.
+        """
         if not self._alive:
             return
         self._interrupting = Interrupt(cause)
-        self.kernel.call_at(self.kernel.now, self._step, None)
+        self._epoch += 1
+        target, self._target = self._target, None
+        if target is not None:
+            target._cancel_wait()
+        self.kernel.call_at(self.kernel.now, self._resume, (self._epoch, None))
 
     def _start(self) -> None:
-        self.kernel.call_at(self.kernel.now, self._step, None)
+        self.kernel.call_at(self.kernel.now, self._resume, (self._epoch, None))
 
-    def _step(self, value: Any) -> None:
-        if not self._alive:
-            return
+    def _resume(self, token: tuple[int, Any]) -> None:
+        epoch = token[0]
+        if epoch != self._epoch or not self._alive:
+            return  # stale wakeup from before an interrupt
         try:
             if self._interrupting is not None:
                 exc, self._interrupting = self._interrupting, None
                 target = self.generator.throw(exc)
             else:
-                target = self.generator.send(value)
+                target = self.generator.send(token[1])
         except StopIteration as stop:
             self._alive = False
-            self.done.succeed(self.kernel, stop.value)
+            self._target = None
+            kernel = self.kernel
+            kernel._process_finished()
+            self.done.succeed(kernel, stop.value)
             return
-        if not isinstance(target, Awaitable):
+        self._target = target
+        if type(target) is Timeout:
+            # Fast path: no closure, no dynamic _subscribe dispatch.
+            kernel = self.kernel
+            kernel.call_at(
+                kernel.now + target.delay, self._resume, (epoch, target.value)
+            )
+        elif isinstance(target, Awaitable):
+            target._subscribe(
+                self.kernel,
+                lambda value, _resume=self._resume, _epoch=epoch: _resume(
+                    (_epoch, value)
+                ),
+            )
+        else:
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, not an Awaitable"
             )
-        target._subscribe(self.kernel, self._step)
 
     def _subscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
         self.done._subscribe(kernel, callback)
+
+    def _unsubscribe(self, kernel: "Kernel", callback: Callable[[Any], None]) -> None:
+        self.done._unsubscribe(kernel, callback)
 
     def __repr__(self) -> str:
         state = "alive" if self._alive else "done"
@@ -240,8 +366,8 @@ class Kernel:
     queue depth after each dispatch, and the wake latency (schedule to
     dispatch delay) histogram.  The registry's clock is bound to this
     kernel's ``now`` unless one was already installed.  Without ``obs``
-    the per-event cost is a single boolean check, so schedules and
-    results are bit-identical with and without instrumentation.
+    the kernel runs its fast dispatch loop, so schedules and results
+    are bit-identical with and without instrumentation.
 
     The kernel also owns the simulation's single stochastic source:
     :attr:`rng`, a ``random.Random`` seeded with ``seed``.  Every
@@ -258,10 +384,13 @@ class Kernel:
         self.seed = seed
         #: The simulation-wide RNG: all stochastic draws route through here.
         self.rng = random.Random(seed)
-        # (when, seq, callback, value, scheduled_at)
-        self._queue: list[tuple[float, int, Callable[[Any], None], Any, float]] = []
-        self._counter = itertools.count()
+        # (when, seq, callback, value) -- with a trailing scheduled_at
+        # stamp when observed (the wake-latency histogram needs it).
+        self._queue: list[tuple] = []
+        self._seq = 0
         self._processes: list[Process] = []
+        self._dead = 0
+        self._timeout_pool: dict[float, Timeout] = {}
         self.obs = obs if obs is not None else NULL_REGISTRY
         self._observed = obs is not None
         if self._observed:
@@ -283,7 +412,12 @@ class Kernel:
         """Schedule ``callback(value)`` at absolute time ``when`` (ns)."""
         if when < self.now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
-        heapq.heappush(self._queue, (when, next(self._counter), callback, value, self.now))
+        seq = self._seq
+        self._seq = seq + 1
+        if self._observed:
+            heappush(self._queue, (when, seq, callback, value, self.now))
+        else:
+            heappush(self._queue, (when, seq, callback, value))
 
     def call_after(self, delay: float, callback: Callable[[Any], None], value: Any = None) -> None:
         """Schedule ``callback(value)`` after ``delay`` ns."""
@@ -301,29 +435,93 @@ class Kernel:
     def event(self, name: str = "") -> Event:
         return Event(name=name)
 
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A pooled :class:`Timeout`.
+
+        Timeouts are immutable, so processes that sleep for the same
+        recurring delay (protocol agents, pollers) can share one
+        instance instead of allocating per step.  Only plain
+        (``value is None``) timeouts are pooled; the pool is bounded
+        and simply resets when full.
+        """
+        if value is not None:
+            return Timeout(delay, value)
+        pool = self._timeout_pool
+        cached = pool.get(delay)
+        if cached is None:
+            if len(pool) >= 512:
+                pool.clear()
+            cached = pool[delay] = Timeout(delay)
+        return cached
+
+    def _process_finished(self) -> None:
+        """Amortized reaping: compact the process list once enough died.
+
+        Keeps :attr:`_processes` at O(live) instead of O(ever spawned);
+        a 100k-spawn soak holds a bounded live set (pinned by
+        ``tests/sim/test_kernel_sched_bugs.py``).
+        """
+        self._dead += 1
+        if self._dead >= _REAP_THRESHOLD and self._dead * 2 >= len(self._processes):
+            self._processes = [p for p in self._processes if p._alive]
+            self._dead = 0
+
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Run until the queue drains or ``until`` (ns) is reached.
 
         Returns the final simulation time.  ``max_events`` bounds
         runaway simulations (livelocked protocols) with a clear error
-        instead of a hang.
+        instead of a hang: exactly ``max_events`` callbacks may
+        dispatch, and attempting one more raises.
         """
+        if self._observed or until is not None:
+            return self._run_slow(until, max_events)
+        # Fast path: no clock ceiling, no instrumentation.  Dispatch in
+        # chunks so the per-event loop carries no bounds checks; queue
+        # exhaustion surfaces as heappop's IndexError.  An IndexError
+        # raised *inside* a callback has a deeper traceback and is
+        # re-raised untouched.
+        queue = self._queue
+        pop = heappop
         executed = 0
-        while self._queue:
-            when, _, callback, value, scheduled_at = self._queue[0]
+        while queue:
+            budget = max_events - executed
+            if budget <= 0:
+                raise SimulationError(f"exceeded {max_events} events; livelock?")
+            chunk = _DISPATCH_CHUNK if budget > _DISPATCH_CHUNK else budget
+            try:
+                for _ in _repeat(None, chunk):
+                    when, _seq, callback, value = pop(queue)
+                    self.now = when
+                    callback(value)
+            except IndexError as exc:
+                if exc.__traceback__.tb_next is not None:
+                    raise  # a callback's own IndexError, not queue drain
+                break
+            executed += chunk
+        return self.now
+
+    def _run_slow(self, until: Optional[float], max_events: int) -> float:
+        """Instrumented / clock-bounded dispatch loop."""
+        queue = self._queue
+        observed = self._observed
+        executed = 0
+        while queue:
+            entry = queue[0]
+            when = entry[0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._queue)
-            self.now = when
-            callback(value)
-            executed += 1
-            if self._observed:
-                self._obs_events.inc()
-                self._obs_wake_ns.observe(when - scheduled_at)
-                self._obs_queue_depth.set(len(self._queue))
-            if executed > max_events:
+            if executed >= max_events:
                 raise SimulationError(f"exceeded {max_events} events; livelock?")
+            heappop(queue)
+            self.now = when
+            entry[2](entry[3])
+            executed += 1
+            if observed:
+                self._obs_events.inc()
+                self._obs_wake_ns.observe(when - entry[4])
+                self._obs_queue_depth.set(len(queue))
         if until is not None and until > self.now:
             self.now = until
         return self.now

@@ -14,7 +14,17 @@ from .kernel import Awaitable, Kernel, SimulationError
 
 
 class _PendingOp(Awaitable):
-    """An operation parked on a primitive until it can complete."""
+    """An operation parked on a primitive until it can complete.
+
+    A pending op has exactly one waiter, so an interrupted waiter can
+    *cancel* it (:meth:`_cancel_wait`): the owner then discards the op
+    instead of completing it, which keeps a channel item from being
+    handed to a process that is no longer waiting and keeps a resource
+    unit from being granted to nobody.
+    """
+
+    __slots__ = ("owner", "item", "_callback", "_kernel", "_completed", "_value",
+                 "_cancelled", "_kind")
 
     def __init__(self, owner: "_FifoPrimitive", item: Any = None):
         self.owner = owner
@@ -22,6 +32,7 @@ class _PendingOp(Awaitable):
         self._callback: Optional[Callable[[Any], None]] = None
         self._kernel: Optional[Kernel] = None
         self._completed = False
+        self._cancelled = False
         self._value: Any = None
 
     def _subscribe(self, kernel: Kernel, callback: Callable[[Any], None]) -> None:
@@ -31,6 +42,10 @@ class _PendingOp(Awaitable):
         else:
             self._callback = callback
             self.owner._on_subscribe(kernel, self)
+
+    def _cancel_wait(self) -> None:
+        if not self._completed:
+            self._cancelled = True
 
     def _complete(self, kernel: Kernel, value: Any = None) -> None:
         if self._completed:
@@ -104,12 +119,18 @@ class Channel(_FifoPrimitive):
             # Move parked puts into the buffer while there is room.
             while self._putters and not self.full:
                 put_op = self._putters.popleft()
+                if put_op._cancelled:
+                    progressed = True
+                    continue  # interrupted putter: the item never lands
                 self._items.append(put_op.item)
                 put_op._complete(kernel)
                 progressed = True
             # Hand buffered items to parked gets.
             while self._getters and self._items:
                 get_op = self._getters.popleft()
+                if get_op._cancelled:
+                    progressed = True
+                    continue  # interrupted getter: leave the item queued
                 get_op._complete(kernel, self._items.popleft())
                 progressed = True
 
@@ -149,5 +170,8 @@ class Resource(_FifoPrimitive):
 
     def _grant(self, kernel: Kernel) -> None:
         while self._waiters and self._in_use < self.capacity:
+            op = self._waiters.popleft()
+            if op._cancelled:
+                continue  # interrupted acquirer: do not leak the unit
             self._in_use += 1
-            self._waiters.popleft()._complete(kernel)
+            op._complete(kernel)

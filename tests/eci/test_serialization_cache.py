@@ -1,0 +1,163 @@
+"""Property tests pinning the memoized wire paths to the direct ones.
+
+The hot-path serializer caches header pack/unpack on immutable keys
+(``repro.eci.serialization``).  These tests are the contract that the
+cached paths are *bit-identical* to the memoization-free reference
+implementations for every message type on every virtual circuit --
+first exhaustively over the whole opcode vocabulary, then under a
+Hypothesis sweep of field values.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eci import (
+    CACHE_LINE_BYTES,
+    HEADER_BYTES,
+    Message,
+    MessageType,
+    VirtualCircuit,
+    decode,
+    decode_stream,
+    encode,
+    encode_stream,
+    vc_for,
+)
+from repro.eci.messages import DATA_BEARING_TYPES, FORWARD_TYPES
+from repro.eci.serialization import (
+    _NO_REQUESTER,
+    _pack_header,
+    _pack_header_uncached,
+    _unpack_header,
+    _unpack_header_uncached,
+)
+
+
+def _payload_for(mtype: MessageType, variant: int):
+    if mtype in (MessageType.VICD, MessageType.PSHA, MessageType.PEMD):
+        return bytes((i * 7 + variant) % 256 for i in range(CACHE_LINE_BYTES))
+    if mtype in (MessageType.IOBST, MessageType.IOBRSP):
+        return bytes(range(variant % 8 + 1))  # lengths 1..8
+    assert mtype not in DATA_BEARING_TYPES
+    return None
+
+
+def _all_messages():
+    """A few field variants of every opcode (hence every VC)."""
+    for mtype in MessageType:
+        for variant in range(4):
+            yield Message(
+                mtype=mtype,
+                src=variant % 3,
+                dst=(variant + 1) % 3,
+                addr=0x8000_0000 + 128 * variant,
+                txid=variant * 17,
+                payload=_payload_for(mtype, variant),
+                requester=variant if mtype in FORWARD_TYPES else None,
+            )
+
+
+def test_every_message_type_covers_every_vc():
+    assert {m.vc for m in _all_messages()} == set(VirtualCircuit)
+
+
+def test_cached_pack_bit_identical_to_uncached_for_all_types():
+    for m in _all_messages():
+        args = (
+            m.mtype,
+            m.src,
+            m.dst,
+            _NO_REQUESTER if m.requester is None else m.requester,
+            m.addr,
+            m.txid,
+            len(m.payload) if m.payload else 0,
+        )
+        assert _pack_header(*args) == _pack_header_uncached(*args)
+
+
+def test_cached_unpack_bit_identical_to_uncached_for_all_types():
+    for m in _all_messages():
+        header = encode(m)[:HEADER_BYTES]
+        assert _unpack_header(header) == _unpack_header_uncached(header)
+
+
+def test_round_trip_every_type_and_repeated_cache_hits():
+    """Encode/decode every opcode twice: the second pass rides the warm
+    cache and must produce byte-for-byte identical wire forms."""
+    messages = list(_all_messages())
+    _pack_header.cache_clear()
+    _unpack_header.cache_clear()
+    cold = [encode(m) for m in messages]
+    warm = [encode(m) for m in messages]
+    assert cold == warm
+    for wire, original in zip(warm, messages):
+        assert decode(wire) == original
+    assert _pack_header.cache_info().hits >= len(messages)
+
+
+def test_stream_round_trip_matches_per_message_encode():
+    messages = list(_all_messages())
+    stream = encode_stream(messages)
+    assert stream == b"".join(encode(m) for m in messages)
+    assert list(decode_stream(stream)) == messages
+
+
+def test_derived_vc_matches_wire_vc():
+    """The VC derived inside the cached pack equals ``vc_for`` for every
+    opcode (offset 4 in the header layout)."""
+    for m in _all_messages():
+        assert encode(m)[4] == int(vc_for(m.mtype))
+
+
+@settings(max_examples=200)
+@given(
+    mtype=st.sampled_from(list(MessageType)),
+    src=st.integers(min_value=0, max_value=254),
+    dst=st.integers(min_value=0, max_value=254),
+    requester=st.one_of(st.none(), st.integers(min_value=0, max_value=254)),
+    addr=st.integers(min_value=0, max_value=2**64 - 1),
+    txid=st.integers(min_value=0, max_value=2**32 - 1),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_cached_round_trip_bit_identical(
+    mtype, src, dst, requester, addr, txid, seed
+):
+    message = Message(
+        mtype=mtype,
+        src=src,
+        dst=dst,
+        addr=addr,
+        txid=txid,
+        payload=_payload_for(mtype, seed),
+        requester=requester,
+    )
+    wire = encode(message)
+    header = wire[:HEADER_BYTES]
+    payload_len = len(message.payload) if message.payload else 0
+    args = (
+        mtype,
+        src,
+        dst,
+        _NO_REQUESTER if requester is None else requester,
+        addr,
+        txid,
+        payload_len,
+    )
+    assert header == _pack_header_uncached(*args)
+    assert _unpack_header(header) == _unpack_header_uncached(header)
+    assert decode(wire) == message
+
+
+def test_unpack_cache_does_not_swallow_validation_errors():
+    """A corrupted header must raise identically on cold and warm paths."""
+    from repro.eci.serialization import SerializationError
+
+    good = encode(next(_all_messages()))[:HEADER_BYTES]
+    bad_magic = b"\x00\x00" + good[2:]
+    bad_vc = good[:4] + bytes([int(VirtualCircuit.IPI)]) + good[5:]
+    for bad in (bad_magic, bad_vc):
+        for _ in range(2):  # second iteration exercises any caching
+            with pytest.raises(SerializationError):
+                _unpack_header(bad)
+            with pytest.raises(SerializationError):
+                _unpack_header_uncached(bad)

@@ -1,0 +1,256 @@
+"""Regression tests for kernel scheduling bugs fixed in the hot-path pass.
+
+Three historical bugs, each pinned by a test that fails on the
+pre-optimization kernel:
+
+1. ``Process.interrupt()`` left the awaitable's subscription armed, so
+   the abandoned timeout/event/channel-op later resumed the process a
+   second time (a *stale double-resume*).  Fixed with subscription
+   epochs plus ``_cancel_wait`` on single-waiter resource ops.
+2. ``Kernel._processes`` retained every process ever spawned; a
+   long-running simulation leaked bookkeeping without bound.  Fixed by
+   amortized reaping in ``Kernel._process_finished``.
+3. ``AnyOf`` losers stayed subscribed on reused events (the callback
+   list grew per race), and ``Kernel.run``'s ``max_events`` check was
+   off by one (``executed > max_events`` after dispatch permitted
+   ``max_events + 1`` callbacks).
+"""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Channel,
+    Event,
+    Interrupt,
+    Kernel,
+    SimulationError,
+    Timeout,
+)
+
+
+# -- bug 1: interrupt must abandon the armed subscription -----------------
+
+
+def test_interrupt_drops_stale_timeout_wakeup():
+    """The timeout a process was parked on before an interrupt must not
+    resume it a second time when it fires."""
+    k = Kernel()
+    log = []
+
+    def victim():
+        try:
+            got = yield Timeout(10, "stale")
+            log.append(("timeout-A", k.now, got))
+        except Interrupt as exc:
+            log.append(("interrupted", k.now, exc.cause))
+        got = yield Timeout(100, "fresh")
+        log.append(("timeout-B", k.now, got))
+
+    def aggressor(target):
+        yield Timeout(5)
+        target.interrupt("bail")
+
+    proc = k.spawn(victim())
+    k.spawn(aggressor(proc))
+    k.run()
+    # Buggy kernel: the abandoned Timeout(10) fires at t=10 and resumes
+    # the generator early with "stale", producing ("timeout-B", 10.0,
+    # "stale") instead of waiting the full 100 ns.
+    assert log == [("interrupted", 5.0, "bail"), ("timeout-B", 105.0, "fresh")]
+
+
+def test_interrupt_drops_stale_event_wakeup():
+    k = Kernel()
+    log = []
+    evt = Event("gate")
+
+    def victim():
+        try:
+            yield evt
+            log.append(("event", k.now))
+        except Interrupt:
+            log.append(("interrupted", k.now))
+        got = yield Timeout(20, "after")
+        log.append(("resumed", k.now, got))
+
+    def driver(target):
+        yield Timeout(5)
+        target.interrupt()
+        yield Timeout(1)
+        evt.succeed(k, "too-late")
+
+    proc = k.spawn(victim())
+    k.spawn(driver(proc))
+    k.run()
+    assert log == [("interrupted", 5.0), ("resumed", 25.0, "after")]
+
+
+def test_interrupted_channel_getter_does_not_steal_item():
+    """An interrupted getter's parked op is cancelled: the item must go
+    to the next real waiter, not resume the interrupted process."""
+    k = Kernel()
+    ch = Channel()
+    got = []
+
+    def victim():
+        try:
+            item = yield ch.get()
+            got.append(("victim", item))
+        except Interrupt:
+            pass
+        yield Timeout(50)
+
+    def other():
+        item = yield ch.get()
+        got.append(("other", item))
+
+    def driver(target):
+        yield Timeout(5)
+        target.interrupt()
+        yield Timeout(5)
+        yield ch.put("payload")
+
+    proc = k.spawn(victim())
+    k.spawn(other())
+    k.spawn(driver(proc))
+    k.run()
+    assert got == [("other", "payload")]
+
+
+def test_back_to_back_interrupts_resume_once():
+    """Two interrupts before the process runs again collapse into one
+    resume carrying the latest cause."""
+    k = Kernel()
+    causes = []
+
+    def victim():
+        while True:
+            try:
+                yield Timeout(100)
+                return
+            except Interrupt as exc:
+                causes.append(exc.cause)
+
+    def driver(target):
+        yield Timeout(1)
+        target.interrupt("first")
+        target.interrupt("second")
+
+    proc = k.spawn(victim())
+    k.spawn(driver(proc))
+    k.run()
+    assert causes == ["second"]
+    assert not proc.alive
+
+
+# -- bug 2: dead processes must be reaped ---------------------------------
+
+
+def test_dead_processes_are_reaped_in_100k_spawn_soak():
+    k = Kernel()
+    peak = 0
+
+    def worker():
+        yield Timeout(1)
+        return None
+
+    def driver():
+        nonlocal peak
+        for wave in range(100):
+            last = None
+            for _ in range(1_000):
+                last = k.spawn(worker())
+            yield last
+            peak = max(peak, len(k._processes))
+
+    k.run_process(driver())
+    # Pre-fix the list holds all 100_001 processes ever spawned.  The
+    # amortized reaper keeps it at O(live + reap window): each wave's
+    # dead are compacted away, so even the peak stays a small multiple
+    # of the 1_000 concurrently-live workers.
+    assert peak <= 8_000
+    assert len(k._processes) <= 2_000
+
+
+# -- bug 3a: AnyOf losers unsubscribe -------------------------------------
+
+
+def test_anyof_losers_unsubscribe_from_reused_event():
+    """Racing a never-firing event against timeouts must not grow the
+    event's callback list by one dead subscription per race."""
+    k = Kernel()
+    evt = Event("never-fires")
+
+    def racer():
+        for _ in range(50):
+            index, value = yield AnyOf([evt, Timeout(1, "tick")])
+            assert (index, value) == (1, "tick")
+        return len(evt._callbacks)
+
+    leftover = k.run_process(racer())
+    assert leftover == 0
+
+
+def test_anyof_event_winner_still_delivers():
+    k = Kernel()
+    evt = Event("gate")
+
+    def racer():
+        index, value = yield AnyOf([evt, Timeout(100)])
+        return (index, value, k.now)
+
+    def firer():
+        yield Timeout(3)
+        evt.succeed(k, "won")
+
+    proc = k.spawn(racer())
+    k.spawn(firer())
+    k.run()
+    assert proc.result == (0, "won", 3.0)
+
+
+# -- bug 3b: max_events is an exact budget --------------------------------
+
+
+@pytest.mark.parametrize("slow_path", [False, True])
+def test_max_events_exact_budget_raises_before_excess(slow_path):
+    k = Kernel()
+    fired = []
+    for i in range(6):
+        k.call_at(float(i), fired.append, i)
+    until = 100.0 if slow_path else None
+    with pytest.raises(SimulationError, match="exceeded 5 events"):
+        k.run(until=until, max_events=5)
+    # The off-by-one kernel dispatched all 6 callbacks before raising.
+    assert fired == [0, 1, 2, 3, 4]
+
+
+@pytest.mark.parametrize("slow_path", [False, True])
+def test_max_events_exact_budget_allows_exactly_max(slow_path):
+    k = Kernel()
+    fired = []
+    for i in range(5):
+        k.call_at(float(i), fired.append, i)
+    until = 100.0 if slow_path else None
+    k.run(until=until, max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_max_events_budget_spans_fast_loop_chunks():
+    """The fast loop checks its budget per chunk; the bound must stay
+    exact even when the workload crosses a chunk boundary."""
+    from repro.sim.kernel import _DISPATCH_CHUNK
+
+    total = _DISPATCH_CHUNK + 10
+    k = Kernel()
+    count = [0]
+
+    def tick(value):
+        count[0] += 1
+        k.call_at(k.now + 1.0, tick)
+
+    k.call_at(0.0, tick)
+    with pytest.raises(SimulationError):
+        k.run(max_events=total)
+    assert count[0] == total
