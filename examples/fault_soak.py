@@ -7,7 +7,13 @@ during bring-up, a firmware stage hang, a telemetry glitch), arms it on
 a full machine, and runs the soak harness.  The same seed always
 reproduces the same injection trace and the same recovery counters.
 
-Run:  python examples/fault_soak.py [--seed N]
+With ``--health`` the soak runs under the ``repro.health`` supervisor:
+degradation policies on power and the ECI link, a stall watchdog over
+the storm traffic, a circuit breaker on the reliable transfer, and the
+machine-level recovery ladder if the boot still fails -- and the run
+additionally asserts that no storm leaves the machine wedged.
+
+Run:  python examples/fault_soak.py [--seed N] [--health]
 """
 
 import argparse
@@ -17,11 +23,16 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.faults.soak import random_storm, run_soak
+from repro.health import HealthConfig
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=7, help="storm seed")
+    parser.add_argument(
+        "--health", action="store_true",
+        help="run the soak under the health supervisor",
+    )
     args = parser.parse_args()
 
     storm = random_storm(args.seed)
@@ -29,7 +40,8 @@ def main() -> None:
     for spec in storm.events:
         print(f"  {spec.describe()}")
 
-    report = run_soak(args.seed, storm=storm)
+    health = HealthConfig(enabled=True) if args.health else None
+    report = run_soak(args.seed, storm=storm, health=health)
 
     print("\ninjection trace:")
     for t, site, kind, detail in report.trace:
@@ -62,11 +74,23 @@ def main() -> None:
         if any(name.startswith(prefix) for prefix in interesting):
             print(f"  {name:58s} {value:g}")
 
+    if args.health:
+        print("\nhealth supervision:")
+        print(f"  states:     {report.health_states}")
+        print(f"  stalls:     {list(report.stalls)}")
+        print(f"  throttled:  {report.throttled}")
+        print(f"  lanes:      {list(report.lanes)}")
+        if report.recovery_steps:
+            print(f"  recovery:   {' -> '.join(report.recovery_steps)}")
+
     # The invariants CI holds every seed to.
     assert report.running, report.failure
     assert report.credits_conserved, "flow-control credits leaked"
     assert len(report.injected_kinds) >= 5
-    same = run_soak(args.seed, storm=storm)
+    if args.health:
+        assert not report.wedged, f"subsystem stuck FAILED: {report.health_states}"
+        assert not report.stalls, f"undetected stall: {report.stalls}"
+    same = run_soak(args.seed, storm=storm, health=health)
     assert same.trace == report.trace, "soak run was not deterministic"
     print("\nOK: machine survived the storm; trace reproduced exactly.")
 

@@ -136,6 +136,13 @@ class PowerManager:
         #: Fault-injection hook, called as ``hook("settle", rail)`` after
         #: each rail's settle window.  None costs one comparison per rail.
         self.fault_hook: Optional[Callable[[str, str], None]] = None
+        #: Health hook, called as ``degrade_hook(rail, status)`` when a
+        #: rail check fails during bring-up.  Returning True means the
+        #: policy absorbed the fault (e.g. brown-out -> throttle) and the
+        #: check should be re-run; None keeps the historical fail path.
+        self.degrade_hook: Optional[Callable[[str, int], bool]] = None
+        #: True while a degradation policy holds the load book throttled.
+        self.throttled = False
         self.loads = loads or LoadBook()
         self.bus = I2cBus("pmbus0")
         self.smbus = SmbusController(self.bus)
@@ -203,6 +210,43 @@ class PowerManager:
     def clear_faults(self, rail: str) -> None:
         self.smbus.send_byte(self._addresses[rail], PmbusCommand.CLEAR_FAULTS)
 
+    # -- graceful degradation --------------------------------------------------
+
+    def enter_throttle(self, fraction: float, reason: str = "") -> None:
+        """Scale every rail's load demand down to ``fraction``.
+
+        Throttles compose by taking the minimum, so repeated brown-outs
+        ratchet downward rather than oscillating.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("throttle fraction must be in (0, 1]")
+        self.loads.throttle = min(self.loads.throttle, fraction)
+        self.throttled = self.loads.throttle < 1.0
+        suffix = f":{reason}" if reason else ""
+        self.events.append(
+            (self.clock.now_s, f"throttle:{self.loads.throttle:g}{suffix}")
+        )
+        if self.obs:
+            self.obs.counter("bmc_throttle_events_total").inc()
+            self.obs.gauge("bmc_throttle_fraction").set(self.loads.throttle)
+
+    def exit_throttle(self) -> None:
+        """Restore full load demand (operator-driven, never automatic)."""
+        self.loads.throttle = 1.0
+        self.throttled = False
+        self.events.append((self.clock.now_s, "throttle:exit"))
+        if self.obs:
+            self.obs.gauge("bmc_throttle_fraction").set(1.0)
+
+    def recover_rail(self, rail: str) -> None:
+        """Clear a latched fault and re-enable one rail in place."""
+        self.clear_faults(rail)
+        self._operation(rail, Operation.ON)
+        self.clock.advance(self.requirements[rail].settle_ms / 1000.0)
+        self.events.append((self.clock.now_s, f"recover:{rail}"))
+        if self.obs:
+            self.obs.counter("bmc_rail_recoveries_total").inc()
+
     # -- sequences ------------------------------------------------------------
 
     def _bring_up(self, rails: Sequence[RailRequirement]) -> None:
@@ -244,9 +288,19 @@ class PowerManager:
             if self.fault_hook is not None:
                 self.fault_hook("settle", rail)
             status = self.read_status(rail)
-            if status & FAULT_STATUS_MASK:
-                raise RailFaultError(rail, status, "faulted during bring-up")
-            if not self.regulators[rail].live:
+            bad = bool(status & FAULT_STATUS_MASK) or not self.regulators[rail].live
+            if bad and self.degrade_hook is not None:
+                # A degradation policy may absorb the fault (brown-out ->
+                # throttled operation) and leave the rail healthy again.
+                if self.degrade_hook(rail, status):
+                    status = self.read_status(rail)
+                    bad = (
+                        bool(status & FAULT_STATUS_MASK)
+                        or not self.regulators[rail].live
+                    )
+            if bad:
+                if status & FAULT_STATUS_MASK:
+                    raise RailFaultError(rail, status, "faulted during bring-up")
                 raise RailFaultError(rail, status, "failed to reach regulation")
             self.events.append((self.clock.now_s, f"on:{rail}"))
             if self.obs:

@@ -48,6 +48,10 @@ class LoadBook:
 
     def __init__(self):
         self._demand_w: Dict[str, float] = {}
+        #: Platform-wide demand multiplier in (0, 1].  The health layer's
+        #: brown-out policy lowers this to run degraded-but-alive instead
+        #: of shutting down; 1.0 (the default) is float-exact identity.
+        self.throttle = 1.0
 
     def set_demand(self, rail: str, watts: float) -> None:
         if watts < 0:
@@ -58,7 +62,7 @@ class LoadBook:
         self._demand_w[rail] = self._demand_w.get(rail, 0.0) + watts
 
     def demand_w(self, rail: str) -> float:
-        return self._demand_w.get(rail, 0.0)
+        return self._demand_w.get(rail, 0.0) * self.throttle
 
     def clear(self) -> None:
         self._demand_w.clear()

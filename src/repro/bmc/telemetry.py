@@ -114,6 +114,13 @@ class TelemetryService:
         self.fault_hook: Optional[
             Callable[[str, str, PowerSample], PowerSample]
         ] = None
+        #: Health hook, called as ``health_hook(label, rail, sample)``
+        #: after each (possibly fault-mutated) sample: heartbeats the
+        #: telemetry watchdog and lets the power degradation policy see
+        #: after-sequencing rail faults.  None costs one comparison.
+        self.health_hook: Optional[
+            Callable[[str, str, PowerSample], None]
+        ] = None
 
     def _sample_all(self) -> None:
         now = self.manager.clock.now_s
@@ -126,6 +133,8 @@ class TelemetryService:
             sample = PowerSample(now, regulator.vout, regulator.iout)
             if self.fault_hook is not None:
                 sample = self.fault_hook(label, rail, sample)
+            if self.health_hook is not None:
+                self.health_hook(label, rail, sample)
             self.traces[label].samples.append(sample)
             if self.obs:
                 key = {"rail": label}

@@ -76,6 +76,12 @@ class BootOrchestrator:
         self.stage_timeout_s = stage_timeout_s
         #: Fault-injection hook: returns 'hang' | 'fail' | None per attempt.
         self.fault_hook: Optional[Callable[[str], Optional[str]]] = None
+        #: Health supervision (set by HealthSupervisor.arm_boot): a
+        #: state machine tracking the boot chain, and a board-clock
+        #: heartbeat beaten at every milestone.  None costs one
+        #: comparison per milestone.
+        self.health = None
+        self.heartbeat = None
         self.obs = obs if obs is not None else NULL_REGISTRY
 
     @property
@@ -84,6 +90,8 @@ class BootOrchestrator:
 
     def _mark(self, name: str) -> None:
         self.timeline.mark(self.clock.now_s, name)
+        if self.heartbeat is not None:
+            self.heartbeat.beat(self.clock.now_s)
 
     # -- individual steps --------------------------------------------------
 
@@ -162,7 +170,11 @@ class BootOrchestrator:
             except BootError:
                 attempt += 1
                 if attempt > self.max_stage_retries:
+                    if self.health is not None:
+                        self.health.fail(f"stage {stage.name} abandoned")
                     raise
+                if self.health is not None:
+                    self.health.degrade(f"stage {stage.name} retrying")
                 self.consoles.uarts["cpu0"].emit(
                     f"retrying stage {stage.name} (attempt {attempt + 1})"
                 )
@@ -186,6 +198,12 @@ class BootOrchestrator:
         topology = enzian_topology()
         self.device_tree = render_dts(topology)
         self.linux_running = True
+        if self.health is not None:
+            # Stage retries leave the chain DEGRADED; a completed boot
+            # means it recovered (no-op when it never degraded).
+            self.health.recover("linux running")
+        if self.heartbeat is not None:
+            self.heartbeat.complete()
         self.consoles.uarts["cpu0"].emit("Ubuntu 20.04 LTS enzian ttyAMA0")
 
     # -- the whole thing ------------------------------------------------------
@@ -197,6 +215,8 @@ class BootOrchestrator:
         self.fpga_power_and_program()
         self.cpu_power_up()
         if not self.run_bdk():
+            if self.health is not None:
+                self.health.fail("ECI link failed to train")
             raise BootError("ECI link failed to train")
         self.boot_to_linux()
         return self.timeline

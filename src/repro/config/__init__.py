@@ -21,6 +21,7 @@ from .tree import (
     FaultSpec,
     FaultsConfig,
     FpgaConfig,
+    HealthConfig,
     InterconnectConfig,
     MemoryConfig,
     NetConfig,
@@ -38,6 +39,7 @@ __all__ = [
     "FaultSpec",
     "FaultsConfig",
     "FpgaConfig",
+    "HealthConfig",
     "InterconnectConfig",
     "MemoryConfig",
     "NetConfig",

@@ -40,6 +40,7 @@ from ..eci.link import EciLinkParams
 from ..eci.transfer import TransferEngineParams
 from ..faults.plan import FaultRecoveryConfig, FaultsConfig, FaultSpec
 from ..fpga.fabric import FpgaPowerParams
+from ..health.config import HealthConfig
 from ..interconnect.pcie import PcieParams
 from ..memory.dram import DdrChannelParams, DramConfig
 from ..net.rdma import RdmaPathParams
@@ -61,6 +62,7 @@ __all__ = [
     "FaultSpec",
     "FaultsConfig",
     "FpgaConfig",
+    "HealthConfig",
     "MemoryConfig",
     "NetConfig",
     "InterconnectConfig",
@@ -187,6 +189,8 @@ class PlatformConfig:
     apps: AppsConfig = field(default_factory=AppsConfig)
     #: Deterministic fault-injection plan; empty = no machinery armed.
     faults: FaultsConfig = field(default_factory=FaultsConfig)
+    #: Supervision & graceful degradation; disabled = no machinery armed.
+    health: HealthConfig = field(default_factory=HealthConfig)
 
     # -- round trips -------------------------------------------------------
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..sim import Kernel
 from ..sim.units import gbps_to_bytes_per_ns
@@ -158,6 +158,9 @@ class EciLinkTransport(Transport):
         # Fault injection: one-shot corruptions and a stochastic BER.
         self._corrupt_next = 0
         self.fault_rate = 0.0
+        #: Health hook, called as ``on_crc_error(link)`` after each CRC
+        #: failure; None (the default) costs one comparison per error.
+        self.on_crc_error: Optional[Callable[[int], None]] = None
         self.stats = {
             "messages": 0,
             "bytes_per_link": [0] * self.params.links,
@@ -256,7 +259,7 @@ class EciLinkTransport(Transport):
         if pending:
             self.kernel.call_at(pending[0][0], self._pump, key)
         if corrupt:
-            self._arrive_corrupt(message, retries)
+            self._arrive_corrupt(message, retries, key[0])
         else:
             self._consume(message)
 
@@ -270,13 +273,16 @@ class EciLinkTransport(Transport):
                 (message.dst, message.vc),
             )
 
-    def _arrive_corrupt(self, message: Message, retries: int) -> None:
+    def _arrive_corrupt(self, message: Message, retries: int, link: int) -> None:
         """A message whose CRC fails at the receiver: drain, NAK, go back."""
         self.stats["crc_errors"] += 1
         if self.obs:
             self.obs.counter(
                 "eci_crc_errors_total", {"vc": message.vc.name}
             ).inc()
+        if self.on_crc_error is not None:
+            # Health policy callback: may renegotiate this link's lanes.
+            self.on_crc_error(link)
         if self._credits_per_vc:
             # The corrupt message still occupied a receive buffer; it
             # drains normally and its credit returns -- the retransmitted
@@ -364,6 +370,15 @@ class EciLinkTransport(Transport):
         return all(
             count == self.params.credits_per_vc for count in self._credits.values()
         )
+
+    def link_rates_bytes_per_ns(self) -> list[float]:
+        """Current effective serialization rate per link.
+
+        Tracks lane degradation: after :meth:`drop_lanes` (or a health
+        renegotiation) the affected link's measured bandwidth shrinks
+        proportionally to its surviving lane count.
+        """
+        return list(self._rate)
 
     def utilization(self, wall_ns: float) -> list[float]:
         """Fraction of each link's one-direction capacity used so far."""

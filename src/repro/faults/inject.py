@@ -38,6 +38,7 @@ _RAIL_TRIP_BITS = {
     "ocp": StatusBit.IOUT_OC,
     "ovp": StatusBit.VOUT_OV,
     "otp": StatusBit.TEMPERATURE,
+    "brownout": StatusBit.VIN_UV,
 }
 
 
@@ -107,6 +108,15 @@ class FaultInjector:
                     transport.fault_rate = 0.0
                 kernel.call_at(spec.at, storm_on)
                 kernel.call_at(spec.at + spec.duration, storm_off)
+            elif spec.kind == "degraded_lane":
+                # Marginal lanes: a persistent error rate with no off
+                # event -- relief comes only from the health layer
+                # renegotiating the link to a reduced width.
+                def marginal(_value, s=spec, p=pending):
+                    transport.fault_rate = max(transport.fault_rate, s.rate)
+                    self.record(kernel.now, s.site, s.kind, f"rate={s.rate}")
+                    p.fire()
+                kernel.call_at(spec.at, marginal)
             elif spec.kind == "lane_drop":
                 def drop(_value, s=spec, p=pending):
                     link = int(s.arg or 0)

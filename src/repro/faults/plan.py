@@ -20,14 +20,21 @@ Sites and kinds
 ============  =====================================  ==========================
 site          kinds                                  arg / value meaning
 ============  =====================================  ==========================
-eci.link      bit_flip, crc_storm, lane_drop         arg: link index;
-                                                     value: lanes after drop
+eci.link      bit_flip, crc_storm, lane_drop,        arg: link index;
+              degraded_lane                          value: lanes after drop
 net           drop, duplicate, reorder               rate over [at, at+duration)
-bmc.rail      ocp, ovp, otp                          arg: rail name
+bmc.rail      ocp, ovp, otp, brownout                arg: rail name
 telemetry     glitch                                 arg: domain label;
                                                      value: amps multiplier
 boot.stage    hang, fail                             arg: stage name
 ============  =====================================  ==========================
+
+``degraded_lane`` models marginal lanes: a *persistent* stochastic CRC
+error rate switched on at ``at`` and never off -- the error source only
+goes away when the health layer renegotiates the link down (dropping
+the marginal lanes) or the run ends.  ``brownout`` trips VIN_UV, the
+one rail fault the power degradation policy may absorb into throttled
+operation instead of a shutdown.
 """
 
 from __future__ import annotations
@@ -37,9 +44,9 @@ from typing import Dict, FrozenSet, Tuple
 
 #: Legal fault kinds per injection site.
 SITE_KINDS: Dict[str, FrozenSet[str]] = {
-    "eci.link": frozenset({"bit_flip", "crc_storm", "lane_drop"}),
+    "eci.link": frozenset({"bit_flip", "crc_storm", "lane_drop", "degraded_lane"}),
     "net": frozenset({"drop", "duplicate", "reorder"}),
-    "bmc.rail": frozenset({"ocp", "ovp", "otp"}),
+    "bmc.rail": frozenset({"ocp", "ovp", "otp", "brownout"}),
     "telemetry": frozenset({"glitch"}),
     "boot.stage": frozenset({"hang", "fail"}),
 }
@@ -94,7 +101,7 @@ class FaultSpec:
             raise ValueError("boot.stage faults need arg=<stage name>")
         if self.kind == "lane_drop" and not self.value >= 1:
             raise ValueError("lane_drop needs value=<lanes remaining> >= 1")
-        if self.kind in ("crc_storm", "drop", "duplicate", "reorder"):
+        if self.kind in ("crc_storm", "degraded_lane", "drop", "duplicate", "reorder"):
             if self.rate <= 0:
                 raise ValueError(f"{self.kind} needs a positive rate")
 

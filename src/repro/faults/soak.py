@@ -123,10 +123,22 @@ class SoakReport:
     counters: Dict[str, float]
     link_stats: Dict[str, object]
     net_stats: Dict[str, int]
+    # -- health supervision (empty/default unless run_soak(health=...)) --
+    health_states: Dict[str, str] = dataclasses.field(default_factory=dict)
+    stalls: Tuple[str, ...] = ()
+    throttled: bool = False
+    lanes: Tuple[int, ...] = ()
+    link_rates: Tuple[float, ...] = ()
+    recovery_steps: Tuple[str, ...] = ()
 
     def counter(self, prefix: str) -> float:
         """Sum of every counter whose name starts with ``prefix``."""
         return sum(v for k, v in self.counters.items() if k.startswith(prefix))
+
+    @property
+    def wedged(self) -> bool:
+        """True when supervision left any subsystem in terminal FAILED."""
+        return any(state == "failed" for state in self.health_states.values())
 
 
 class _Sink(ProtocolNode):
@@ -151,7 +163,7 @@ def _export_counters(obs: MetricsRegistry) -> Dict[str, float]:
 
 def _eci_storm_phase(
     injector: FaultInjector, obs: MetricsRegistry, seed: int,
-    horizon_ns: float, n_messages: int = 200,
+    horizon_ns: float, n_messages: int = 200, supervisor=None,
 ) -> EciLinkTransport:
     """Drive credit-limited ECI traffic through the armed link faults."""
     kernel = Kernel(seed=seed)
@@ -160,6 +172,15 @@ def _eci_storm_phase(
     _Sink(kernel, 0, transport)
     _Sink(kernel, 1, transport)
     injector.arm_eci(transport, kernel)
+    if supervisor is not None:
+        supervisor.arm_eci(transport, kernel)
+        handle = supervisor.watch_traffic(
+            kernel, "eci-soak-traffic",
+            probe=lambda: transport.stats["messages"],
+        )
+        # Traffic ends at the horizon; stand the watchdog down there so
+        # the end of the workload is not mistaken for a stall.
+        kernel.call_at(horizon_ns, lambda _: handle.complete())
     spacing = horizon_ns / n_messages
     for i in range(n_messages):
         message = Message(
@@ -172,15 +193,20 @@ def _eci_storm_phase(
 
 def _net_phase(
     injector: FaultInjector, obs: MetricsRegistry, seed: int,
-    payload_kib: int = 64,
+    payload_kib: int = 64, supervisor=None,
 ):
     """One reliable transfer over an Ethernet link under injected faults."""
     kernel = Kernel(seed=seed + 1)
     link = EthernetLink(kernel, rate_gbps=40.0, seed=None, name="soak-eth")
     injector.arm_ethernet(link)
+    breaker = None
+    jitter = 0.0
+    if supervisor is not None:
+        breaker = supervisor.breaker_for("net.reliable", clock=lambda: kernel.now)
+        jitter = 0.1
     sender = ReliableSender(
         kernel, link, "a", "b",
-        max_retries=40, backoff=2.0, obs=obs,
+        max_retries=40, backoff=2.0, jitter=jitter, breaker=breaker, obs=obs,
     )
     receiver = ReliableReceiver(kernel, link, "b", "a")
     payload = bytes(range(256)) * (payload_kib * 4)
@@ -199,17 +225,27 @@ def run_soak(
     storm: Optional[FaultsConfig] = None,
     obs: Optional[MetricsRegistry] = None,
     eci_horizon_ns: float = 50_000.0,
+    health=None,
 ) -> SoakReport:
     """One full chaos soak run: boot, telemetry, ECI storm, net transfer.
 
     Deterministic: the same ``seed`` yields a bit-identical report,
-    injection trace included.
+    injection trace included.  Passing a
+    :class:`repro.health.HealthConfig` as ``health`` runs the whole soak
+    under supervision: degradation policies armed on power and the ECI
+    link, a progress watchdog over the storm traffic, a circuit breaker
+    on the reliable transfer, and -- if the boot still fails -- the
+    machine-level recovery ladder.  The report then carries the final
+    health states so CI can assert "no storm leaves the machine wedged".
     """
     storm = storm if storm is not None else random_storm(seed, eci_horizon_ns)
     obs = obs if obs is not None else MetricsRegistry()
 
     config = dataclasses.replace(preset("full"), faults=storm)
+    if health is not None:
+        config = dataclasses.replace(config, health=health)
     machine = EnzianMachine(config, obs=obs)
+    supervisor = machine.supervisor
     injector = machine.injector
     if injector is None:
         # An empty storm still produces a report (nothing to arm).
@@ -221,14 +257,33 @@ def run_soak(
     except (PowerManagerError, BootError) as exc:
         failure = f"{type(exc).__name__}: {exc}"
 
+    if not machine.running and supervisor is not None:
+        # Local recovery was not enough: climb the escalation ladder
+        # (component retry -> subsystem re-init -> BMC re-sequence).
+        if supervisor.recover_machine(machine):
+            failure = ""
+
     if machine.running:
         # A short telemetry sweep: fires sensor glitches and any
         # after-sequencing rail trips still pending.
         telemetry = machine.telemetry()
         telemetry.run_phases([Phase("soak-sample", 0.1)])
 
-    transport = _eci_storm_phase(injector, obs, storm.seed, eci_horizon_ns)
-    completed, intact, net_stats = _net_phase(injector, obs, storm.seed)
+    transport = _eci_storm_phase(
+        injector, obs, storm.seed, eci_horizon_ns, supervisor=supervisor
+    )
+    completed, intact, net_stats = _net_phase(
+        injector, obs, storm.seed, supervisor=supervisor
+    )
+
+    health_states: Dict[str, str] = {}
+    stalls: Tuple[str, ...] = ()
+    recovery_steps: Tuple[str, ...] = ()
+    if supervisor is not None:
+        health_states = supervisor.states()
+        stalls = tuple(supervisor.watchdog.stalls)
+        if supervisor.orchestrator is not None:
+            recovery_steps = tuple(supervisor.orchestrator.steps)
 
     return SoakReport(
         seed=seed,
@@ -243,4 +298,10 @@ def run_soak(
         counters=_export_counters(obs),
         link_stats=dict(transport.stats),
         net_stats=net_stats,
+        health_states=health_states,
+        stalls=stalls,
+        throttled=machine.power.throttled,
+        lanes=tuple(transport.lanes),
+        link_rates=tuple(transport.link_rates_bytes_per_ns()),
+        recovery_steps=recovery_steps,
     )

@@ -1,0 +1,59 @@
+"""repro.health -- platform supervision and graceful degradation.
+
+The robustness layer over :mod:`repro.faults`: where the fault
+subsystem makes things go *wrong* deterministically, this package makes
+the platform stay *degraded-but-correct* -- per-subsystem health state
+machines, silent-stall watchdogs, circuit breakers with half-open
+probing, lane-renegotiation and power-throttling policies, and a
+machine-level recovery orchestrator with a bounded escalation ladder.
+
+Everything is configured through the ``health`` section of
+:class:`repro.config.PlatformConfig` and armed by a
+:class:`HealthSupervisor`; with ``health.enabled = False`` (the
+default) nothing is constructed and the twin is bit-identical to a
+build without this package.
+"""
+
+from .breaker import BreakerState, CircuitBreaker, CircuitOpenError
+from .config import (
+    BreakerConfig,
+    EciHealthConfig,
+    HealthConfig,
+    PowerHealthConfig,
+    RecoveryLadderConfig,
+    WatchdogConfig,
+)
+from .orchestrator import RecoveryOrchestrator
+from .policy import EciDegradationPolicy, PowerDegradationPolicy
+from .state import (
+    LEGAL_TRANSITIONS,
+    STATE_SEVERITY,
+    HealthError,
+    HealthState,
+    HealthStateMachine,
+)
+from .supervisor import HealthSupervisor
+from .watchdog import Watchdog, WatchdogHandle
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "EciDegradationPolicy",
+    "EciHealthConfig",
+    "HealthConfig",
+    "HealthError",
+    "HealthState",
+    "HealthStateMachine",
+    "HealthSupervisor",
+    "LEGAL_TRANSITIONS",
+    "PowerDegradationPolicy",
+    "PowerHealthConfig",
+    "RecoveryLadderConfig",
+    "RecoveryOrchestrator",
+    "STATE_SEVERITY",
+    "Watchdog",
+    "WatchdogConfig",
+    "WatchdogHandle",
+]

@@ -90,15 +90,30 @@ class RdmaTarget:
 class QueuePair:
     """The active side: issues verbs against a target."""
 
-    def __init__(self, target: RdmaTarget, obs=None):
+    def __init__(self, target: RdmaTarget, obs=None, breaker=None):
         from ..obs import NULL_REGISTRY
 
         self.target = target
         self.completions = 0
         self.obs = obs if obs is not None else NULL_REGISTRY
+        #: Optional :class:`repro.health.CircuitBreaker` guarding the
+        #: verbs path; None (the default) costs one comparison per op.
+        self.breaker = breaker
+
+    def _guarded(self, op: RdmaOp, rkey: int, addr: int, data=None, length: int = 0):
+        if self.breaker is None:
+            return self.target.execute(op, rkey, addr, data, length)
+        self.breaker.check()
+        try:
+            result = self.target.execute(op, rkey, addr, data, length)
+        except RdmaError:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return result
 
     def post_write(self, rkey: int, addr: int, data: bytes) -> None:
-        self.target.execute(RdmaOp.WRITE, rkey, addr, data)
+        self._guarded(RdmaOp.WRITE, rkey, addr, data)
         self.completions += 1
         if self.obs:
             op = {"op": "write"}
@@ -106,7 +121,7 @@ class QueuePair:
             self.obs.counter("net_rdma_bytes_total", op).inc(len(data))
 
     def post_read(self, rkey: int, addr: int, length: int) -> bytes:
-        result = self.target.execute(RdmaOp.READ, rkey, addr, length=length)
+        result = self._guarded(RdmaOp.READ, rkey, addr, length=length)
         self.completions += 1
         if self.obs:
             op = {"op": "read"}

@@ -62,6 +62,8 @@ class ReliableSender:
         max_retries: int = 50,
         backoff: float = 1.0,
         max_timeout_ns: float = 64_000_000.0,
+        jitter: float = 0.0,
+        breaker=None,
         obs=None,
     ):
         from ..obs import NULL_REGISTRY
@@ -73,6 +75,8 @@ class ReliableSender:
             raise ValueError("mtu too small")
         if backoff < 1.0:
             raise ValueError("backoff must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
         self.kernel = kernel
         self.link = link
         self.local = local
@@ -85,6 +89,14 @@ class ReliableSender:
         #: timeout (1.0 = fixed timer, the historical behaviour).
         self.backoff = backoff
         self.max_timeout_ns = max_timeout_ns
+        #: Uniform jitter fraction on each backed-off timer, drawn from
+        #: the kernel's seeded RNG so retransmission schedules stay
+        #: deterministic per seed.  0.0 (the default) draws nothing and
+        #: is bit-identical to the un-jittered sender.
+        self.jitter = jitter
+        #: Optional :class:`repro.health.CircuitBreaker` guarding this
+        #: path: checked at send() entry, informed of the outcome.
+        self.breaker = breaker
         self.base = 0                 # oldest unacked segment
         self.next_seq = 0
         self._segments: List[bytes] = []
@@ -121,6 +133,8 @@ class ReliableSender:
 
     def send(self, payload: bytes):
         """Process: reliably deliver ``payload``; returns stats dict."""
+        if self.breaker is not None:
+            self.breaker.check()
         self._segments = [
             payload[i : i + self.mtu] for i in range(0, len(payload), self.mtu)
         ] or [b""]
@@ -145,10 +159,17 @@ class ReliableSender:
                     self.stats["aborted"] += 1
                     if self.obs:
                         self.obs.counter("net_transfers_aborted_total").inc()
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
                     raise TransferAborted(
                         self.local, retries, self.base, total, stats=self.stats
                     )
                 timeout_ns = min(timeout_ns * self.backoff, self.max_timeout_ns)
+                if self.jitter:
+                    # Desynchronise retransmission storms: uniform jitter
+                    # on the backed-off timer, drawn from the kernel's
+                    # seeded RNG for per-seed determinism.
+                    timeout_ns *= 1.0 + self.jitter * self.kernel.rng.random()
                 self.stats["retransmitted"] += self.next_seq - self.base
                 if self.obs:
                     self.obs.counter("net_retransmits_total").inc(
@@ -163,6 +184,8 @@ class ReliableSender:
         # not use kernel.now for goodput.
         stats = dict(self.stats)
         stats["finish_ns"] = self.kernel.now
+        if self.breaker is not None:
+            self.breaker.record_success()
         return stats
 
 

@@ -101,6 +101,16 @@ class EnzianMachine:
         if config.faults.enabled:
             self.injector = FaultInjector(config.faults, obs=obs)
             self.injector.arm_control_plane(self.power, boot=self.boot)
+        #: Supervision follows the same contract: with ``health.enabled``
+        #: False (the default) no supervisor exists and every health
+        #: hook on power/boot/telemetry stays None.
+        self.supervisor = None
+        if config.health.enabled:
+            from ..health import HealthSupervisor
+
+            self.supervisor = HealthSupervisor(config.health, obs=obs)
+            self.supervisor.arm_power(self.power)
+            self.supervisor.arm_boot(self.boot)
 
     @classmethod
     def from_preset(cls, name: str) -> "EnzianMachine":
@@ -119,6 +129,28 @@ class EnzianMachine:
     def running(self) -> bool:
         return self.boot.linux_running
 
+    def reinit_boot(self) -> BootOrchestrator:
+        """BMC re-sequence: rebuild the boot orchestrator from scratch.
+
+        The big hammer of the recovery ladder -- equivalent to the BMC
+        rebooting itself and re-running §4.4.  Power manager, consoles,
+        and injector/supervisor arming all carry over; boot state
+        (timeline, BDK, firmware chain) starts fresh.
+        """
+        recovery = self.config.faults.recovery
+        self.boot = BootOrchestrator(
+            self.power,
+            consoles=self.consoles,
+            max_stage_retries=recovery.max_stage_retries,
+            stage_timeout_s=recovery.stage_timeout_s,
+            obs=self.obs,
+        )
+        if self.injector is not None:
+            self.injector.arm_control_plane(self.power, boot=self.boot)
+        if self.supervisor is not None:
+            self.supervisor.arm_boot(self.boot)
+        return self.boot
+
     def telemetry(self, sample_period_ms: Optional[float] = None) -> TelemetryService:
         if sample_period_ms is None:
             sample_period_ms = self.config.bmc.telemetry_sample_period_ms
@@ -127,6 +159,8 @@ class EnzianMachine:
         )
         if self.injector is not None:
             self.injector.arm_control_plane(self.power, telemetry=service)
+        if self.supervisor is not None:
+            self.supervisor.arm_telemetry(service)
         return service
 
 

@@ -25,9 +25,25 @@ def test_site_kind_whitelist():
                 kind,
                 arg="x" if site in ("bmc.rail", "boot.stage") else "",
                 value=4.0 if kind == "lane_drop" else 0.0,
-                rate=0.1 if kind in ("crc_storm", "drop", "duplicate", "reorder") else 0.0,
+                rate=0.1
+                if kind in ("crc_storm", "degraded_lane", "drop", "duplicate", "reorder")
+                else 0.0,
             )
             assert spec.kind == kind
+
+
+def test_health_site_kinds_whitelisted():
+    """The degradation-policy fault kinds are legal plan entries."""
+    assert "degraded_lane" in SITE_KINDS["eci.link"]
+    assert "brownout" in SITE_KINDS["bmc.rail"]
+    marginal = FaultSpec("eci.link", "degraded_lane", at=500.0, rate=0.3)
+    assert "degraded_lane" in marginal.describe()
+    brownout = FaultSpec("bmc.rail", "brownout", arg="VDD_CORE")
+    assert brownout.arg == "VDD_CORE"
+    with pytest.raises(ValueError):
+        FaultSpec("eci.link", "degraded_lane")  # rate-based: needs rate
+    with pytest.raises(ValueError):
+        FaultSpec("bmc.rail", "brownout")  # needs arg=<rail>
 
 
 def test_spec_field_validation():
@@ -90,6 +106,23 @@ def test_faults_section_round_trips_through_dict_and_json():
     restored = PlatformConfig.from_json(cfg.to_json())
     assert restored.faults.events[0].kind == "lane_drop"
     assert restored.faults.recovery.max_resequence_attempts == 3
+
+
+def test_health_fault_kinds_round_trip():
+    """degraded_lane / brownout specs survive the dict/JSON round trip."""
+    plan = FaultsConfig(
+        seed=17,
+        events=(
+            FaultSpec("eci.link", "degraded_lane", at=2_000.0, rate=0.25, arg="0"),
+            FaultSpec("bmc.rail", "brownout", arg="VDD_CORE", at=1.0),
+        ),
+    )
+    cfg = dataclasses.replace(preset("full"), faults=plan)
+    assert PlatformConfig.from_dict(cfg.to_dict()) == cfg
+    restored = PlatformConfig.from_json(cfg.to_json())
+    assert restored.faults.events[0].kind == "degraded_lane"
+    assert restored.faults.events[1].kind == "brownout"
+    assert restored.faults.kinds() == {"degraded_lane", "brownout"}
 
 
 def test_faults_dotted_path_overrides():

@@ -1,0 +1,96 @@
+"""HealthStateMachine: the typed degradation ladder."""
+
+import pytest
+
+from repro.health import (
+    LEGAL_TRANSITIONS,
+    STATE_SEVERITY,
+    HealthError,
+    HealthState,
+    HealthStateMachine,
+)
+from repro.obs import MetricsRegistry
+
+
+def test_starts_healthy():
+    machine = HealthStateMachine("eci.link")
+    assert machine.state is HealthState.HEALTHY
+    assert machine.healthy and not machine.degraded and not machine.wedged
+    assert machine.history == []
+
+
+def test_ladder_walk_and_history():
+    clock = {"t": 0.0}
+    machine = HealthStateMachine("power", clock=lambda: clock["t"])
+    clock["t"] = 1.0
+    assert machine.degrade("brown-out")
+    clock["t"] = 2.0
+    assert machine.fail("budget exhausted")
+    clock["t"] = 3.0
+    assert machine.recovering("ladder engaged")
+    clock["t"] = 4.0
+    assert machine.recover("retry worked")
+    assert machine.history == [
+        (1.0, "healthy", "degraded", "brown-out"),
+        (2.0, "degraded", "failed", "budget exhausted"),
+        (3.0, "failed", "recovering", "ladder engaged"),
+        (4.0, "recovering", "healthy", "retry worked"),
+    ]
+
+
+def test_same_state_is_noop():
+    machine = HealthStateMachine("boot")
+    machine.degrade()
+    assert machine.degrade() is False
+    assert len(machine.history) == 1
+
+
+def test_illegal_edges_raise():
+    machine = HealthStateMachine("boot")
+    # HEALTHY -> RECOVERING is not on the ladder.
+    with pytest.raises(HealthError):
+        machine.recovering()
+    machine.fail()
+    # FAILED -> HEALTHY must pass through RECOVERING.
+    with pytest.raises(HealthError):
+        machine.recover()
+    # FAILED -> DEGRADED is not an edge either.
+    with pytest.raises(HealthError):
+        machine.degrade()
+
+
+def test_legal_transition_table_is_exact():
+    for origin, targets in LEGAL_TRANSITIONS.items():
+        machine = HealthStateMachine("x")
+        machine.state = origin
+        for target in HealthState:
+            machine.state = origin
+            if target is origin:
+                assert machine.to(target) is False
+            elif target in targets:
+                assert machine.to(target) is True
+            else:
+                with pytest.raises(HealthError):
+                    machine.to(target)
+
+
+def test_transitions_counted_and_gauged():
+    obs = MetricsRegistry()
+    machine = HealthStateMachine("eci.link", obs=obs)
+    machine.degrade("storm")
+    machine.fail("persisted")
+    counter = obs.counter(
+        "health_transitions_total",
+        {"subsystem": "eci.link", "from": "healthy", "to": "degraded"},
+    )
+    assert counter.value == 1
+    gauge = obs.gauge("health_state", {"subsystem": "eci.link"})
+    assert gauge.value == STATE_SEVERITY[HealthState.FAILED]
+
+
+def test_wedged_means_terminal_failed():
+    machine = HealthStateMachine("machine")
+    machine.fail()
+    assert machine.wedged
+    machine.recovering()
+    assert not machine.wedged

@@ -1,0 +1,143 @@
+"""Supervised chaos: storms degrade the machine, never wedge it.
+
+The acceptance criteria of the health layer, run through the soak
+harness: a CRC storm ends with the ECI link DEGRADED at reduced lanes
+and reduced measured bandwidth (not aborted), a brown-out ends with the
+machine throttled (not shut down), the escalation is visible in the
+observability export, and with supervision disabled the soak is
+bit-identical run to run.
+"""
+
+import pytest
+
+from repro.eci.link import EciLinkParams
+from repro.faults import FaultRecoveryConfig, FaultSpec, FaultsConfig
+from repro.faults.soak import run_soak
+from repro.health import HealthConfig
+
+SOAK_SEEDS = (7, 1017, 424242)
+
+
+def _storm(seed, *events, resequence=2, retries=2):
+    return FaultsConfig(
+        seed=seed,
+        events=tuple(events),
+        recovery=FaultRecoveryConfig(
+            max_resequence_attempts=resequence, max_stage_retries=retries
+        ),
+    )
+
+
+# -- CI matrix: every seed survives under supervision ------------------------
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SOAK_SEEDS)
+def test_supervised_soak_never_wedges(seed):
+    report = run_soak(seed, health=HealthConfig(enabled=True))
+    assert report.running, report.failure
+    assert not report.wedged, report.health_states
+    assert not report.stalls
+    assert report.credits_conserved
+    # Supervision actually engaged: every armed subsystem reported in.
+    assert {"power", "boot", "eci.link"} <= set(report.health_states)
+
+
+@pytest.mark.chaos
+def test_supervised_soak_is_deterministic():
+    health = HealthConfig(enabled=True)
+    first = run_soak(SOAK_SEEDS[0], health=health)
+    second = run_soak(SOAK_SEEDS[0], health=health)
+    assert first.trace == second.trace
+    assert first.health_states == second.health_states
+    assert first.lanes == second.lanes
+    assert first.link_rates == second.link_rates
+    assert first == second
+
+
+# -- acceptance: CRC storm -> reduced lanes, not an aborted link -------------
+
+
+def test_crc_storm_ends_degraded_at_reduced_bandwidth():
+    storm = _storm(
+        99,
+        FaultSpec(
+            "eci.link", "crc_storm", at=0.0, rate=0.5, duration=40_000.0
+        ),
+    )
+    report = run_soak(99, storm=storm, health=HealthConfig(enabled=True))
+    assert report.running
+    assert report.health_states["eci.link"] == "degraded"
+    # The policy renegotiated at least one link below full width, and
+    # the bandwidth model tracks the surviving lanes.
+    full = EciLinkParams().link_rate_bytes_per_ns
+    assert min(report.lanes) < 12
+    assert min(report.link_rates) < full
+    assert min(report.link_rates) == pytest.approx(
+        full * min(report.lanes) / 12
+    )
+    # The storm degraded the link; it did not wedge or stall it.
+    assert not report.wedged
+    assert not report.stalls
+    assert report.credits_conserved
+    # Escalation is visible in the observability export.
+    assert report.counter("health_lane_renegotiations_total") >= 1
+    assert report.counter("health_transitions_total") >= 1
+
+
+def test_same_storm_without_supervision_keeps_full_width():
+    storm = _storm(
+        99,
+        FaultSpec(
+            "eci.link", "crc_storm", at=0.0, rate=0.5, duration=40_000.0
+        ),
+    )
+    report = run_soak(99, storm=storm)
+    assert report.lanes == (12, 12)
+    assert report.health_states == {}
+
+
+# -- acceptance: brown-out -> throttled operation, not a shutdown ------------
+
+
+def test_brownout_ends_throttled_not_dead():
+    storm = _storm(
+        77,
+        FaultSpec("bmc.rail", "brownout", arg="VDD_CORE"),
+    )
+    report = run_soak(77, storm=storm, health=HealthConfig(enabled=True))
+    assert report.running, report.failure
+    assert report.throttled
+    assert report.health_states["power"] == "degraded"
+    assert not report.wedged
+    assert report.counter("power_throttle_events_total") >= 1
+    assert report.counter("bmc_throttle_events_total") >= 1
+    assert report.counter("health_transitions_total") >= 1
+
+
+def test_brownout_without_supervision_is_fatal_to_the_rail():
+    storm = _storm(
+        77,
+        FaultSpec("bmc.rail", "brownout", arg="VDD_CORE"),
+        resequence=0,
+    )
+    report = run_soak(77, storm=storm)
+    # No policy to absorb VIN_UV: the bring-up fails with a typed error.
+    assert not report.running
+    assert "VDD_CORE" in report.failure
+    assert not report.throttled
+
+
+# -- disabled-by-default: zero-cost off, bit-identical -----------------------
+
+
+def test_disabled_health_is_bit_identical_and_inert():
+    first = run_soak(SOAK_SEEDS[0])
+    second = run_soak(SOAK_SEEDS[0])
+    assert first == second
+    assert first.health_states == {}
+    assert first.stalls == ()
+    assert first.recovery_steps == ()
+    assert not first.throttled
+    assert first.counter("health_transitions_total") == 0
+    assert first.counter("watchdog_stalls_total") == 0

@@ -1,0 +1,92 @@
+"""Watchdog: silent-stall detection in both clock domains."""
+
+from repro.health import HealthStateMachine, Watchdog
+from repro.obs import MetricsRegistry
+from repro.sim import Kernel
+
+
+class _Worker:
+    """A fake sim activity: makes progress while fed events."""
+
+    def __init__(self):
+        self.count = 0
+
+    def tick(self, _value=None):
+        self.count += 1
+
+
+def test_kernel_watchdog_retires_after_completion_and_queue_drains():
+    kernel = Kernel(seed=1)
+    watchdog = Watchdog()
+    worker = _Worker()
+    handle = watchdog.watch_kernel(
+        kernel, "pump", 100.0, probe=lambda: worker.count
+    )
+    for i in range(10):
+        kernel.call_at(i * 50.0, worker.tick)
+    kernel.call_at(500.0, lambda _: handle.complete())
+    end = kernel.run()
+    # The run terminated (the re-arming check retired), nothing stalled.
+    assert watchdog.all_quiet
+    assert not handle.stalled
+    assert end < 1_000.0
+
+
+def test_kernel_watchdog_declares_stall_exactly_once():
+    kernel = Kernel(seed=1)
+    obs = MetricsRegistry()
+    watchdog = Watchdog(obs=obs)
+    health = HealthStateMachine("eci.link")
+    stalls = []
+    worker = _Worker()
+    watchdog.watch_kernel(
+        kernel, "pump", 100.0,
+        probe=lambda: worker.count,
+        health=health,
+        on_stall=lambda: stalls.append(kernel.now),
+    )
+    # Progress for a while, then silence.
+    for i in range(5):
+        kernel.call_at(i * 50.0, worker.tick)
+    kernel.call_at(2_000.0, lambda _: None)  # later unrelated event
+    kernel.run()
+    assert watchdog.stalls == ["pump"]
+    assert stalls and len(stalls) == 1
+    assert health.wedged
+    assert obs.counter("watchdog_stalls_total", {"name": "pump"}).value == 1
+
+
+def test_kernel_watchdog_rearms_while_progress_continues():
+    kernel = Kernel(seed=1)
+    watchdog = Watchdog()
+    worker = _Worker()
+    handle = watchdog.watch_kernel(
+        kernel, "pump", 100.0, probe=lambda: worker.count
+    )
+    # Continuous progress well past many deadlines, then completion.
+    for i in range(50):
+        kernel.call_at(i * 90.0, worker.tick)
+    kernel.call_at(50 * 90.0, lambda _: handle.complete())
+    kernel.run()
+    assert watchdog.all_quiet
+
+
+def test_board_heartbeat_stall_detection():
+    watchdog = Watchdog()
+    health = HealthStateMachine("boot")
+    handle = watchdog.watch_board("boot", deadline_s=10.0)
+    handle.health = health
+    handle.beat(5.0)
+    assert watchdog.check_board(12.0) == []      # beat 7s ago: fine
+    assert watchdog.check_board(16.0) == ["boot"]  # beat 11s ago: stalled
+    assert watchdog.check_board(30.0) == []      # declared only once
+    assert health.wedged
+    assert not watchdog.all_quiet
+
+
+def test_board_heartbeat_completion_stands_down():
+    watchdog = Watchdog()
+    handle = watchdog.watch_board("telemetry", deadline_s=1.0)
+    handle.complete()
+    assert watchdog.check_board(100.0) == []
+    assert watchdog.all_quiet

@@ -165,3 +165,91 @@ def test_backoff_validation():
     switch, link_a, _ = two_hosts_via_switch(kernel)
     with pytest.raises(ValueError):
         ReliableSender(kernel, link_a, "a", "b", backoff=0.5)
+
+
+# -- jittered backoff (repro.health satellite): deterministic by seed --------
+
+
+def run_jittered_transfer(seed, jitter, loss_rate=0.10):
+    """A lossy transfer whose backoff jitter draws from kernel.rng."""
+    kernel = Kernel(seed=seed)
+    switch, link_a, link_b = two_hosts_via_switch(kernel, loss_rate=loss_rate)
+    sender = ReliableSender(
+        kernel, link_a, "enzianA", "enzianB",
+        timeout_ns=5_000.0, max_retries=60, backoff=2.0, jitter=jitter,
+    )
+    receiver = ReliableReceiver(kernel, link_b, "enzianB", "enzianA")
+    payload = bytes(i % 251 for i in range(20_000))
+    stats = kernel.run_process(sender.send(payload))
+    assert receiver.data == payload
+    return stats, kernel.now
+
+
+def test_jittered_backoff_is_deterministic_per_seed():
+    """Same seed -> bit-identical stats and finish time, jitter and all."""
+    first = run_jittered_transfer(seed=42, jitter=0.25)
+    second = run_jittered_transfer(seed=42, jitter=0.25)
+    assert first == second
+    other_seed = run_jittered_transfer(seed=43, jitter=0.25)
+    assert other_seed != first
+
+
+def test_zero_jitter_is_bit_identical_to_unjittered_sender():
+    """jitter=0.0 must not draw from the RNG: exact legacy behaviour."""
+
+    def run(**kwargs):
+        kernel = Kernel(seed=7)
+        switch, link_a, link_b = two_hosts_via_switch(kernel, loss_rate=0.10)
+        sender = ReliableSender(
+            kernel, link_a, "enzianA", "enzianB",
+            timeout_ns=5_000.0, max_retries=60, backoff=2.0, **kwargs,
+        )
+        ReliableReceiver(kernel, link_b, "enzianB", "enzianA")
+        stats = kernel.run_process(sender.send(bytes(20_000)))
+        return stats, kernel.now
+
+    assert run(jitter=0.0) == run()
+
+
+def test_jitter_spreads_retry_timing():
+    """Non-zero jitter shifts the retransmission timeline."""
+    _, plain_now = run_jittered_transfer(seed=42, jitter=0.0)
+    _, jittered_now = run_jittered_transfer(seed=42, jitter=0.25)
+    assert jittered_now != plain_now
+
+
+def test_jitter_validation():
+    kernel = Kernel()
+    switch, link_a, _ = two_hosts_via_switch(kernel)
+    for bad in (-0.1, 1.0, 1.5):
+        with pytest.raises(ValueError):
+            ReliableSender(kernel, link_a, "a", "b", jitter=bad)
+
+
+def test_breaker_guards_the_send_path():
+    """A tripped circuit breaker fails the transfer fast and typed."""
+    from repro.health import CircuitBreaker, CircuitOpenError
+
+    kernel = Kernel()
+    switch, link_a, link_b = two_hosts_via_switch(kernel)
+    breaker = CircuitBreaker("net", clock=lambda: kernel.now, failure_threshold=1)
+    breaker.record_failure()  # trip it
+    sender = ReliableSender(kernel, link_a, "a", "b", breaker=breaker)
+    with pytest.raises(CircuitOpenError):
+        kernel.run_process(sender.send(b"payload"))
+
+
+def test_breaker_records_aborts_as_failures():
+    from repro.health import BreakerState, CircuitBreaker
+    from repro.net import TransferAborted
+
+    kernel = Kernel()
+    switch, link_a, _ = two_hosts_via_switch(kernel)  # no receiver: no ACKs
+    breaker = CircuitBreaker("net", clock=lambda: kernel.now, failure_threshold=1)
+    sender = ReliableSender(
+        kernel, link_a, "a", "b", timeout_ns=100.0, max_retries=2,
+        breaker=breaker,
+    )
+    with pytest.raises(TransferAborted):
+        kernel.run_process(sender.send(b"payload"))
+    assert breaker.state is BreakerState.OPEN
