@@ -1,6 +1,13 @@
 """Multi-board use-cases (§6): coherence bridging, disaggregated memory."""
 
-from .bridge import BridgeError, BridgePort, bridge_domains
+from .bridge import (
+    BridgeError,
+    BridgePort,
+    BridgeRouteError,
+    BridgeTopologyError,
+    bridge_domains,
+    bridge_fleet,
+)
 from .disagg import (
     PAGE_BYTES,
     ROWS_PER_PAGE,
@@ -14,6 +21,8 @@ from .disagg import (
 __all__ = [
     "BridgeError",
     "BridgePort",
+    "BridgeRouteError",
+    "BridgeTopologyError",
     "BufferCacheClient",
     "DisaggError",
     "MemoryServer",
@@ -21,5 +30,6 @@ __all__ = [
     "PushdownResult",
     "ROWS_PER_PAGE",
     "bridge_domains",
+    "bridge_fleet",
     "traffic_savings",
 ]

@@ -20,6 +20,7 @@ from .tree import (
     FaultRecoveryConfig,
     FaultSpec,
     FaultsConfig,
+    FleetConfig,
     FpgaConfig,
     HealthConfig,
     InterconnectConfig,
@@ -38,6 +39,7 @@ __all__ = [
     "FaultRecoveryConfig",
     "FaultSpec",
     "FaultsConfig",
+    "FleetConfig",
     "FpgaConfig",
     "HealthConfig",
     "InterconnectConfig",

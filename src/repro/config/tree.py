@@ -39,6 +39,7 @@ from ..cpu.thunderx import ThunderXSpec
 from ..eci.link import EciLinkParams
 from ..eci.transfer import TransferEngineParams
 from ..faults.plan import FaultRecoveryConfig, FaultsConfig, FaultSpec
+from ..fleet.config import FleetConfig
 from ..fpga.fabric import FpgaPowerParams
 from ..health.config import HealthConfig
 from ..interconnect.pcie import PcieParams
@@ -61,6 +62,7 @@ __all__ = [
     "FaultRecoveryConfig",
     "FaultSpec",
     "FaultsConfig",
+    "FleetConfig",
     "FpgaConfig",
     "HealthConfig",
     "MemoryConfig",
@@ -191,6 +193,8 @@ class PlatformConfig:
     faults: FaultsConfig = field(default_factory=FaultsConfig)
     #: Supervision & graceful degradation; disabled = no machinery armed.
     health: HealthConfig = field(default_factory=HealthConfig)
+    #: Rack-scale fleet topology; disabled = no rack machinery built.
+    fleet: FleetConfig = field(default_factory=FleetConfig)
 
     # -- round trips -------------------------------------------------------
 
@@ -296,10 +300,20 @@ def _degraded() -> PlatformConfig:
     )
 
 
+def _rack8() -> PlatformConfig:
+    """An 8-board rack of ``full`` machines serving the sharded KVS
+    with replication factor 2 -- the fleet demo/bench design point."""
+    return PlatformConfig(
+        preset="rack8",
+        fleet=FleetConfig(enabled=True, machines=8, replication_factor=2),
+    )
+
+
 _PRESETS: Dict[str, Callable[[], PlatformConfig]] = {
     "full": _full,
     "bringup_4lane": _bringup_4lane,
     "degraded": _degraded,
+    "rack8": _rack8,
 }
 
 

@@ -15,6 +15,9 @@ Injection surfaces
 * ``net``       -- :meth:`arm_ethernet` installs a per-frame hook that
   drops/duplicates/reorders within each spec's ``[at, at+duration)``
   window, drawing from ``kernel.rng``.
+* ``fleet.machine`` -- :meth:`arm_fleet` schedules whole-machine kills
+  against a :class:`repro.fleet.rack.Rack`, driving its health-machine
+  failover path.
 * ``bmc.rail``, ``telemetry``, ``boot.stage`` -- :meth:`arm_control_plane`
   installs hooks on the power manager (fires at each rail's settle
   point), the telemetry service (sensor glitches and after-sequencing
@@ -155,6 +158,28 @@ class FaultInjector:
             return None
 
         link.fault_hook = hook
+
+    def arm_fleet(self, rack) -> None:
+        """Schedule ``fleet.machine`` kills against the rack's kernel.
+
+        Each spec's ``arg`` names a rack machine; at ``at`` (simulated
+        ns) the machine is failed through its health state machine and
+        the rack fails over (:meth:`repro.fleet.rack.Rack.kill`).
+        """
+        for pending in self._site_pending("fleet.machine"):
+            spec = pending.spec
+            if spec.arg not in rack.machines:
+                raise ValueError(
+                    f"fleet.machine fault names unknown machine {spec.arg!r}; "
+                    f"rack has {sorted(rack.machines)}"
+                )
+
+            def kill(_value, s=spec, p=pending):
+                if rack.kill(s.arg, reason=f"fault plan: {s.describe()}"):
+                    self.record(rack.kernel.now, s.site, s.kind, s.arg)
+                p.remaining = 0
+
+            rack.kernel.call_at(spec.at, kill)
 
     # -- control-plane sites -------------------------------------------------
 

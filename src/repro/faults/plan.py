@@ -27,6 +27,7 @@ bmc.rail      ocp, ovp, otp, brownout                arg: rail name
 telemetry     glitch                                 arg: domain label;
                                                      value: amps multiplier
 boot.stage    hang, fail                             arg: stage name
+fleet.machine kill                                   arg: machine name
 ============  =====================================  ==========================
 
 ``degraded_lane`` models marginal lanes: a *persistent* stochastic CRC
@@ -49,6 +50,7 @@ SITE_KINDS: Dict[str, FrozenSet[str]] = {
     "bmc.rail": frozenset({"ocp", "ovp", "otp", "brownout"}),
     "telemetry": frozenset({"glitch"}),
     "boot.stage": frozenset({"hang", "fail"}),
+    "fleet.machine": frozenset({"kill"}),
 }
 
 #: Sites whose ``at`` is measured on the board clock (seconds); the
@@ -99,6 +101,8 @@ class FaultSpec:
             raise ValueError("bmc.rail faults need arg=<rail name>")
         if self.site == "boot.stage" and not self.arg:
             raise ValueError("boot.stage faults need arg=<stage name>")
+        if self.site == "fleet.machine" and not self.arg:
+            raise ValueError("fleet.machine faults need arg=<machine name>")
         if self.kind == "lane_drop" and not self.value >= 1:
             raise ValueError("lane_drop needs value=<lanes remaining> >= 1")
         if self.kind in ("crc_storm", "degraded_lane", "drop", "duplicate", "reorder"):

@@ -1,0 +1,41 @@
+"""Rack-scale fleet simulation: N Enzians, a sharded KVS, failover.
+
+The fleet layer composes the pieces the rest of the twin already
+provides -- machines from :mod:`repro.config` presets, the multi-port
+switch from :mod:`repro.net`, health state machines from
+:mod:`repro.health`, metrics from :mod:`repro.obs` -- into a rack: N
+boards behind one switch serving a consistent-hash-sharded key-value
+store with configurable replication, timeout-driven failover, and
+rack-level latency rollups.
+"""
+
+from .config import FleetConfig
+from .kvs import (
+    FleetKvsClient,
+    FleetKvsError,
+    KvsRequest,
+    KvsResponse,
+    KvsShardServer,
+)
+from .placement import HashRing, PlacementError, key_hash, moved_keys
+from .rack import Rack, RackError, RackMachine
+from .rollup import FleetRollup, MergedSeries, merge_histograms
+
+__all__ = [
+    "FleetConfig",
+    "FleetKvsClient",
+    "FleetKvsError",
+    "FleetRollup",
+    "HashRing",
+    "KvsRequest",
+    "KvsResponse",
+    "KvsShardServer",
+    "MergedSeries",
+    "PlacementError",
+    "Rack",
+    "RackError",
+    "RackMachine",
+    "key_hash",
+    "merge_histograms",
+    "moved_keys",
+]

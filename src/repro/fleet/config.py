@@ -1,0 +1,94 @@
+"""The ``fleet`` section of the platform configuration tree.
+
+A fleet is a *rack* of simulated Enzians: ``machines`` boards, each
+built from the named ``machine_preset``, attached to one multi-port
+switch and serving a sharded key-value store with ``replication_factor``
+copies of every key placed by a consistent-hash ring (``vnodes``
+virtual nodes per machine).
+
+Like ``faults`` and ``health``, the section is *off by default* and
+zero-cost when off: with ``enabled = False`` no rack machinery is
+constructed anywhere and every existing scenario is bit-identical to a
+build without this package.  Determinism is part of the contract --
+``seed`` pins the rack's kernel RNG, and an identical
+``(seed, FleetConfig)`` pair must reproduce bit-identical metrics.
+
+This module deliberately imports nothing from :mod:`repro.config` (the
+tree imports *us*); rack construction resolves ``machine_preset``
+lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Rack topology, placement, and service-model knobs."""
+
+    #: Build rack machinery at all?  False = the section is inert.
+    enabled: bool = False
+    #: Boards in the rack.
+    machines: int = 2
+    #: Copies of every key (1 = no replication).  A write is acked only
+    #: once every replica has applied it, so a single machine failure
+    #: never loses an acknowledged write when this is >= 2.
+    replication_factor: int = 1
+    #: Virtual nodes per machine on the consistent-hash ring.  More
+    #: vnodes = smoother placement, slower ring construction.
+    vnodes: int = 64
+    #: Name of the :mod:`repro.config` preset every board is built from.
+    machine_preset: str = "full"
+    #: Per-port line rate into the rack switch (the FPGA-side 100 GbE).
+    link_gbps: float = 100.0
+    #: One-way propagation per link (ns).
+    link_propagation_ns: float = 500.0
+    #: Store-and-forward latency of the rack switch (ns).
+    switch_forwarding_ns: float = 300.0
+    #: Per-request service time on a shard server (hash + DRAM access,
+    #: the FPGA KVS pipeline's initiation interval at depth).
+    service_ns: float = 900.0
+    #: Client-side request timeout before placement is re-resolved and
+    #: the request retried (the failover detection latency).
+    request_timeout_ns: float = 60_000.0
+    #: Bounded retries per request after timeouts.
+    max_retries: int = 4
+    #: Slots in each machine's local hash-table shard.
+    kvs_slots: int = 4096
+    #: Seed for the rack's simulation kernel (all stochastic draws).
+    seed: int = 0xF1EE7
+
+    def __post_init__(self):
+        if self.machines < 2:
+            raise ValueError(
+                f"machines must be >= 2 (a rack is at least a pair), "
+                f"got {self.machines}"
+            )
+        if not 1 <= self.replication_factor <= self.machines:
+            raise ValueError(
+                f"replication_factor must be in 1..{self.machines} (machines), "
+                f"got {self.replication_factor}"
+            )
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+        if not self.machine_preset:
+            raise ValueError("machine_preset must be a non-empty preset name")
+        if self.link_gbps <= 0:
+            raise ValueError(f"link_gbps must be positive, got {self.link_gbps}")
+        if self.link_propagation_ns < 0:
+            raise ValueError("link_propagation_ns must be non-negative")
+        if self.switch_forwarding_ns < 0:
+            raise ValueError("switch_forwarding_ns must be non-negative")
+        if self.service_ns <= 0:
+            raise ValueError(f"service_ns must be positive, got {self.service_ns}")
+        if self.request_timeout_ns <= 0:
+            raise ValueError("request_timeout_ns must be positive")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.kvs_slots < 8:
+            raise ValueError(f"kvs_slots must be >= 8, got {self.kvs_slots}")
+
+    def machine_names(self) -> tuple[str, ...]:
+        """The rack's board names, in rack-slot order."""
+        return tuple(f"enzian{i}" for i in range(self.machines))

@@ -1,0 +1,283 @@
+"""The sharded fleet KVS: shard servers on every board, one client.
+
+Functionally this scales :class:`repro.apps.kvs.HashTableStore` -- the
+single-board, FPGA-terminated KV-Direct store -- across the rack: each
+machine runs a :class:`KvsShardServer` that terminates request frames
+on its switch port and executes operations against its local store
+after the pipeline's service time.  A :class:`FleetKvsClient` places
+keys with the rack's consistent-hash ring and fans every write out to
+the primary *and* all replicas, acking only when every copy responded:
+an acknowledged write therefore survives any single machine failure.
+
+Failover is timeout-driven on the client: a request that times out
+re-resolves placement against the (possibly shrunk) ring and retries,
+so after :meth:`repro.fleet.rack.Rack.kill` the old first replica --
+which by ring construction is the new primary -- picks up the shard
+without any data movement.
+
+All request/response latencies land in ``obs`` histograms labelled by
+op and serving machine; :mod:`repro.fleet.rollup` merges them into
+rack-level percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..apps.kvs import HashTableStore
+from ..net.ethernet import EthernetLink, Frame
+from ..sim import AllOf, AnyOf, Event, Kernel, Timeout
+
+#: Modeled wire overhead of a KVS request/response header (op, txid,
+#: lengths, checksum) -- the KV-Direct UDP-style framing.
+REQUEST_HEADER_BYTES = 24
+
+
+class FleetKvsError(RuntimeError):
+    """A fleet KVS request exhausted its retries (no live replica set)."""
+
+
+@dataclass(frozen=True)
+class KvsRequest:
+    """One operation in flight from the client to a shard server."""
+
+    op: str            # "put" | "get" | "delete"
+    key: bytes
+    value: bytes
+    txid: int
+    reply_to: str      # the client's switch address ("client0#kvs")
+
+    @property
+    def wire_bytes(self) -> int:
+        return REQUEST_HEADER_BYTES + len(self.key) + len(self.value)
+
+
+@dataclass(frozen=True)
+class KvsResponse:
+    """A shard server's answer, carrying the serving machine's name."""
+
+    txid: int
+    ok: bool
+    value: Optional[bytes]
+    machine: str
+
+    @property
+    def wire_bytes(self) -> int:
+        return REQUEST_HEADER_BYTES + (len(self.value) if self.value else 0)
+
+
+class KvsShardServer:
+    """One machine's shard: terminates ``<name>#kvs`` on its port.
+
+    A dead server (:meth:`down`) models a NIC gone dark: frames still
+    burn wire time but are black-holed, which is what drives the
+    client's timeout-based failover.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        link: EthernetLink,
+        store: HashTableStore,
+        service_ns: float,
+        obs=None,
+    ):
+        from ..obs import NULL_REGISTRY
+
+        self.kernel = kernel
+        self.name = name
+        self.link = link
+        self.store = store
+        self.service_ns = service_ns
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.address = f"{name}#kvs"
+        self.alive = True
+        self.stats = {"served": 0, "dropped_dead": 0, "errors": 0}
+        link.attach(self.address, self._on_frame)
+
+    def down(self) -> None:
+        self.alive = False
+
+    # -- request path --------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        if not self.alive:
+            self.stats["dropped_dead"] += 1
+            return
+        request: KvsRequest = frame.payload
+        self.kernel.call_after(self.service_ns, self._complete, request)
+
+    def _complete(self, request: KvsRequest) -> None:
+        if not self.alive:  # died while the request was in service
+            self.stats["dropped_dead"] += 1
+            return
+        ok, value = True, None
+        try:
+            if request.op == "put":
+                self.store.put(request.key, request.value)
+            elif request.op == "get":
+                value = self.store.get(request.key)
+            elif request.op == "delete":
+                ok = self.store.delete(request.key)
+            else:
+                ok = False
+        except Exception:
+            ok = False
+            self.stats["errors"] += 1
+        self.stats["served"] += 1
+        if self.obs:
+            self.obs.counter(
+                "fleet_kvs_ops_total", {"machine": self.name, "op": request.op}
+            ).inc()
+        response = KvsResponse(request.txid, ok, value, self.name)
+        self.link.send(
+            Frame(
+                src=self.address,
+                dst=request.reply_to,
+                payload=response,
+                size_bytes=response.wire_bytes,
+            )
+        )
+
+
+class FleetKvsClient:
+    """The coordinator: placement, replication fan-out, failover retry.
+
+    Methods are simulation processes (``yield from client.put(...)``
+    inside a spawned process).  ``acked`` records every acknowledged
+    write -- the durability ledger the failover tests audit.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        rack,
+        link: EthernetLink,
+        address: str = "client0",
+        obs=None,
+    ):
+        from ..obs import NULL_REGISTRY
+
+        self.kernel = kernel
+        self.rack = rack
+        self.link = link
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.address = f"{address}#kvs"
+        self._txid = 0
+        self._waiters: Dict[int, Event] = {}
+        self.timeout_ns = rack.fleet.request_timeout_ns
+        self.max_retries = rack.fleet.max_retries
+        #: Acknowledged writes: key -> value (the durability ledger).
+        self.acked: Dict[bytes, bytes] = {}
+        self.stats = {
+            "puts_acked": 0,
+            "gets": 0,
+            "deletes": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "late_responses": 0,
+        }
+        link.attach(self.address, self._on_frame)
+
+    # -- response demux ------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        response: KvsResponse = frame.payload
+        waiter = self._waiters.pop(response.txid, None)
+        if waiter is None:
+            # A straggler from a request we already timed out and retried.
+            self.stats["late_responses"] += 1
+            return
+        waiter.succeed(self.kernel, response)
+
+    def _send(self, machine: str, op: str, key: bytes, value: bytes) -> Event:
+        self._txid += 1
+        txid = self._txid
+        request = KvsRequest(op, key, value, txid, self.address)
+        waiter = self.kernel.event(f"kvs-tx{txid}")
+        self._waiters[txid] = waiter
+        self.link.send(
+            Frame(
+                src=self.address,
+                dst=f"{machine}#kvs",
+                payload=request,
+                size_bytes=request.wire_bytes,
+            )
+        )
+        return waiter
+
+    def _observe(self, op: str, machine: str, elapsed_ns: float) -> None:
+        if self.obs:
+            self.obs.histogram(
+                "fleet_request_latency_ns",
+                {"op": op, "machine": machine},
+                base=1.25,
+            ).observe(elapsed_ns)
+
+    # -- operations (simulation processes) -----------------------------------
+
+    def put(self, key: bytes, value: bytes):
+        """Replicated write: acked once *every* replica applied it."""
+        start = self.kernel.now
+        for attempt in range(self.max_retries + 1):
+            targets = self.rack.ring.place(key)
+            waiters = [self._send(m, "put", key, value) for m in targets]
+            index, result = yield AnyOf([AllOf(waiters), Timeout(self.timeout_ns)])
+            if index == 0 and all(r.ok for r in result):
+                self.stats["puts_acked"] += 1
+                self.acked[bytes(key)] = bytes(value)
+                self._observe("put", targets[0], self.kernel.now - start)
+                return targets
+            self._retire(waiters)
+            self.stats["timeouts"] += 1
+            self.stats["retries"] += 1
+        raise FleetKvsError(
+            f"put {key!r} unacked after {self.max_retries + 1} attempts"
+        )
+
+    def get(self, key: bytes):
+        """Read from the key's current primary (re-resolved on retry)."""
+        start = self.kernel.now
+        for attempt in range(self.max_retries + 1):
+            primary = self.rack.ring.primary(key)
+            waiter = self._send(primary, "get", key, b"")
+            index, result = yield AnyOf([waiter, Timeout(self.timeout_ns)])
+            if index == 0:
+                self.stats["gets"] += 1
+                self._observe("get", primary, self.kernel.now - start)
+                return result.value
+            self._retire([waiter])
+            self.stats["timeouts"] += 1
+            self.stats["retries"] += 1
+        raise FleetKvsError(
+            f"get {key!r} unanswered after {self.max_retries + 1} attempts"
+        )
+
+    def delete(self, key: bytes):
+        """Replicated delete (same fan-out/ack rule as put)."""
+        start = self.kernel.now
+        for attempt in range(self.max_retries + 1):
+            targets = self.rack.ring.place(key)
+            waiters = [self._send(m, "delete", key, b"") for m in targets]
+            index, result = yield AnyOf([AllOf(waiters), Timeout(self.timeout_ns)])
+            if index == 0:
+                self.stats["deletes"] += 1
+                self.acked.pop(bytes(key), None)
+                self._observe("delete", targets[0], self.kernel.now - start)
+                return all(r.ok for r in result)
+            self._retire(waiters)
+            self.stats["timeouts"] += 1
+            self.stats["retries"] += 1
+        raise FleetKvsError(
+            f"delete {key!r} unacked after {self.max_retries + 1} attempts"
+        )
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _retire(self, waiters) -> None:
+        """Forget timed-out transactions so stragglers count as late."""
+        stale = {id(w) for w in waiters}
+        for txid in [t for t, w in self._waiters.items() if id(w) in stale]:
+            del self._waiters[txid]

@@ -1,0 +1,224 @@
+"""A rack of simulated Enzians behind one multi-port switch.
+
+:class:`Rack` is the fleet's composition root: from one
+:class:`repro.fleet.config.FleetConfig` it builds ``machines`` boards
+-- each carrying a full :class:`repro.config.PlatformConfig` built from
+the named preset -- a star topology of per-board links into an
+output-queued :class:`repro.net.Switch`, a per-board
+:class:`repro.fleet.kvs.KvsShardServer` over a local
+:class:`repro.apps.kvs.HashTableStore`, one
+:class:`repro.health.HealthStateMachine` per board, and the
+consistent-hash ring that places keys across them.
+
+Failure handling rides the existing health ladder: :meth:`kill` moves
+the victim's state machine to FAILED, and :meth:`sync_health` -- also
+usable by external supervisors that fail a machine through its state
+machine directly -- black-holes the dead board's NIC and rebuilds the
+ring without it.  Because a key's first replica is, by ring
+construction, the next machine clockwise from its primary, removal *is*
+promotion: the surviving replica starts serving the shard with the data
+it already holds.
+
+The rack never imports :mod:`repro.config` at module scope (the config
+tree imports ``repro.fleet.config``); presets are resolved lazily at
+construction, mirroring :mod:`repro.health`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..apps.kvs import HashTableStore
+from ..health.state import HealthStateMachine
+from ..net.ethernet import EthernetLink
+from ..net.switch import Switch, star_topology
+from ..sim import Kernel
+from .config import FleetConfig
+from .kvs import FleetKvsClient, KvsShardServer
+from .placement import HashRing
+
+
+class RackError(RuntimeError):
+    """Misconfigured or misused rack."""
+
+
+class RackMachine:
+    """One board in the rack: config, port, shard, health."""
+
+    def __init__(
+        self,
+        name: str,
+        config,
+        link: EthernetLink,
+        store: HashTableStore,
+        server: KvsShardServer,
+        health: HealthStateMachine,
+    ):
+        self.name = name
+        self.config = config
+        self.link = link
+        self.store = store
+        self.server = server
+        self.health = health
+        self._board = None
+
+    @property
+    def alive(self) -> bool:
+        return not self.health.wedged
+
+    def board(self):
+        """The full :class:`repro.platform.EnzianMachine` for this slot,
+        built lazily from the board's config tree."""
+        if self._board is None:
+            from ..platform import EnzianMachine
+
+            self._board = EnzianMachine(self.config)
+        return self._board
+
+    def __repr__(self) -> str:
+        return f"RackMachine({self.name!r}, {self.health.state.value})"
+
+
+class Rack:
+    """N machines, one switch, a sharded KVS, and a failover path."""
+
+    def __init__(
+        self,
+        fleet: Optional[FleetConfig] = None,
+        kernel: Optional[Kernel] = None,
+        obs=None,
+    ):
+        from ..config import preset  # lazy: the config tree imports fleet.config
+        from ..obs import NULL_REGISTRY
+
+        if fleet is None:
+            fleet = FleetConfig(enabled=True)
+        if not fleet.enabled:
+            raise RackError(
+                "fleet section is disabled; enable it (fleet.enabled = true) "
+                "before building a Rack"
+            )
+        self.fleet = fleet
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.kernel = kernel if kernel is not None else Kernel(seed=fleet.seed)
+        if obs is not None:
+            obs.use_clock(lambda: self.kernel.now, override=False)
+        names = fleet.machine_names()
+        self.switch, links = star_topology(
+            self.kernel,
+            names,
+            rate_gbps=fleet.link_gbps,
+            propagation_ns=fleet.link_propagation_ns,
+            forwarding_ns=fleet.switch_forwarding_ns,
+            egress_queueing=True,
+        )
+        self.machines: Dict[str, RackMachine] = {}
+        for name in names:
+            config = preset(fleet.machine_preset)
+            store = HashTableStore(n_slots=fleet.kvs_slots)
+            server = KvsShardServer(
+                self.kernel, name, links[name], store, fleet.service_ns, obs=obs
+            )
+            health = HealthStateMachine(
+                f"fleet.{name}", obs=obs, clock=lambda: self.kernel.now
+            )
+            self.machines[name] = RackMachine(
+                name, config, links[name], store, server, health
+            )
+        self.ring = HashRing(names, fleet.vnodes, fleet.replication_factor)
+        self.failovers: list[Tuple[float, str, str]] = []
+        if self.obs:
+            self.obs.gauge("fleet_machines_live").set(len(names))
+
+    # -- clients -------------------------------------------------------------
+
+    def client(self, address: str = "client0") -> FleetKvsClient:
+        """Attach a KVS client on its own switch port."""
+        link = EthernetLink(
+            self.kernel,
+            rate_gbps=self.fleet.link_gbps,
+            propagation_ns=self.fleet.link_propagation_ns,
+            name=f"link-{address}",
+        )
+        self.switch.connect(link, address)
+        return FleetKvsClient(self.kernel, self, link, address, obs=self.obs)
+
+    # -- failure / failover --------------------------------------------------
+
+    def kill(self, name: str, reason: str = "killed") -> bool:
+        """Fail a board through its health state machine, then fail over.
+
+        Returns False (no-op) when the board is already dead.
+        """
+        machine = self._machine(name)
+        if not machine.alive:
+            return False
+        machine.health.fail(reason)
+        self.sync_health()
+        return True
+
+    def sync_health(self) -> list[str]:
+        """Fail over every board whose health machine sits in FAILED.
+
+        The promotion path: the dead board's NIC is black-holed and the
+        ring rebuilt without it -- each of its shards is now primaried
+        by what used to be the shard's first replica.
+        """
+        removed = []
+        for name, machine in self.machines.items():
+            if machine.alive or name not in self.ring.machines:
+                continue
+            machine.server.down()
+            if len(self.ring.machines) > 1:
+                self.ring = self.ring.removed(name)
+                detail = "removed from ring"
+            else:
+                # The last board died.  The ring cannot be emptied, so
+                # placement keeps naming the corpse; clients burn their
+                # retries and surface FleetKvsError -- degraded, not
+                # wedged.
+                detail = "last machine down; ring unchanged"
+            removed.append(name)
+            self.failovers.append((self.kernel.now, name, detail))
+            if self.obs:
+                self.obs.counter("fleet_failovers_total", {"machine": name}).inc()
+        if removed and self.obs:
+            self.obs.gauge("fleet_machines_live").set(len(self.live_machines()))
+        return removed
+
+    # -- introspection -------------------------------------------------------
+
+    def _machine(self, name: str) -> RackMachine:
+        machine = self.machines.get(name)
+        if machine is None:
+            raise RackError(
+                f"unknown machine {name!r}; rack has {sorted(self.machines)}"
+            )
+        return machine
+
+    def live_machines(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.machines.values() if m.alive)
+
+    def health_states(self) -> Dict[str, str]:
+        return {name: m.health.state.value for name, m in self.machines.items()}
+
+    def report(self) -> Dict[str, object]:
+        """One dict an example or soak harness can print/serialize."""
+        return {
+            "machines": len(self.machines),
+            "live": list(self.live_machines()),
+            "health": self.health_states(),
+            "failovers": [
+                {"t": t, "machine": m, "detail": d} for t, m, d in self.failovers
+            ],
+            "switch": dict(self.switch.stats),
+            "served": {
+                name: dict(m.server.stats) for name, m in self.machines.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Rack({len(self.machines)} machines, "
+            f"{len(self.ring.machines)} live, rf={self.fleet.replication_factor})"
+        )

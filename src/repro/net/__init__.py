@@ -1,6 +1,6 @@
 """Network substrate: Ethernet, reliable transport, TCP models, RDMA."""
 
-from .ethernet import ETH_OVERHEAD_BYTES, EthernetLink, Frame
+from .ethernet import ETH_OVERHEAD_BYTES, EthernetLink, Frame, LinkAttachError
 from .iperf import IperfResult, run_iperf, sweep_window
 from .reliable import ReliableReceiver, ReliableSender, Segment, TransferAborted
 from .rdma import (
@@ -12,7 +12,7 @@ from .rdma import (
     RdmaTarget,
     figure8_paths,
 )
-from .switch import Switch, two_hosts_via_switch
+from .switch import Switch, SwitchPortError, star_topology, two_hosts_via_switch
 from .tcp import (
     FpgaTcpParams,
     FpgaTcpStack,
@@ -28,6 +28,7 @@ __all__ = [
     "FpgaTcpStack",
     "Frame",
     "IperfResult",
+    "LinkAttachError",
     "LinuxTcpParams",
     "LinuxTcpStack",
     "QueuePair",
@@ -41,9 +42,11 @@ __all__ = [
     "Segment",
     "TransferAborted",
     "Switch",
+    "SwitchPortError",
     "figure8_paths",
     "flows_to_saturate",
     "run_iperf",
+    "star_topology",
     "sweep_window",
     "two_hosts_via_switch",
 ]

@@ -20,6 +20,12 @@ ETH_OVERHEAD_BYTES = 38  # preamble + MAC header + FCS + min IFG
 MTU_DEFAULT = 1500
 
 
+class LinkAttachError(ValueError):
+    """An endpoint or uplink registration that would clobber an
+    existing peer.  Subclasses :class:`ValueError` for back-compat with
+    callers that caught the untyped duplicate-address error."""
+
+
 @dataclass(frozen=True)
 class Frame:
     """One Ethernet frame carrying an opaque payload."""
@@ -94,12 +100,23 @@ class EthernetLink:
 
     def attach(self, address: str, handler: Callable[[Frame], None]) -> None:
         if address in self._endpoints:
-            raise ValueError(f"address {address!r} already attached")
+            raise LinkAttachError(
+                f"address {address!r} already attached on {self.name}"
+            )
         self._endpoints[address] = handler
 
     def set_uplink(self, handler: Callable[[Frame], None]) -> None:
         """Promiscuous port: receives frames for unknown destinations
-        (how a switch hangs off the link)."""
+        (how a switch hangs off the link).
+
+        A link has exactly one uplink; plugging the same link into a
+        second switch used to silently overwrite the first -- now it is
+        a typed error.
+        """
+        if self._uplink is not None and self._uplink is not handler:
+            raise LinkAttachError(
+                f"uplink already set on {self.name}; a link plugs into one switch"
+            )
         self._uplink = handler
 
     def send(self, frame: Frame) -> None:

@@ -4,14 +4,27 @@ The §5.2 TCP experiment connects two Enzians "through their FPGA-side
 100 Gb/s Ethernet links via a conventional network switch"; this model
 provides that topology element: per-port links, a static MAC table,
 and store-and-forward latency.
+
+For the rack-scale fleet the same switch grows two generalizations,
+both opt-in so the historical two-host timing stays bit-identical:
+
+* any number of ports (:func:`star_topology` wires N hosts);
+* shared output-port queueing (``egress_queueing=True``): frames bound
+  for the same egress port serialize behind each other regardless of
+  which ingress port they came from, so congestion on one host's
+  downlink back-pressures every flow targeting it.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable, Tuple
 
 from ..sim import Kernel
 from .ethernet import EthernetLink, Frame
+
+
+class SwitchPortError(ValueError):
+    """A port registration that would clobber an existing host."""
 
 
 class Switch:
@@ -23,30 +36,53 @@ class Switch:
     here and is forwarded to the port owning that address.
     """
 
-    def __init__(self, kernel: Kernel, name: str = "sw0", forwarding_ns: float = 300.0):
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str = "sw0",
+        forwarding_ns: float = 300.0,
+        egress_queueing: bool = False,
+    ):
         self.kernel = kernel
         self.name = name
         self.forwarding_ns = forwarding_ns
+        self.egress_queueing = egress_queueing
         self._mac_table: Dict[str, EthernetLink] = {}
+        #: Per-egress-port occupancy (only maintained when queueing).
+        self._egress_busy: Dict[str, float] = {}
         self.stats = {"forwarded": 0, "dropped_unknown": 0}
 
     def connect(self, link: EthernetLink, host_address: str) -> None:
         """Plug a host link in; the MAC table learns ``host_address``."""
         if host_address in self._mac_table:
-            raise ValueError(f"address {host_address!r} already connected")
+            raise SwitchPortError(
+                f"address {host_address!r} already connected to {self.name}"
+            )
         self._mac_table[host_address] = link
         link.set_uplink(self._ingress)
 
+    @property
+    def ports(self) -> Tuple[str, ...]:
+        """Connected host addresses, in connection order."""
+        return tuple(self._mac_table)
+
     def _ingress(self, frame: Frame) -> None:
         # Sub-addresses ("host#tx") route to the host's port.
-        link = self._mac_table.get(frame.dst.split("#")[0])
+        host = frame.dst.split("#")[0]
+        link = self._mac_table.get(host)
         if link is None:
             self.stats["dropped_unknown"] += 1
             return
         self.stats["forwarded"] += 1
         # Store-and-forward: re-serialize on the egress link after the
         # switching latency.
-        self.kernel.call_after(self.forwarding_ns, lambda _: link.send(frame))
+        departure = self.kernel.now + self.forwarding_ns
+        if self.egress_queueing:
+            # Shared output port: frames to this host leave one at a
+            # time at the port's line rate, whatever their ingress.
+            departure = max(departure, self._egress_busy.get(host, 0.0))
+            self._egress_busy[host] = departure + frame.wire_bytes / link.rate
+        self.kernel.call_at(departure, lambda _: link.send(frame))
 
 
 def two_hosts_via_switch(
@@ -67,3 +103,41 @@ def two_hosts_via_switch(
     switch.connect(link_a, host_a)
     switch.connect(link_b, host_b)
     return switch, link_a, link_b
+
+
+def star_topology(
+    kernel: Kernel,
+    hosts: Iterable[str],
+    rate_gbps: float = 100.0,
+    propagation_ns: float = 500.0,
+    forwarding_ns: float = 300.0,
+    loss_rate: float = 0.0,
+    egress_queueing: bool = False,
+    base_seed: int = 101,
+) -> tuple[Switch, Dict[str, EthernetLink]]:
+    """N hosts on one switch: the rack topology.
+
+    Returns the switch and a per-host link map; each host attaches to
+    its own link under its own address, and anything non-local crosses
+    the switch.  Per-link loss seeds derive deterministically from
+    ``base_seed`` and the rack-slot index.
+    """
+    hosts = list(hosts)
+    if len(hosts) < 2:
+        raise SwitchPortError(f"a star needs at least 2 hosts, got {len(hosts)}")
+    switch = Switch(
+        kernel, forwarding_ns=forwarding_ns, egress_queueing=egress_queueing
+    )
+    links: Dict[str, EthernetLink] = {}
+    for index, host in enumerate(hosts):
+        link = EthernetLink(
+            kernel,
+            rate_gbps,
+            propagation_ns=propagation_ns,
+            loss_rate=loss_rate,
+            seed=base_seed + 2 * index,
+            name=f"link-{host}",
+        )
+        switch.connect(link, host)
+        links[host] = link
+    return switch, links

@@ -1,0 +1,209 @@
+"""N>2 coherence domains over the rack switch, and the legacy pin.
+
+Three things ride here: a three-board coherence domain built with
+:func:`bridge_fleet` over :func:`star_topology`; the byte-for-byte
+equivalence of a two-domain fleet with the historical
+:func:`bridge_domains` point-to-point pair; and the typed topology /
+routing errors the fleet refactor introduced.
+"""
+
+import pytest
+
+from repro.cluster import (
+    BridgeError,
+    BridgePort,
+    BridgeRouteError,
+    BridgeTopologyError,
+    bridge_domains,
+    bridge_fleet,
+)
+from repro.eci import (
+    CACHE_LINE_BYTES,
+    CacheAgent,
+    CoherenceChecker,
+    HomeAgent,
+    InstantTransport,
+)
+from repro.eci.messages import Message, MessageType
+from repro.net import star_topology, two_hosts_via_switch
+from repro.sim import Kernel
+
+PATTERN = bytes([0xC3]) * CACHE_LINE_BYTES
+
+
+class FleetCluster:
+    """Three boards: A hosts the home (FPGA DRAM), B and C a cache each."""
+
+    def __init__(self):
+        self.kernel = Kernel()
+        self.transports = [
+            InstantTransport(self.kernel, latency_ns=20.0) for _ in range(3)
+        ]
+        ta, tb, tc = self.transports
+        self.home = HomeAgent(self.kernel, 0, ta, name="a-home")
+        self.cache_b = CacheAgent(
+            self.kernel, 1, tb, home_for=lambda a: 0, name="b-l2"
+        )
+        self.cache_c = CacheAgent(
+            self.kernel, 2, tc, home_for=lambda a: 0, name="c-l2"
+        )
+        self.switch, links = star_topology(
+            self.kernel, ["enzianA", "enzianB", "enzianC"]
+        )
+        self.ports = bridge_fleet(
+            self.kernel,
+            [
+                (ta, links["enzianA"], "enzianA", [0]),
+                (tb, links["enzianB"], "enzianB", [1]),
+                (tc, links["enzianC"], "enzianC", [2]),
+            ],
+        )
+        self.checker = CoherenceChecker()
+        self.checker.attach_all([self.cache_b, self.cache_c])
+
+
+def test_three_boards_share_one_coherence_domain():
+    cluster = FleetCluster()
+
+    def proc():
+        yield from cluster.cache_b.write(0x100, PATTERN)
+        data = yield from cluster.cache_c.read(0x100)
+        return data
+
+    assert cluster.kernel.run_process(proc()) == PATTERN
+    assert not cluster.checker.violations
+    # The write crossed B's port out; the read crossed C's.
+    assert cluster.ports[1].stats["tunneled_out"] >= 1
+    assert cluster.ports[2].stats["tunneled_out"] >= 1
+
+
+def test_three_board_write_contention_converges():
+    cluster = FleetCluster()
+
+    def proc():
+        for i in range(4):
+            writer = cluster.cache_b if i % 2 == 0 else cluster.cache_c
+            yield from writer.write(0x200, bytes([i]) * CACHE_LINE_BYTES)
+        return (yield from cluster.cache_b.read(0x200))
+
+    assert cluster.kernel.run_process(proc()) == bytes([3]) * CACHE_LINE_BYTES
+    assert not cluster.checker.violations
+
+
+def test_frames_route_to_the_owning_board_only():
+    """Per-destination routing: traffic between B and the home board A
+    never appears on C's port."""
+    cluster = FleetCluster()
+
+    def proc():
+        yield from cluster.cache_b.read(0x300)
+
+    cluster.kernel.run_process(proc())
+    assert cluster.ports[0].stats["tunneled_in"] >= 1
+    assert cluster.ports[2].stats["tunneled_in"] == 0
+    assert cluster.ports[2].stats["tunneled_out"] == 0
+
+
+def _run_two_board_workload(port_a, port_b, kernel, cache_b, cache_a):
+    def proc():
+        yield from cache_b.write(0x40, PATTERN)
+        data = yield from cache_a.read(0x40)
+        return data
+
+    result = kernel.run_process(proc())
+    return result, kernel.now, dict(port_a.stats), dict(port_b.stats)
+
+
+def _build_two_board(factory):
+    kernel = Kernel()
+    ta = InstantTransport(kernel, latency_ns=20.0)
+    tb = InstantTransport(kernel, latency_ns=20.0)
+    HomeAgent(kernel, 0, ta, name="a-home")
+    cache_a = CacheAgent(kernel, 1, ta, home_for=lambda a: 0, name="a-l2")
+    cache_b = CacheAgent(kernel, 2, tb, home_for=lambda a: 0, name="b-l2")
+    _, link_a, link_b = two_hosts_via_switch(kernel)
+    port_a, port_b = factory(kernel, ta, tb, link_a, link_b)
+    return _run_two_board_workload(port_a, port_b, kernel, cache_b, cache_a)
+
+
+def test_two_domain_fleet_is_byte_identical_to_legacy_pair():
+    """bridge_fleet([A, B]) must reproduce bridge_domains exactly:
+    same result, same completion time, same tunneled byte counts."""
+    legacy = _build_two_board(
+        lambda k, ta, tb, la, lb: bridge_domains(
+            k, ta, tb, la, lb, nodes_a=[0, 1], nodes_b=[2]
+        )
+    )
+    fleet = _build_two_board(
+        lambda k, ta, tb, la, lb: bridge_fleet(
+            k,
+            [(ta, la, "enzianA", [0, 1]), (tb, lb, "enzianB", [2])],
+        )
+    )
+    assert legacy == fleet
+    assert legacy[0] == PATTERN
+
+
+def test_two_domain_proxy_allocation_matches_legacy():
+    kernel = Kernel()
+    ta = InstantTransport(kernel)
+    tb = InstantTransport(kernel)
+    _, la, lb = two_hosts_via_switch(kernel)
+    port_a, port_b = bridge_domains(
+        kernel, ta, tb, la, lb, nodes_a=[0, 1], nodes_b=[2]
+    )
+    assert port_a.node_id == 3  # max id + 1, historically
+    assert port_b.node_id == 4
+    assert port_a.remote_address == "enzianB"
+    assert port_b.remote_address == "enzianA"
+
+
+# -- typed errors ------------------------------------------------------------
+
+def _three_domains(kernel):
+    transports = [InstantTransport(kernel) for _ in range(3)]
+    _, links = star_topology(kernel, ["a", "b", "c"])
+    return [
+        (transports[0], links["a"], "a", [0]),
+        (transports[1], links["b"], "b", [1]),
+        (transports[2], links["c"], "c", [2]),
+    ]
+
+
+def test_topology_errors_are_typed_and_backward_compatible():
+    kernel = Kernel()
+    domains = _three_domains(kernel)
+
+    with pytest.raises(BridgeTopologyError):
+        bridge_fleet(kernel, domains[:1])  # one side is not a domain
+    with pytest.raises(BridgeTopologyError, match="node ids overlap"):
+        bad = [domains[0], (domains[1][0], domains[1][1], "b", [0])]
+        bridge_fleet(kernel, bad)
+    with pytest.raises(BridgeTopologyError, match="duplicate bridge addresses"):
+        bad = [domains[0], (domains[1][0], domains[1][1], "a", [1])]
+        bridge_fleet(kernel, bad)
+    with pytest.raises(BridgeTopologyError, match="at least one node id"):
+        bad = [domains[0], (domains[1][0], domains[1][1], "b", [])]
+        bridge_fleet(kernel, bad)
+    # All of them are still BridgeError: pre-fleet callers keep working.
+    assert issubclass(BridgeTopologyError, BridgeError)
+    assert issubclass(BridgeRouteError, BridgeError)
+
+
+def test_unrouted_destination_is_a_route_error():
+    kernel = Kernel()
+    ta = InstantTransport(kernel)
+    tb = InstantTransport(kernel)
+    _, la, lb = two_hosts_via_switch(kernel)
+    port_a, _ = bridge_domains(kernel, ta, tb, la, lb, nodes_a=[0], nodes_b=[1])
+    stray = Message(MessageType.RLDD, src=0, dst=99, addr=0x0)
+    with pytest.raises(BridgeRouteError, match="no route for node id 99"):
+        port_a.receive(stray)
+
+
+def test_bridge_port_requires_remote_nodes():
+    kernel = Kernel()
+    ta = InstantTransport(kernel)
+    _, la, _ = two_hosts_via_switch(kernel)
+    with pytest.raises(BridgeTopologyError):
+        BridgePort(kernel, ta, la, "a", {})

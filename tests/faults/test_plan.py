@@ -23,7 +23,7 @@ def test_site_kind_whitelist():
             spec = FaultSpec(
                 site,
                 kind,
-                arg="x" if site in ("bmc.rail", "boot.stage") else "",
+                arg="x" if site in ("bmc.rail", "boot.stage", "fleet.machine") else "",
                 value=4.0 if kind == "lane_drop" else 0.0,
                 rate=0.1
                 if kind in ("crc_storm", "degraded_lane", "drop", "duplicate", "reorder")

@@ -115,3 +115,146 @@ def test_duplicate_connect_rejected():
     switch.connect(link, "h")
     with pytest.raises(ValueError):
         switch.connect(link, "h")
+
+
+# -- fleet generalizations: typed errors, star topology, egress queueing ------
+
+def test_uplink_overwrite_is_a_typed_error():
+    from repro.net import LinkAttachError
+
+    kernel = Kernel()
+    link = EthernetLink(kernel)
+    sink_a, sink_b = (lambda f: None), (lambda f: None)
+    link.set_uplink(sink_a)
+    link.set_uplink(sink_a)  # re-registering the same handler is fine
+    with pytest.raises(LinkAttachError):
+        link.set_uplink(sink_b)
+    # Plugging one link into two switches hits the same guard.
+    s1, s2 = Switch(kernel, name="s1"), Switch(kernel, name="s2")
+    link2 = EthernetLink(kernel)
+    s1.connect(link2, "h")
+    with pytest.raises(LinkAttachError):
+        s2.connect(link2, "h")
+
+
+def test_duplicate_attach_is_a_typed_error():
+    from repro.net import LinkAttachError
+
+    kernel = Kernel()
+    link = EthernetLink(kernel)
+    link.attach("a", lambda f: None)
+    with pytest.raises(LinkAttachError):
+        link.attach("a", lambda f: None)
+    # LinkAttachError subclasses ValueError: pre-fleet callers that
+    # caught the untyped error keep working.
+    assert issubclass(LinkAttachError, ValueError)
+
+
+def test_duplicate_connect_is_a_switch_port_error():
+    from repro.net import SwitchPortError
+
+    kernel = Kernel()
+    switch = Switch(kernel)
+    switch.connect(EthernetLink(kernel, name="l1"), "h")
+    with pytest.raises(SwitchPortError):
+        switch.connect(EthernetLink(kernel, name="l2"), "h")
+    assert issubclass(SwitchPortError, ValueError)
+
+
+def test_star_topology_wires_n_hosts():
+    from repro.net import star_topology
+
+    kernel = Kernel()
+    hosts = [f"h{i}" for i in range(5)]
+    switch, links = star_topology(kernel, hosts)
+    assert set(links) == set(hosts)
+    assert switch.ports == tuple(hosts)
+    received = []
+    for host in hosts:
+        links[host].attach(host, lambda f, h=host: received.append((h, f.payload)))
+    # Every host pings its clockwise neighbour; all arrive.
+    for i, host in enumerate(hosts):
+        peer = hosts[(i + 1) % len(hosts)]
+        links[host].send(Frame(host, peer, f"from-{host}", size_bytes=64))
+    kernel.run()
+    assert sorted(received) == sorted(
+        (hosts[(i + 1) % len(hosts)], f"from-{h}") for i, h in enumerate(hosts)
+    )
+    assert switch.stats["forwarded"] == len(hosts)
+
+
+def test_star_topology_requires_two_hosts():
+    from repro.net import SwitchPortError, star_topology
+
+    with pytest.raises(SwitchPortError):
+        star_topology(Kernel(), ["only"])
+
+
+def test_per_flow_ordering_through_switch():
+    """Frames of one flow arrive in send order even through fan-in."""
+    from repro.net import star_topology
+
+    kernel = Kernel()
+    switch, links = star_topology(
+        kernel, ["h0", "h1", "h2"], egress_queueing=True
+    )
+    arrivals = []
+    links["h2"].attach("h2", lambda f: arrivals.append(f.payload))
+    for i in range(6):
+        src = "h0" if i % 2 == 0 else "h1"
+        links[src].send(Frame(src, "h2", (src, i), size_bytes=1500))
+    kernel.run()
+    assert [i for s, i in arrivals if s == "h0"] == [0, 2, 4]
+    assert [i for s, i in arrivals if s == "h1"] == [1, 3, 5]
+
+
+def test_egress_queueing_backpressures_fan_in():
+    """Two senders saturating one downlink: with output queueing the
+    second flow's frames serialize behind the first's, so the last
+    arrival is later than without queueing."""
+    from repro.net import star_topology
+
+    def last_arrival(egress_queueing):
+        kernel = Kernel()
+        switch, links = star_topology(
+            kernel, ["h0", "h1", "h2"], egress_queueing=egress_queueing
+        )
+        arrivals = []
+        links["h2"].attach("h2", lambda f: arrivals.append(kernel.now))
+        for i in range(8):
+            links["h0"].send(Frame("h0", "h2", i, size_bytes=1500))
+            links["h1"].send(Frame("h1", "h2", i, size_bytes=1500))
+        kernel.run()
+        return max(arrivals), len(arrivals)
+
+    queued_t, queued_n = last_arrival(True)
+    legacy_t, legacy_n = last_arrival(False)
+    assert queued_n == legacy_n == 16
+    assert queued_t > legacy_t
+    # 16 x 1538 B at 100 Gb/s through one egress port: the drain time is
+    # bounded below by the port's serialization of every frame.
+    ser = (1500 + 38) / 12.5
+    assert queued_t >= 16 * ser
+
+
+def test_two_host_helper_timing_unchanged_by_flag():
+    """two_hosts_via_switch never opts into queueing: single-flow
+    timing through the legacy helper equals an explicitly unqueued
+    star -- the bit-identical back-compat contract."""
+    from repro.net import star_topology
+
+    def run(topology):
+        kernel = Kernel()
+        if topology == "legacy":
+            _, link_a, link_b = two_hosts_via_switch(kernel)
+            links = {"enzianA": link_a, "enzianB": link_b}
+        else:
+            _, links = star_topology(kernel, ["enzianA", "enzianB"])
+        arrivals = []
+        links["enzianB"].attach("enzianB", lambda f: arrivals.append(kernel.now))
+        for i in range(4):
+            links["enzianA"].send(Frame("enzianA", "enzianB", i, size_bytes=700))
+        kernel.run()
+        return arrivals
+
+    assert run("legacy") == run("star")
