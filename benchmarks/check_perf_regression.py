@@ -72,6 +72,12 @@ def main(argv=None) -> int:
 
     with open(args.baseline) as fh:
         baseline = json.load(fh)
+    meta = baseline.get("meta")
+    if meta is not None and meta.get("seed") != perfkit.BENCH_SEED:
+        print(
+            f"warning: baseline was measured with seed {meta.get('seed')!r}, "
+            f"this tree benches with seed {perfkit.BENCH_SEED} -- workloads differ"
+        )
     if args.fresh:
         with open(args.fresh) as fh:
             fresh = json.load(fh)

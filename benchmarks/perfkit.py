@@ -23,6 +23,11 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.sim import Kernel, Timeout  # noqa: E402
 
+#: One pinned seed for every bench kernel: rates are wall-clock, but
+#: the simulated work must be identical run-to-run (and is stamped
+#: into BENCH_perf.json so a committed baseline names its workload).
+BENCH_SEED = 0
+
 
 def calibrate(spins: int = 2_000_000, repeats: int = 5) -> dict:
     """A fixed pure-Python spin loop: the host's scalar interpreter speed.
@@ -64,7 +69,7 @@ def bench_kernel_dispatch(events: int = 200_000, repeats: int = 3) -> dict:
     """
 
     def work():
-        kernel = Kernel()
+        kernel = Kernel(seed=BENCH_SEED)
         remaining = [events]
 
         def tick(_):
@@ -91,7 +96,7 @@ def bench_kernel_timeout_procs(
     events = procs * steps
 
     def work():
-        kernel = Kernel()
+        kernel = Kernel(seed=BENCH_SEED)
 
         def proc(period):
             for _ in range(steps):
@@ -164,7 +169,7 @@ def bench_eci_link_flits(flits: int = 20_000, repeats: int = 3) -> dict:
             pass
 
     def work():
-        kernel = Kernel()
+        kernel = Kernel(seed=BENCH_SEED)
         transport = EciLinkTransport(
             kernel, params=EciLinkParams(credits_per_vc=8)
         )

@@ -65,6 +65,14 @@ def measure(quick: bool = False, repeats: int | None = None) -> dict:
     return {
         "schema": 1,
         "generated_by": "benchmarks/run_perf.py" + (" --quick" if quick else ""),
+        "meta": {
+            # The workload identity: which seed drove every bench kernel
+            # and which interpreter produced the rates.  A baseline
+            # comparison across documents is only meaningful when these
+            # match (check_perf_regression warns otherwise).
+            "seed": perfkit.BENCH_SEED,
+            "python": platform.python_version(),
+        },
         "host": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),

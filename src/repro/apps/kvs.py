@@ -137,6 +137,47 @@ class HashTableStore:
     def load_factor(self) -> float:
         return self.items / self.n_slots
 
+    def scan(self):
+        """Yield every stored ``(key, value)`` pair in slot order.
+
+        The control-plane full-table walk: re-replication and rejoin
+        handoff iterate a shard's contents without knowing its keys.
+        """
+        for index in range(self.n_slots):
+            state, key, value = self._slot(index)
+            if state == _FULL:
+                yield key, value
+
+    def clear(self) -> None:
+        """Wipe the arena (a rejoining board comes back empty)."""
+        self.arena = bytearray(self.n_slots * SLOT_BYTES)
+        self.items = 0
+
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+    #
+    # The arena is captured byte-exact (slot layout depends on the full
+    # put/delete history through probing and tombstones, so replaying
+    # operations would not reproduce it).
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        return {
+            "n_slots": self.n_slots,
+            "arena": bytes(self.arena),
+            "items": self.items,
+            "stats": dict(self.stats),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state["n_slots"] != self.n_slots:
+            raise KvError(
+                f"snapshot has {state['n_slots']} slots, store has {self.n_slots}"
+            )
+        self.arena = bytearray(state["arena"])
+        self.items = state["items"]
+        self.stats.update(state["stats"])
+
 
 @dataclass(frozen=True)
 class KvsPerformanceParams:

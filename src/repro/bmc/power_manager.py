@@ -360,6 +360,53 @@ class PowerManager:
         self._bring_down(FPGA_RAILS)
         self._bring_down(COMMON_RAILS)
 
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+    #
+    # The control-plane state: board clock, throttle position, the event
+    # log, and each regulator's electrical state.  The bus topology and
+    # solved sequences are wiring, rebuilt from configuration.
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        regulators = {}
+        for rail, regulator in self.regulators.items():
+            regulators[rail] = {
+                "enabled": regulator.enabled,
+                "faulted": regulator.faulted,
+                "short_circuited": regulator.short_circuited,
+                "vout_setpoint": regulator.vout_setpoint,
+                "status": regulator.status,
+                "enable_time_s": regulator._enable_time_s,
+            }
+        return {
+            "clock_s": self.clock.now_s,
+            "throttled": self.throttled,
+            "throttle": self.loads.throttle,
+            "demand_w": dict(self.loads._demand_w),
+            "events": [list(entry) for entry in self.events],
+            "regulators": regulators,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.clock.now_s = float(state["clock_s"])
+        self.throttled = state["throttled"]
+        self.loads.throttle = state["throttle"]
+        self.loads._demand_w = {
+            rail: float(w) for rail, w in state["demand_w"].items()
+        }
+        self.events = [tuple(entry) for entry in state["events"]]
+        for rail, snap in state["regulators"].items():
+            regulator = self.regulators.get(rail)
+            if regulator is None:
+                raise PowerManagerError(f"snapshot names unknown rail {rail!r}")
+            regulator.enabled = snap["enabled"]
+            regulator.faulted = snap["faulted"]
+            regulator.short_circuited = snap["short_circuited"]
+            regulator.vout_setpoint = snap["vout_setpoint"]
+            regulator.status = snap["status"]
+            regulator._enable_time_s = snap["enable_time_s"]
+
     # -- diagnostics -----------------------------------------------------------
 
     def rails_live(self, rails: Sequence[RailRequirement]) -> bool:

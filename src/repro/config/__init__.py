@@ -27,6 +27,7 @@ from .tree import (
     MemoryConfig,
     NetConfig,
     PlatformConfig,
+    SnapConfig,
     preset,
     preset_names,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "MemoryConfig",
     "NetConfig",
     "PlatformConfig",
+    "SnapConfig",
     "SweepPoint",
     "SweepResult",
     "expand_grid",

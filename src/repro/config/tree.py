@@ -46,6 +46,7 @@ from ..interconnect.pcie import PcieParams
 from ..memory.dram import DdrChannelParams, DramConfig
 from ..net.rdma import RdmaPathParams
 from ..net.tcp import FpgaTcpParams, LinuxTcpParams
+from ..snap.config import SnapConfig
 from .schema import (
     ConfigError,
     apply_overrides,
@@ -69,6 +70,7 @@ __all__ = [
     "NetConfig",
     "InterconnectConfig",
     "PlatformConfig",
+    "SnapConfig",
     "preset",
     "preset_names",
 ]
@@ -195,6 +197,8 @@ class PlatformConfig:
     health: HealthConfig = field(default_factory=HealthConfig)
     #: Rack-scale fleet topology; disabled = no rack machinery built.
     fleet: FleetConfig = field(default_factory=FleetConfig)
+    #: Checkpoint/restore & record-replay; disabled = nothing recorded.
+    snap: SnapConfig = field(default_factory=SnapConfig)
 
     # -- round trips -------------------------------------------------------
 

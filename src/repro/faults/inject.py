@@ -173,6 +173,12 @@ class FaultInjector:
                     f"fleet.machine fault names unknown machine {spec.arg!r}; "
                     f"rack has {sorted(rack.machines)}"
                 )
+            if spec.at < rack.kernel.now:
+                # Re-arming against a checkpoint-restored rack: this
+                # fault already fired (its effect is in the restored
+                # health state), so scheduling it again would fail the
+                # victim twice.
+                continue
 
             def kill(_value, s=spec, p=pending):
                 if rack.kill(s.arg, reason=f"fault plan: {s.describe()}"):

@@ -100,6 +100,26 @@ class KvsShardServer:
     def down(self) -> None:
         self.alive = False
 
+    def up(self) -> None:
+        """Bring a dead server back (the rejoin path): frames terminate
+        again.  The store contents are whatever the caller arranged."""
+        self.alive = True
+
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+    #
+    # Requests in service live as pending kernel callbacks, so a server
+    # is only snapshot-safe at quiescence; liveness and the served
+    # counters are the explicit state (the store snapshots separately).
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        return {"alive": self.alive, "stats": dict(self.stats)}
+
+    def restore_state(self, state: dict) -> None:
+        self.alive = state["alive"]
+        self.stats.update(state["stats"])
+
     # -- request path --------------------------------------------------------
 
     def _on_frame(self, frame: Frame) -> None:
@@ -273,6 +293,34 @@ class FleetKvsClient:
         raise FleetKvsError(
             f"delete {key!r} unacked after {self.max_retries + 1} attempts"
         )
+
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+    #
+    # An operation in flight lives in its process coroutine plus the
+    # _waiters map, so a client is only snapshot-safe between ops (all
+    # waiters drained).  txid continuity matters: a restored client must
+    # not reissue transaction ids a server may still answer.
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        if self._waiters:
+            from ..snap.protocol import SnapshotError
+
+            raise SnapshotError(
+                f"client {self.address!r} has {len(self._waiters)} "
+                "requests in flight; snapshot only between operations"
+            )
+        return {
+            "txid": self._txid,
+            "acked": [[key, value] for key, value in sorted(self.acked.items())],
+            "stats": dict(self.stats),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._txid = state["txid"]
+        self.acked = {bytes(k): bytes(v) for k, v in state["acked"]}
+        self.stats.update(state["stats"])
 
     # -- plumbing ------------------------------------------------------------
 

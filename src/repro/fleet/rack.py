@@ -127,6 +127,11 @@ class Rack:
             )
         self.ring = HashRing(names, fleet.vnodes, fleet.replication_factor)
         self.failovers: list[Tuple[float, str, str]] = []
+        #: Optional per-board :class:`repro.snap.MessageTap` instances
+        #: (attached by :func:`repro.snap.attach_taps`); sync_health
+        #: mirrors out-of-band liveness changes into them so a recorded
+        #: board can be replayed in isolation.
+        self.taps: Dict[str, object] = {}
         if self.obs:
             self.obs.gauge("fleet_machines_live").set(len(names))
 
@@ -169,6 +174,9 @@ class Rack:
             if machine.alive or name not in self.ring.machines:
                 continue
             machine.server.down()
+            tap = self.taps.get(name)
+            if tap is not None:
+                tap.control("down")
             if len(self.ring.machines) > 1:
                 self.ring = self.ring.removed(name)
                 detail = "removed from ring"
@@ -185,6 +193,89 @@ class Rack:
         if removed and self.obs:
             self.obs.gauge("fleet_machines_live").set(len(self.live_machines()))
         return removed
+
+    # -- durability repair / rejoin ------------------------------------------
+
+    def re_replicate(self) -> int:
+        """Copy under-replicated keys back up to full placement.
+
+        After a failover the promoted survivor serves its shards with
+        only its own copy -- a second failure would lose them.  This
+        control-plane pass walks every live store (:meth:`HashTableStore
+        .scan`), re-resolves each key against the current ring, and
+        writes the key into any placement target that lacks it.  It is
+        an instantaneous repair (no simulated wire traffic): the
+        modelled cost is the fleet's concern, the *invariant* -- every
+        key held by ``min(rf, live)`` machines -- is this method's.
+
+        Returns the number of copies created.
+        """
+        live = {name for name in self.live_machines() if name in self.ring.machines}
+        copied = 0
+        for name in sorted(live):
+            for key, value in self.machines[name].store.scan():
+                for target in self.ring.place(key):
+                    if target == name or target not in live:
+                        continue
+                    store = self.machines[target].store
+                    if store.get(key) is None:
+                        store.put(key, value)
+                        copied += 1
+        if copied and self.obs:
+            self.obs.counter("fleet_rereplicated_keys_total").inc(copied)
+        return copied
+
+    def rejoin(self, name: str, reason: str = "rejoined") -> bool:
+        """Bring a FAILED board back into the rack.
+
+        The board walks the recovery ladder (FAILED -> RECOVERING ->
+        HEALTHY), comes back with an *empty* store (a rebooted board
+        has no DRAM contents), terminates frames again, and is added
+        back to the ring -- after which :meth:`re_replicate` repopulates
+        every shard the ring now places on it.  Returns False (no-op)
+        when the board is already live.
+        """
+        machine = self._machine(name)
+        if machine.alive:
+            return False
+        machine.health.recovering(reason)
+        machine.store.clear()
+        machine.server.up()
+        machine.health.recover(reason)
+        if name not in self.ring.machines:
+            self.ring = self.ring.extended(name)
+        tap = self.taps.get(name)
+        if tap is not None:
+            tap.control("up")
+        self.failovers.append((self.kernel.now, name, "rejoined ring"))
+        if self.obs:
+            self.obs.counter("fleet_rejoins_total", {"machine": name}).inc()
+            self.obs.gauge("fleet_machines_live").set(len(self.live_machines()))
+        self.re_replicate()
+        return True
+
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+    #
+    # The rack's own state is membership and the failover log; the
+    # machines, links, switch, and kernel snapshot as components (walked
+    # by repro.snap.checkpoint).  The ring is a pure function of its
+    # membership, so capturing the member list is capturing the ring.
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        return {
+            "ring_machines": list(self.ring.machines),
+            "failovers": [list(entry) for entry in self.failovers],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.ring = HashRing(
+            state["ring_machines"],
+            self.fleet.vnodes,
+            self.fleet.replication_factor,
+        )
+        self.failovers = [tuple(entry) for entry in state["failovers"]]
 
     # -- introspection -------------------------------------------------------
 

@@ -133,6 +133,28 @@ class CircuitBreaker:
             self._opened_at = self.clock()
             self._set_state(BreakerState.OPEN)
 
+    # -- checkpoint/restore (repro.snap) -------------------------------------
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_at": self._opened_at,
+            "probes_in_flight": self._probes_in_flight,
+            "probe_successes": self._probe_successes,
+            "transitions": [list(entry) for entry in self.transitions],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.state = BreakerState(state["state"])
+        self.consecutive_failures = state["consecutive_failures"]
+        self._opened_at = state["opened_at"]
+        self._probes_in_flight = state["probes_in_flight"]
+        self._probe_successes = state["probe_successes"]
+        self.transitions = [tuple(entry) for entry in state["transitions"]]
+
     # -- wrapping ------------------------------------------------------------
 
     def guard(self, fn: Callable, *args, **kwargs):

@@ -114,6 +114,25 @@ class HealthStateMachine:
             )
         return True
 
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+    #
+    # Restoring assigns the ladder position and history directly -- no
+    # transition runs, so no counters fire and no edge legality check
+    # applies (the snapshot was taken from a machine that got there
+    # legally).
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        return {
+            "state": self.state.value,
+            "history": [list(entry) for entry in self.history],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.state = HealthState(state["state"])
+        self.history = [tuple(entry) for entry in state["history"]]
+
     def degrade(self, reason: str = "") -> bool:
         """HEALTHY/RECOVERING -> DEGRADED (no-op when already DEGRADED)."""
         return self.to(HealthState.DEGRADED, reason)

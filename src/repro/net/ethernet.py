@@ -168,3 +168,39 @@ class EthernetLink:
         if pending:
             self.kernel.call_at(pending[0][0], self._pump, src)
         handler(frame)
+
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+    #
+    # A link owns its serializer occupancy, its statistics, and (when it
+    # runs a local loss process) its RNG stream.  In-flight deliveries
+    # live in the kernel's event queue, so a quiescent snapshot must see
+    # the per-direction FIFOs empty.
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        in_flight = sum(len(q) for q in self._pending.values())
+        if in_flight:
+            from ..snap.protocol import SnapshotError
+
+            raise SnapshotError(
+                f"link {self.name!r} has {in_flight} frames in flight; "
+                "snapshot only at a quiescent point"
+            )
+        state: dict = {
+            "stats": dict(self.stats),
+            "busy_until": dict(self._busy_until),
+        }
+        if self._rng is not self.kernel.rng:
+            version, internal, gauss_next = self._rng.getstate()
+            state["rng"] = [version, list(internal), gauss_next]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        self.stats.update(state["stats"])
+        self._busy_until = {
+            src: float(t) for src, t in state["busy_until"].items()
+        }
+        if "rng" in state and self._rng is not self.kernel.rng:
+            version, internal, gauss_next = state["rng"]
+            self._rng.setstate((version, tuple(internal), gauss_next))

@@ -188,6 +188,33 @@ class ReliableSender:
             self.breaker.record_success()
         return stats
 
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+    #
+    # A transfer in flight lives in the send() coroutine frame, so a
+    # sender is only snapshot-safe *between* transfers; the window
+    # position and lifetime statistics are the explicit state.
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        if self._ack_event is not None and not self._ack_event.fired:
+            from ..snap.protocol import SnapshotError
+
+            raise SnapshotError(
+                f"sender {self.local!r} has a transfer in flight; "
+                "snapshot only between transfers"
+            )
+        return {
+            "base": self.base,
+            "next_seq": self.next_seq,
+            "stats": dict(self.stats),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.base = state["base"]
+        self.next_seq = state["next_seq"]
+        self.stats.update(state["stats"])
+
 
 def _first_of(kernel: Kernel, event: Event, timeout_ns: float):
     """AnyOf(event, timeout): yields (0, _) on event, (1, _) on timeout."""
@@ -243,3 +270,19 @@ class ReliableReceiver:
     @property
     def data(self) -> bytes:
         return bytes(self.received)
+
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        return {
+            "expected": self.expected,
+            "received": bytes(self.received),
+            "stats": dict(self.stats),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.expected = state["expected"]
+        self.received = bytearray(state["received"])
+        self.stats.update(state["stats"])

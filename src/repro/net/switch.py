@@ -84,6 +84,22 @@ class Switch:
             self._egress_busy[host] = departure + frame.wire_bytes / link.rate
         self.kernel.call_at(departure, lambda _: link.send(frame))
 
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        return {
+            "stats": dict(self.stats),
+            "egress_busy": dict(self._egress_busy),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.stats.update(state["stats"])
+        self._egress_busy = {
+            host: float(t) for host, t in state["egress_busy"].items()
+        }
+
 
 def two_hosts_via_switch(
     kernel: Kernel,

@@ -269,6 +269,82 @@ class MetricsRegistry:
             return
         self.events.append(ObsEvent(self.now, kind, name, key, value))
 
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+    #
+    # The registry's state is every instrument's accumulated series plus
+    # the (optional) event log.  Restores are silent and wholesale: the
+    # instrument table and event list are replaced, so any updates a
+    # component emitted while being *re-constructed* (before restore)
+    # are discarded rather than double-counted.
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        instruments = []
+        for m in self.metrics():
+            entry: dict = {
+                "kind": m.kind,
+                "name": m.name,
+                "labels": [list(pair) for pair in m.labels_key],
+                "help": m.help,
+            }
+            if isinstance(m, Histogram):
+                entry.update(
+                    base=m.base,
+                    count=m.count,
+                    sum=m.sum,
+                    min=m.min,
+                    max=m.max,
+                    buckets=[[bound, count] for bound, count in m.buckets()],
+                )
+            else:
+                entry["value"] = m.value
+            instruments.append(entry)
+        return {
+            "instruments": instruments,
+            "record_events": self.record_events,
+            "max_events": self.max_events,
+            "dropped_events": self.dropped_events,
+            "events": [
+                [e.t, e.kind, e.name, [list(pair) for pair in e.labels], e.value]
+                for e in self.events
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._instruments = {}
+        factories = {
+            "counter": self.counter,
+            "gauge": self.gauge,
+            "histogram": self.histogram,
+        }
+        for entry in state["instruments"]:
+            labels = dict(tuple(pair) for pair in entry["labels"])
+            kind = entry["kind"]
+            if kind == "histogram":
+                metric = self.histogram(
+                    entry["name"], labels, help=entry["help"], base=entry["base"]
+                )
+                metric.count = entry["count"]
+                metric.sum = entry["sum"]
+                metric.min = entry["min"]
+                metric.max = entry["max"]
+                metric._buckets = {
+                    float(bound): count for bound, count in entry["buckets"]
+                }
+            elif kind in factories:
+                metric = factories[kind](entry["name"], labels, help=entry["help"])
+                metric.value = entry["value"]
+            else:
+                raise ObsError(f"unknown instrument kind {kind!r} in snapshot")
+        self.record_events = state["record_events"]
+        self.max_events = state["max_events"]
+        self.dropped_events = state["dropped_events"]
+        self.events = [
+            ObsEvent(t, kind, name, tuple(tuple(pair) for pair in labels), value)
+            for t, kind, name, labels, value in state["events"]
+        ]
+
     def __bool__(self) -> bool:
         return True
 

@@ -117,6 +117,59 @@ class EnzianMachine:
         """Build a machine from a named configuration preset."""
         return cls(preset(name))
 
+    # -- checkpoint/restore (repro.snap) ---------------------------------
+    #
+    # Scoped to the board's *control plane*: power-rail state, the RNG
+    # the supervisor jitters with, and every health state machine and
+    # breaker the supervisor owns.  The data-plane models (SoC, fabric,
+    # ECI, address map) are pure functions of the config tree and carry
+    # no mutable run state worth capturing here.
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        from ..snap.protocol import tagged
+
+        state: dict = {"power": tagged(self.power)}
+        if self.supervisor is not None:
+            version, internal, gauss_next = self.supervisor.rng.getstate()
+            state["supervisor"] = {
+                "rng": [version, list(internal), gauss_next],
+                "subsystems": {
+                    name: tagged(machine)
+                    for name, machine in sorted(self.supervisor.subsystems.items())
+                },
+                "breakers": {
+                    name: tagged(breaker)
+                    for name, breaker in sorted(self.supervisor.breakers.items())
+                },
+            }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        from ..snap.protocol import SnapshotError, restore
+
+        restore(self.power, state["power"])
+        supervisor_state = state.get("supervisor")
+        if supervisor_state is None:
+            return
+        if self.supervisor is None:
+            raise SnapshotError(
+                "snapshot carries supervisor state but health is disabled "
+                "in this machine's config"
+            )
+        version, internal, gauss_next = supervisor_state["rng"]
+        self.supervisor.rng.setstate((version, tuple(internal), gauss_next))
+        for name, tag in supervisor_state["subsystems"].items():
+            restore(self.supervisor.health_of(name), tag)
+        for name, tag in supervisor_state["breakers"].items():
+            breaker = self.supervisor.breakers.get(name)
+            if breaker is None:
+                raise SnapshotError(
+                    f"snapshot carries breaker {name!r} this machine lacks"
+                )
+            restore(breaker, tag)
+
     # -- lifecycle ---------------------------------------------------------
 
     def power_on(self) -> BootTimeline:

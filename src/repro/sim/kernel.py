@@ -533,3 +533,49 @@ class Kernel:
         if process.alive:
             raise SimulationError(f"process {process.name!r} never finished (deadlock?)")
         return process.result
+
+    # -- checkpoint/restore (repro.snap) ------------------------------------
+    #
+    # The kernel is quiescent when its event queue is empty: every
+    # process has either finished or parked its progress in explicit
+    # component state.  Only then is the kernel's own state -- the
+    # clock, the tie-breaking sequence counter, and the RNG stream
+    # position -- a complete description of "where the simulation is".
+
+    SNAP_VERSION = 1
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (0 = quiescent, snapshot-safe)."""
+        return len(self._queue)
+
+    def snapshot_state(self) -> dict:
+        version, internal, gauss_next = self.rng.getstate()
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "seed": self.seed,
+            "rng": [version, list(internal), gauss_next],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if self._queue:
+            raise SimulationError(
+                f"cannot restore onto a kernel with {len(self._queue)} "
+                "pending events"
+            )
+        self.now = float(state["now"])
+        self._seq = int(state["seq"])
+        self.seed = state["seed"]
+        version, internal, gauss_next = state["rng"]
+        self.rng.setstate((version, tuple(internal), gauss_next))
+
+    def reseed(self, seed: int) -> None:
+        """Branch point: replace the RNG stream (checkpoint forking).
+
+        Everything deterministic stays pinned by the restored state;
+        every *stochastic* draw after this point follows the new seed --
+        which is what lets one warm checkpoint fan out into a sweep.
+        """
+        self.seed = seed
+        self.rng = random.Random(seed)

@@ -1,0 +1,43 @@
+"""The ``snap`` section of the platform configuration tree.
+
+Knobs for checkpoint/restore and record-replay.  Like ``faults``,
+``health``, and ``fleet``, the section is *off by default* and
+zero-cost when off: nothing attaches taps or takes checkpoints unless
+a harness asks, so every existing scenario is bit-identical to a build
+without this package.
+
+This module deliberately imports nothing from :mod:`repro.config` (the
+tree imports *us*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SnapConfig:
+    """Checkpoint/restore and record-replay knobs."""
+
+    #: Arm snapshot machinery at all?  False = the section is inert
+    #: (harnesses consult this before attaching taps or checkpointing).
+    enabled: bool = False
+    #: Attach per-board :class:`repro.snap.MessageTap` recorders to rack
+    #: boundaries so any single board can be replayed in isolation.
+    record_taps: bool = False
+    #: Hard cap on records per tap; recording past it raises rather
+    #: than silently truncating a trace a replay would then diverge on.
+    max_trace_records: int = 1_000_000
+    #: Epochs of the deterministic soak workload between quiescent
+    #: points (checkpoint opportunities) in the stock harnesses.
+    soak_ops_per_epoch: int = 32
+
+    def __post_init__(self):
+        if self.max_trace_records < 1:
+            raise ValueError(
+                f"max_trace_records must be >= 1, got {self.max_trace_records}"
+            )
+        if self.soak_ops_per_epoch < 1:
+            raise ValueError(
+                f"soak_ops_per_epoch must be >= 1, got {self.soak_ops_per_epoch}"
+            )

@@ -1,0 +1,109 @@
+"""An epoch-structured fleet soak workload with checkpoint points.
+
+Checkpoints need *quiescent points* -- moments where the event queue is
+drained and every process has parked its progress in explicit state.
+:class:`FleetSoak` structures a long KVS workload to manufacture them:
+each epoch draws a batch of operations from the kernel's seeded RNG,
+runs them to completion, and drains the queue, so the boundary between
+any two epochs is checkpointable.
+
+Because every stochastic choice (client, op mix, keys, values) comes
+from ``kernel.rng``, a straight run and a checkpoint-restored run make
+identical draws from the restored RNG position onward -- the
+bit-identity property the snap CI leg diffs -- while a *fork* with a
+fresh seed diverges from the branch point exactly as a sweep wants.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..fleet.kvs import FleetKvsError
+
+
+class FleetSoak:
+    """Deterministic put/get/delete pressure against a rack, in epochs."""
+
+    def __init__(
+        self,
+        rack,
+        clients: Sequence,
+        ops_per_epoch: int = 32,
+        key_space: int = 48,
+        value_bytes: int = 24,
+    ):
+        if not clients:
+            raise ValueError("soak needs at least one client")
+        if ops_per_epoch < 1:
+            raise ValueError("ops_per_epoch must be >= 1")
+        self.rack = rack
+        self.clients: List = list(clients)
+        self.ops_per_epoch = ops_per_epoch
+        self.key_space = key_space
+        self.value_bytes = value_bytes
+        self.epoch = 0
+        self.ops_done = 0
+        self.errors = 0
+
+    # -- the workload ------------------------------------------------------
+
+    def _draw_ops(self):
+        """One epoch's operation batch, drawn from the kernel's RNG."""
+        rng = self.rack.kernel.rng
+        ops = []
+        for _ in range(self.ops_per_epoch):
+            client = self.clients[rng.randrange(len(self.clients))]
+            key = f"soak:{rng.randrange(self.key_space):04d}".encode()
+            roll = rng.random()
+            if roll < 0.65:
+                value = bytes(
+                    rng.getrandbits(8) for _ in range(self.value_bytes)
+                )
+                ops.append((client, "put", key, value))
+            elif roll < 0.92:
+                ops.append((client, "get", key, b""))
+            else:
+                ops.append((client, "delete", key, b""))
+        return ops
+
+    def run_epoch(self) -> None:
+        """Run one epoch to quiescence (the queue is drained after)."""
+        ops = self._draw_ops()
+
+        def workload():
+            for client, op, key, value in ops:
+                try:
+                    if op == "put":
+                        yield from client.put(key, value)
+                    elif op == "get":
+                        yield from client.get(key)
+                    else:
+                        yield from client.delete(key)
+                except FleetKvsError:
+                    # No live replica set (mid-failover, rf exhausted):
+                    # degraded, not fatal -- the soak carries on.
+                    self.errors += 1
+
+        self.rack.kernel.run_process(workload(), name=f"soak-epoch-{self.epoch}")
+        self.epoch += 1
+        self.ops_done += len(ops)
+
+    def run(self, epochs: int) -> None:
+        for _ in range(epochs):
+            self.run_epoch()
+
+    # -- checkpoint/restore (repro.snap) -----------------------------------
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "ops_done": self.ops_done,
+            "errors": self.errors,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.epoch = state["epoch"]
+        self.ops_done = state["ops_done"]
+        self.errors = state["errors"]

@@ -1,0 +1,124 @@
+"""Machine rejoin: a killed board re-enters the ring and serves again.
+
+ROADMAP item-1 headroom, second half: :meth:`Rack.rejoin` walks the
+recovery ladder (FAILED -> RECOVERING -> HEALTHY), brings the board
+back empty, extends the ring with it (via :meth:`HashRing.extended`),
+and re-replicates so the rejoined board holds every shard placement
+now assigns it.
+
+Two invariants are pinned: *placement* -- removing then re-adding a
+machine yields exactly the original ring, because the ring is a pure
+function of its membership -- and *durability* -- no acknowledged write
+is lost across the kill/rejoin cycle.
+"""
+
+import pytest
+
+from repro.config import FleetConfig
+from repro.fleet import Rack
+from repro.fleet.placement import HashRing
+from repro.obs import MetricsRegistry
+
+pytestmark = pytest.mark.fleet
+
+FLEET = FleetConfig(enabled=True, machines=4, replication_factor=2, seed=606)
+
+
+def _loaded_rack(n_keys=24):
+    obs = MetricsRegistry()
+    rack = Rack(FLEET, obs=obs)
+    client = rack.client()
+    keys = [f"rj-{i:03d}".encode() for i in range(n_keys)]
+
+    def workload():
+        for i, key in enumerate(keys):
+            yield from client.put(key, f"value-{i}".encode())
+
+    rack.kernel.run_process(workload())
+    return rack, client, keys
+
+
+def test_ring_placement_is_invariant_under_remove_then_extend():
+    ring = HashRing([f"m{i}" for i in range(6)], vnodes=32, replication_factor=2)
+    round_trip = ring.removed("m3").extended("m3")
+    keys = [f"key-{i}".encode() for i in range(200)]
+    assert [ring.place(k) for k in keys] == [round_trip.place(k) for k in keys]
+
+
+def test_rejoin_restores_ring_and_health():
+    rack, client, keys = _loaded_rack()
+    victim = rack.ring.primary(keys[0])
+    ring_before = rack.ring
+    rack.kill(victim)
+    assert victim not in rack.ring.machines
+
+    assert rack.rejoin(victim)
+    assert victim in rack.ring.machines
+    assert rack.health_states()[victim] == "healthy"
+    assert rack.machines[victim].server.alive
+    # Placement invariant: the rejoined ring places exactly as before.
+    assert [rack.ring.place(k) for k in keys] == [
+        ring_before.place(k) for k in keys
+    ]
+    # The recovery walked the ladder, not a teleport.
+    transitions = [
+        (frm, to) for _, frm, to, _ in rack.machines[victim].health.history
+    ]
+    assert ("failed", "recovering") in transitions
+    assert ("recovering", "healthy") in transitions
+
+
+def test_rejoin_is_noop_on_live_machine():
+    rack, client, keys = _loaded_rack()
+    assert not rack.rejoin("enzian0")
+
+
+def test_no_acked_write_lost_across_kill_and_rejoin():
+    rack, client, keys = _loaded_rack()
+    victim = rack.ring.primary(keys[0])
+    rack.kill(victim)
+    rack.re_replicate()
+    rack.rejoin(victim)
+
+    reads = {}
+
+    def verify():
+        for key in sorted(client.acked):
+            reads[key] = yield from client.get(key)
+
+    rack.kernel.run_process(verify())
+    lost = [k for k, v in client.acked.items() if reads.get(k) != v]
+    assert not lost, f"acked writes lost across kill/rejoin: {lost}"
+
+
+def test_rejoined_board_holds_its_placements():
+    rack, client, keys = _loaded_rack()
+    victim = rack.ring.primary(keys[0])
+    rack.kill(victim)
+    rack.re_replicate()
+    rack.rejoin(victim)
+    # Every acked key the ring now places on the rejoined board is
+    # actually stored there (rejoin ran its own re_replicate pass).
+    store = rack.machines[victim].store
+    for key, value in client.acked.items():
+        if victim in rack.ring.place(key):
+            assert store.get(key) == value
+
+
+def test_rejoin_durability_after_subsequent_failure():
+    """Kill A, repair, rejoin A, kill B: still nothing lost."""
+    rack, client, keys = _loaded_rack()
+    first = rack.ring.primary(keys[0])
+    rack.kill(first)
+    rack.re_replicate()
+    rack.rejoin(first)
+    second = rack.ring.primary(keys[1])
+    rack.kill(second)
+    rack.re_replicate()
+
+    def verify():
+        for key, value in sorted(client.acked.items()):
+            got = yield from client.get(key)
+            assert got == value, f"lost {key!r} after rejoin+kill"
+
+    rack.kernel.run_process(verify())

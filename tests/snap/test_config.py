@@ -1,0 +1,34 @@
+"""The ``snap`` config section: defaults, validation, tree round-trip."""
+
+import pytest
+
+from repro.config import PlatformConfig, SnapConfig, preset
+
+
+def test_defaults_are_inert():
+    snap = SnapConfig()
+    assert not snap.enabled
+    assert not snap.record_taps
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="max_trace_records"):
+        SnapConfig(max_trace_records=0)
+    with pytest.raises(ValueError, match="soak_ops_per_epoch"):
+        SnapConfig(soak_ops_per_epoch=0)
+
+
+def test_tree_round_trip():
+    cfg = preset("rack8").with_overrides(
+        {"snap.enabled": True, "snap.record_taps": True}
+    )
+    doc = cfg.to_dict()
+    assert doc["snap"]["enabled"] is True
+    assert PlatformConfig.from_dict(doc) == cfg
+
+
+def test_every_preset_carries_the_section():
+    from repro.config import preset_names
+
+    for name in preset_names():
+        assert preset(name).snap == SnapConfig()
