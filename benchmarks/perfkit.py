@@ -224,12 +224,54 @@ def bench_fig7_tcp_wall(repeats: int = 5) -> dict:
     return out
 
 
+def bench_fleet_quorum_put(ops: int = 600, repeats: int = 3) -> dict:
+    """Quorum-path KVS throughput on the ``rack_quorum`` fleet.
+
+    Half puts, half gets through the primary-coordinated quorum write
+    path (rf=3, w=2, r=2): version stamping, replicate fan-out, sticky
+    quorum fan-in, and the deferred hint-settle callback all run per
+    op.  Besides the wall-clock rate, reports the *simulated* put
+    latency series (p50/p99 in ns) -- deterministic under the pinned
+    seed, so a drift there means the protocol itself changed.
+    """
+    from repro.config import preset
+    from repro.fleet import Rack
+
+    fleet = preset("rack_quorum").fleet
+    sim: dict = {}
+
+    def work():
+        rack = Rack(fleet)
+        client = rack.client()
+        latencies = []
+
+        def workload():
+            for i in range(ops // 2):
+                t0 = rack.kernel.now
+                yield from client.put(f"qb-{i % 32:03d}".encode(), b"x" * 64)
+                latencies.append(rack.kernel.now - t0)
+            for i in range(ops - ops // 2):
+                yield from client.get(f"qb-{i % 32:03d}".encode())
+
+        rack.kernel.run_process(workload())
+        latencies.sort()
+        sim["put_p50_ns"] = latencies[len(latencies) // 2]
+        sim["put_p99_ns"] = latencies[min(len(latencies) - 1, (len(latencies) * 99) // 100)]
+        sim["t_final_ns"] = rack.kernel.now
+
+    out = _best_rate(work, ops, repeats)
+    out["unit"] = "kvs-ops/s"
+    out["sim"] = sim
+    return out
+
+
 BENCHES = {
     "kernel_dispatch": bench_kernel_dispatch,
     "kernel_timeout_procs": bench_kernel_timeout_procs,
     "eci_serialization": bench_eci_serialization,
     "eci_link_flits": bench_eci_link_flits,
     "fig7_tcp_wall": bench_fig7_tcp_wall,
+    "fleet_quorum_put": bench_fleet_quorum_put,
 }
 
 

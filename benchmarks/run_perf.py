@@ -45,6 +45,7 @@ QUICK_SIZES = {
     "eci_serialization": {"messages": 2_000},
     "eci_link_flits": {"flits": 2_000},
     "fig7_tcp_wall": {"repeats": 2},
+    "fleet_quorum_put": {"ops": 100, "repeats": 2},
 }
 
 

@@ -25,6 +25,7 @@ SMOKE_SIZES = {
     "eci_serialization": {"messages": 500, "repeats": 1},
     "eci_link_flits": {"flits": 500, "repeats": 1},
     "fig7_tcp_wall": {"repeats": 1},
+    "fleet_quorum_put": {"ops": 40, "repeats": 1},
 }
 
 
@@ -39,6 +40,14 @@ def test_benches_run_and_report_sane_rates():
         assert out["best_s"] > 0, name
         assert out["rate"] > 0, name
         assert out["unit"], name
+
+
+def test_fleet_quorum_bench_sim_series_is_deterministic():
+    # The wall-clock rate is noisy; the simulated latency series is not.
+    a = perfkit.bench_fleet_quorum_put(ops=40, repeats=1)["sim"]
+    b = perfkit.bench_fleet_quorum_put(ops=40, repeats=1)["sim"]
+    assert a == b
+    assert a["put_p50_ns"] > 0
 
 
 def test_calibration_reports_sane_rate():

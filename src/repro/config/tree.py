@@ -313,11 +313,29 @@ def _rack8() -> PlatformConfig:
     )
 
 
+def _rack_quorum() -> PlatformConfig:
+    """A 6-board rack running the partition-tolerant design point:
+    replication factor 3 with majority write/read quorums (w=2, r=2),
+    so a minority partition leaves the majority side both available
+    and linearizable (hinted handoff covers the cut-off replica)."""
+    return PlatformConfig(
+        preset="rack_quorum",
+        fleet=FleetConfig(
+            enabled=True,
+            machines=6,
+            replication_factor=3,
+            write_quorum=2,
+            read_quorum=2,
+        ),
+    )
+
+
 _PRESETS: Dict[str, Callable[[], PlatformConfig]] = {
     "full": _full,
     "bringup_4lane": _bringup_4lane,
     "degraded": _degraded,
     "rack8": _rack8,
+    "rack_quorum": _rack_quorum,
 }
 
 

@@ -17,6 +17,7 @@ from .plan import (
     FaultRecoveryConfig,
     FaultSpec,
     FaultsConfig,
+    parse_partition_groups,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "FaultSpec",
     "FaultsConfig",
     "SITE_KINDS",
+    "parse_partition_groups",
 ]

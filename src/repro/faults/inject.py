@@ -18,6 +18,10 @@ Injection surfaces
 * ``fleet.machine`` -- :meth:`arm_fleet` schedules whole-machine kills
   against a :class:`repro.fleet.rack.Rack`, driving its health-machine
   failover path.
+* ``fleet.partition`` -- also :meth:`arm_fleet`: splits the rack
+  switch's ports into groups for ``[at, at+duration)`` (symmetric or
+  one-way), with the heal evaluated lazily so a mid-partition rack
+  stays checkpointable.
 * ``bmc.rail``, ``telemetry``, ``boot.stage`` -- :meth:`arm_control_plane`
   installs hooks on the power manager (fires at each rail's settle
   point), the telemetry service (sensor glitches and after-sequencing
@@ -186,6 +190,46 @@ class FaultInjector:
                 p.remaining = 0
 
             rack.kernel.call_at(spec.at, kill)
+        self._arm_partitions(rack)
+
+    def _arm_partitions(self, rack) -> None:
+        """Schedule ``fleet.partition`` windows against the rack.
+
+        The split itself is one scheduled event (the rack bumps its
+        quorum epoch and fences the controller side); the *heal* is not
+        an event at all -- the switch evaluates the window lazily
+        against the kernel clock and the rack drains hinted handoffs at
+        its first control-plane touch past ``at + duration``.  A spec
+        already past ``at`` on a checkpoint-restored rack is skipped:
+        the partition state (active or healed) travelled with the
+        switch and rack snapshots.
+        """
+        from .plan import parse_partition_groups
+
+        for pending in self._site_pending("fleet.partition"):
+            spec = pending.spec
+            groups = parse_partition_groups(spec.arg, spec.kind)
+            known = set(rack.machines) | set(rack.switch.ports)
+            for group in groups:
+                unknown = [m for m in group if m not in known]
+                if unknown:
+                    raise ValueError(
+                        f"fleet.partition fault names unknown hosts {unknown}; "
+                        f"rack has {sorted(known)} (attach clients before arming)"
+                    )
+            if spec.at < rack.kernel.now:
+                # Restored rack: the split (and possibly the heal)
+                # already happened; its state came with the snapshot.
+                continue
+
+            def split(_value, s=spec, p=pending, g=groups):
+                rack.start_partition(
+                    g, oneway=(s.kind == "oneway"), until_ns=s.at + s.duration
+                )
+                self.record(rack.kernel.now, s.site, s.kind, s.arg)
+                p.remaining = 0
+
+            rack.kernel.call_at(spec.at, split)
 
     # -- control-plane sites -------------------------------------------------
 

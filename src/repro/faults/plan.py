@@ -28,6 +28,8 @@ telemetry     glitch                                 arg: domain label;
                                                      value: amps multiplier
 boot.stage    hang, fail                             arg: stage name
 fleet.machine kill                                   arg: machine name
+fleet.partition split, oneway                        arg: port groups; window
+                                                     [at, at+duration)
 ============  =====================================  ==========================
 
 ``degraded_lane`` models marginal lanes: a *persistent* stochastic CRC
@@ -36,6 +38,14 @@ goes away when the health layer renegotiates the link down (dropping
 the marginal lanes) or the run ends.  ``brownout`` trips VIN_UV, the
 one rail fault the power degradation policy may absorb into throttled
 operation instead of a shutdown.
+
+``fleet.partition`` splits a rack switch's ports into named groups for
+the window ``[at, at + duration)``.  ``arg`` lists the groups:
+``"enzian0,enzian1|enzian2,enzian3"`` (a symmetric ``split``: all
+cross-group frames dropped both ways) or ``"enzian0,enzian1>enzian2"``
+(a ``oneway`` failure: only left-to-right frames dropped).  Hosts not
+named in any group -- late-attached clients, typically -- ride with the
+first group, which is by convention the majority/controller side.
 """
 
 from __future__ import annotations
@@ -51,7 +61,43 @@ SITE_KINDS: Dict[str, FrozenSet[str]] = {
     "telemetry": frozenset({"glitch"}),
     "boot.stage": frozenset({"hang", "fail"}),
     "fleet.machine": frozenset({"kill"}),
+    "fleet.partition": frozenset({"split", "oneway"}),
 }
+
+
+def parse_partition_groups(arg: str, kind: str) -> Tuple[Tuple[str, ...], ...]:
+    """Parse a ``fleet.partition`` group spec into host-name groups.
+
+    ``split`` uses ``|`` between groups (two or more); ``oneway`` uses a
+    single ``>`` (exactly two: frames left -> right are dropped).
+    Group members are comma-separated, must be non-empty, and may not
+    appear in more than one group.
+    """
+    separator = ">" if kind == "oneway" else "|"
+    raw_groups = arg.split(separator)
+    if kind == "oneway" and len(raw_groups) != 2:
+        raise ValueError(
+            f"oneway partition arg needs exactly one '>' separator, got {arg!r}"
+        )
+    if len(raw_groups) < 2:
+        raise ValueError(
+            f"partition arg needs at least two '{separator}'-separated groups, "
+            f"got {arg!r}"
+        )
+    groups = []
+    seen: set = set()
+    for raw in raw_groups:
+        members = tuple(sorted({m.strip() for m in raw.split(",") if m.strip()}))
+        if not members:
+            raise ValueError(f"partition arg has an empty group: {arg!r}")
+        overlap = seen.intersection(members)
+        if overlap:
+            raise ValueError(
+                f"partition arg names {sorted(overlap)} in more than one group: {arg!r}"
+            )
+        seen.update(members)
+        groups.append(members)
+    return tuple(groups)
 
 #: Sites whose ``at`` is measured on the board clock (seconds); the
 #: rest use simulation time (nanoseconds).
@@ -103,6 +149,17 @@ class FaultSpec:
             raise ValueError("boot.stage faults need arg=<stage name>")
         if self.site == "fleet.machine" and not self.arg:
             raise ValueError("fleet.machine faults need arg=<machine name>")
+        if self.site == "fleet.partition":
+            if not self.arg:
+                raise ValueError(
+                    "fleet.partition faults need arg=<group spec> "
+                    "(e.g. 'enzian0,enzian1|enzian2')"
+                )
+            if self.duration <= 0:
+                raise ValueError(
+                    "fleet.partition faults need duration > 0 (the heal time)"
+                )
+            parse_partition_groups(self.arg, self.kind)  # syntax check
         if self.kind == "lane_drop" and not self.value >= 1:
             raise ValueError("lane_drop needs value=<lanes remaining> >= 1")
         if self.kind in ("crc_storm", "degraded_lane", "drop", "duplicate", "reorder"):

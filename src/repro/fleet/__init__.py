@@ -9,11 +9,20 @@ store with configurable replication, timeout-driven failover, and
 rack-level latency rollups.
 """
 
+from .audit import (
+    AuditError,
+    HistoryOp,
+    HistoryRecorder,
+    assert_linearizable,
+    check_history,
+)
 from .config import FleetConfig
+from .errors import FleetError
 from .kvs import (
     FleetKvsClient,
     FleetKvsError,
     KvsRequest,
+    KvsRequestAborted,
     KvsResponse,
     KvsShardServer,
 )
@@ -22,12 +31,17 @@ from .rack import Rack, RackError, RackMachine
 from .rollup import FleetRollup, MergedSeries, merge_histograms
 
 __all__ = [
+    "AuditError",
     "FleetConfig",
+    "FleetError",
     "FleetKvsClient",
     "FleetKvsError",
     "FleetRollup",
     "HashRing",
+    "HistoryOp",
+    "HistoryRecorder",
     "KvsRequest",
+    "KvsRequestAborted",
     "KvsResponse",
     "KvsShardServer",
     "MergedSeries",
@@ -35,6 +49,8 @@ __all__ = [
     "Rack",
     "RackError",
     "RackMachine",
+    "assert_linearizable",
+    "check_history",
     "key_hash",
     "merge_histograms",
     "moved_keys",

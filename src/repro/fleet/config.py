@@ -35,6 +35,24 @@ class FleetConfig:
     #: once every replica has applied it, so a single machine failure
     #: never loses an acknowledged write when this is >= 2.
     replication_factor: int = 1
+    #: Write quorum: acks required before a put/delete is acknowledged.
+    #: 0 (the default) keeps the historical all-replica semantics
+    #: bit-identical; a positive value must be a strict majority of
+    #: ``replication_factor`` (so two disjoint write quorums cannot
+    #: both commit the same key under a partition).
+    write_quorum: int = 0
+    #: Read quorum: replicas consulted per get, with the highest
+    #: ``(epoch, seq)`` version winning and stale responders
+    #: read-repaired.  0 (the default) keeps the historical
+    #: primary-only read bit-identical.  Required (with
+    #: ``write_quorum + read_quorum > replication_factor``) whenever
+    #: ``write_quorum`` is set, so reads always intersect writes.
+    read_quorum: int = 0
+    #: Queue a hinted handoff on an acked replica for every placement
+    #: target that missed a quorum write, drained when the partition
+    #: heals.  Inert while ``write_quorum`` is 0 (an all-replica ack
+    #: never has a missing target).
+    hinted_handoff: bool = True
     #: Virtual nodes per machine on the consistent-hash ring.  More
     #: vnodes = smoother placement, slower ring construction.
     vnodes: int = 64
@@ -70,6 +88,34 @@ class FleetConfig:
                 f"replication_factor must be in 1..{self.machines} (machines), "
                 f"got {self.replication_factor}"
             )
+        if not 0 <= self.write_quorum <= self.replication_factor:
+            raise ValueError(
+                f"write_quorum must be in 0..{self.replication_factor} "
+                f"(replication_factor), got {self.write_quorum}"
+            )
+        if not 0 <= self.read_quorum <= self.replication_factor:
+            raise ValueError(
+                f"read_quorum must be in 0..{self.replication_factor} "
+                f"(replication_factor), got {self.read_quorum}"
+            )
+        if self.write_quorum:
+            if 2 * self.write_quorum <= self.replication_factor:
+                raise ValueError(
+                    f"write_quorum {self.write_quorum} is not a majority of "
+                    f"replication_factor {self.replication_factor}; two "
+                    "disjoint write quorums could both commit under a partition"
+                )
+            if not self.read_quorum:
+                raise ValueError(
+                    "write_quorum without read_quorum would let primary-only "
+                    "reads miss quorum-committed writes; set read_quorum too"
+                )
+            if self.write_quorum + self.read_quorum <= self.replication_factor:
+                raise ValueError(
+                    f"write_quorum {self.write_quorum} + read_quorum "
+                    f"{self.read_quorum} must exceed replication_factor "
+                    f"{self.replication_factor} so reads intersect writes"
+                )
         if self.vnodes < 1:
             raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
         if not self.machine_preset:

@@ -5,9 +5,33 @@ single-board, FPGA-terminated KV-Direct store -- across the rack: each
 machine runs a :class:`KvsShardServer` that terminates request frames
 on its switch port and executes operations against its local store
 after the pipeline's service time.  A :class:`FleetKvsClient` places
-keys with the rack's consistent-hash ring and fans every write out to
-the primary *and* all replicas, acking only when every copy responded:
-an acknowledged write therefore survives any single machine failure.
+keys with the rack's consistent-hash ring and replicates every write;
+an acknowledged write survives any single machine failure.
+
+Two write/read disciplines share the client, selected by
+:class:`repro.fleet.config.FleetConfig`:
+
+* **all-replica** (``write_quorum = 0``, the historical default): the
+  client fans a put to the primary *and* every replica and acks only
+  when all of them responded; gets hit the primary alone.  Bit-
+  identical to the pre-quorum implementation.
+* **quorum** (``write_quorum = w > 0``): the client sends one put to
+  the key's primary, which stamps a per-key ``(epoch, seq)`` version,
+  applies locally, forwards ``replicate`` copies to the replicas, and
+  every participant acks *directly to the client*; the put commits at
+  ``w`` acks.  Gets fan out to all placement targets, commit at
+  ``read_quorum`` responses, return the highest version, and
+  *read-repair* every stale or silent target.  Placement targets that
+  missed a committed write get a *hinted handoff* queued on an acked
+  replica, drained into them when the partition heals.
+
+Quorum epochs fence stale participants: the rack bumps ``ring_epoch``
+on every membership change and at each partition's controller side,
+servers adopt it, and a server always rejects a request from a *newer*
+epoch than its own (``stale_epoch``) -- so a fenced-out minority server
+can never acknowledge a write the majority won't see.  In quorum mode
+the guard is strict for writes: put/delete/replicate require exact
+epoch equality.
 
 Failover is timeout-driven on the client: a request that times out
 re-resolves placement against the (possibly shrunk) ring and retries,
@@ -23,30 +47,66 @@ rack-level percentiles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..apps.kvs import HashTableStore
 from ..net.ethernet import EthernetLink, Frame
 from ..sim import AllOf, AnyOf, Event, Kernel, Timeout
+from .errors import FleetError
 
 #: Modeled wire overhead of a KVS request/response header (op, txid,
-#: lengths, checksum) -- the KV-Direct UDP-style framing.
+#: epoch, version, lengths, checksum) -- the KV-Direct UDP-style framing.
 REQUEST_HEADER_BYTES = 24
 
+#: The null per-key version: "never written".
+NO_VERSION: Tuple[int, int] = (0, 0)
 
-class FleetKvsError(RuntimeError):
+
+class FleetKvsError(FleetError):
     """A fleet KVS request exhausted its retries (no live replica set)."""
+
+
+class KvsRequestAborted(FleetKvsError):
+    """A request was in service when its server died.
+
+    These are *recorded*, not raised: :meth:`KvsShardServer.down`
+    appends one per aborted request to :attr:`KvsShardServer.aborted`
+    so tests and post-mortems can see exactly which transactions were
+    dropped on the floor (the client sees only its timeout).
+    """
+
+    def __init__(self, machine: str, op: str, txid: int, reply_to: str):
+        super().__init__(
+            f"server {machine!r} died with {op} tx{txid} "
+            f"(from {reply_to!r}) in service"
+        )
+        self.machine = machine
+        self.op = op
+        self.txid = txid
+        self.reply_to = reply_to
 
 
 @dataclass(frozen=True)
 class KvsRequest:
-    """One operation in flight from the client to a shard server."""
+    """One operation in flight from the client to a shard server.
 
-    op: str            # "put" | "get" | "delete"
+    ``epoch`` is the sender's quorum epoch (0 until it learns one);
+    ``version``/``replicas``/``hint_for``/``tombstone`` ride only on
+    the quorum-path ops (``replicate``, ``hint``, ``repair``) and stay
+    at their defaults -- contributing nothing to ``wire_bytes`` -- on
+    the classic put/get/delete path.
+    """
+
+    op: str            # "put" | "get" | "delete" | "replicate" | "hint" | "repair"
     key: bytes
     value: bytes
     txid: int
     reply_to: str      # the client's switch address ("client0#kvs")
+    epoch: int = 0
+    version: Tuple[int, int] = NO_VERSION
+    replicas: Tuple[str, ...] = ()
+    hint_for: str = ""
+    tombstone: bool = False
 
     @property
     def wire_bytes(self) -> int:
@@ -55,12 +115,21 @@ class KvsRequest:
 
 @dataclass(frozen=True)
 class KvsResponse:
-    """A shard server's answer, carrying the serving machine's name."""
+    """A shard server's answer, carrying the serving machine's name.
+
+    ``epoch`` is the server's quorum epoch (clients adopt the max they
+    see); ``version`` is the per-key ``(epoch, seq)`` stamp of the
+    value read or written; ``error`` names the rejection reason
+    (``"stale_epoch"``) when ``ok`` is False for protocol reasons.
+    """
 
     txid: int
     ok: bool
     value: Optional[bytes]
     machine: str
+    epoch: int = 0
+    version: Tuple[int, int] = NO_VERSION
+    error: str = ""
 
     @property
     def wire_bytes(self) -> int:
@@ -72,7 +141,10 @@ class KvsShardServer:
 
     A dead server (:meth:`down`) models a NIC gone dark: frames still
     burn wire time but are black-holed, which is what drives the
-    client's timeout-based failover.
+    client's timeout-based failover.  Requests already *in service*
+    when the server dies are failed with a typed
+    :class:`KvsRequestAborted` (recorded in :attr:`aborted`), never
+    silently dropped.
     """
 
     def __init__(
@@ -83,6 +155,7 @@ class KvsShardServer:
         store: HashTableStore,
         service_ns: float,
         obs=None,
+        strict_epoch: bool = False,
     ):
         from ..obs import NULL_REGISTRY
 
@@ -92,33 +165,141 @@ class KvsShardServer:
         self.store = store
         self.service_ns = service_ns
         self.obs = obs if obs is not None else NULL_REGISTRY
+        #: Reject writes whose epoch is not exactly ours (quorum mode).
+        self.strict_epoch = strict_epoch
         self.address = f"{name}#kvs"
         self.alive = True
-        self.stats = {"served": 0, "dropped_dead": 0, "errors": 0}
+        #: This server's quorum epoch (monotone; rack fencing raises it).
+        self.epoch = 0
+        #: Per-key (epoch, seq) version stamps; absent = never written.
+        self.versions: Dict[bytes, Tuple[int, int]] = {}
+        #: Hinted handoffs queued here for unreachable placement targets:
+        #: target machine -> [(key, value, version, tombstone), ...].
+        self.hints: Dict[str, List[Tuple[bytes, bytes, Tuple[int, int], bool]]] = {}
+        self.aborted: List[KvsRequestAborted] = []
+        self._service_seq = 0
+        self._in_service: Dict[int, KvsRequest] = {}
+        self.stats = {
+            "served": 0,
+            "dropped_dead": 0,
+            "errors": 0,
+            "aborted_in_flight": 0,
+            "replicated": 0,
+            "hints_queued": 0,
+            "repairs_applied": 0,
+            "stale_epoch_rejects": 0,
+        }
         link.attach(self.address, self._on_frame)
 
     def down(self) -> None:
+        """Die, failing every request currently in service with a typed
+        :class:`KvsRequestAborted` instead of silently dropping it."""
         self.alive = False
+        for seq in sorted(self._in_service):
+            request = self._in_service[seq]
+            self.aborted.append(
+                KvsRequestAborted(
+                    self.name, request.op, request.txid, request.reply_to
+                )
+            )
+            self.stats["aborted_in_flight"] += 1
+        self._in_service.clear()
 
     def up(self) -> None:
         """Bring a dead server back (the rejoin path): frames terminate
         again.  The store contents are whatever the caller arranged."""
         self.alive = True
 
+    # -- quorum state --------------------------------------------------------
+
+    def set_epoch(self, epoch: int) -> None:
+        """Adopt a (never-lower) quorum epoch -- the rack's fencing call."""
+        self.epoch = max(self.epoch, epoch)
+
+    def apply_hint(
+        self,
+        key: bytes,
+        value: bytes,
+        version: Tuple[int, int],
+        tombstone: bool,
+    ) -> bool:
+        """Apply a versioned write iff it is newer than our copy."""
+        if tuple(version) <= self.versions.get(bytes(key), NO_VERSION):
+            return False
+        self.versions[bytes(key)] = tuple(version)
+        if tombstone:
+            self.store.delete(key)
+        else:
+            self.store.put(key, value)
+        return True
+
+    def take_hints(self) -> Dict[str, List[Tuple[bytes, bytes, Tuple[int, int], bool]]]:
+        """Drain and return every queued hinted handoff."""
+        hints, self.hints = self.hints, {}
+        return hints
+
     # -- checkpoint/restore (repro.snap) ---------------------------------
     #
     # Requests in service live as pending kernel callbacks, so a server
-    # is only snapshot-safe at quiescence; liveness and the served
-    # counters are the explicit state (the store snapshots separately).
+    # is only snapshot-safe at quiescence; liveness, the quorum state
+    # (epoch, versions, hints), and the served counters are the explicit
+    # state (the store snapshots separately).
 
-    SNAP_VERSION = 1
+    SNAP_VERSION = 2
 
     def snapshot_state(self) -> dict:
-        return {"alive": self.alive, "stats": dict(self.stats)}
+        if self._in_service:
+            from ..snap.protocol import SnapshotError
+
+            raise SnapshotError(
+                f"server {self.name!r} has {len(self._in_service)} "
+                "requests in service; snapshot only at quiescence"
+            )
+        return {
+            "alive": self.alive,
+            "stats": dict(self.stats),
+            "epoch": self.epoch,
+            "versions": [
+                [key, list(version)]
+                for key, version in sorted(self.versions.items())
+            ],
+            "hints": [
+                [target, [[k, v, list(ver), tomb] for k, v, ver, tomb in entries]]
+                for target, entries in sorted(self.hints.items())
+            ],
+        }
 
     def restore_state(self, state: dict) -> None:
         self.alive = state["alive"]
         self.stats.update(state["stats"])
+        self.epoch = state["epoch"]
+        self.versions = {
+            bytes(key): tuple(version) for key, version in state["versions"]
+        }
+        self.hints = {
+            target: [
+                (bytes(k), bytes(v), tuple(ver), bool(tomb))
+                for k, v, ver, tomb in entries
+            ]
+            for target, entries in state["hints"]
+        }
+
+    def snap_migrate(self, state: dict, version: int) -> dict:
+        # v1 predates quorums: epoch 0, no versions, no hints.
+        if version == 1:
+            state = dict(state)
+            state.setdefault("epoch", 0)
+            state.setdefault("versions", [])
+            state.setdefault("hints", [])
+            state["stats"] = {
+                "aborted_in_flight": 0,
+                "replicated": 0,
+                "hints_queued": 0,
+                "repairs_applied": 0,
+                "stale_epoch_rejects": 0,
+                **state["stats"],
+            }
+        return state
 
     # -- request path --------------------------------------------------------
 
@@ -127,20 +308,106 @@ class KvsShardServer:
             self.stats["dropped_dead"] += 1
             return
         request: KvsRequest = frame.payload
-        self.kernel.call_after(self.service_ns, self._complete, request)
+        seq = self._service_seq
+        self._service_seq += 1
+        self._in_service[seq] = request
+        self.kernel.call_after(self.service_ns, self._complete, seq)
 
-    def _complete(self, request: KvsRequest) -> None:
-        if not self.alive:  # died while the request was in service
-            self.stats["dropped_dead"] += 1
+    def _stale_epoch(self, request: KvsRequest) -> bool:
+        """Should this request be fenced off by the epoch guard?
+
+        A request from a *newer* epoch than ours is always rejected: we
+        are the stale party (fenced out of a membership change we have
+        not seen) and must not acknowledge anything the current quorum
+        would miss.  In strict (quorum) mode, writes additionally
+        require exact equality, so a stale *client* cannot write either.
+        """
+        if request.epoch > self.epoch:
+            return True
+        if self.strict_epoch and request.op in ("put", "delete", "replicate"):
+            return request.epoch != self.epoch
+        return False
+
+    def _respond(self, request: KvsRequest, response: KvsResponse) -> None:
+        self.link.send(
+            Frame(
+                src=self.address,
+                dst=request.reply_to,
+                payload=response,
+                size_bytes=response.wire_bytes,
+            )
+        )
+
+    def _stamp(self, key: bytes) -> Tuple[int, int]:
+        """Mint the next (epoch, seq) version for a key we coordinate."""
+        prev = self.versions.get(bytes(key), NO_VERSION)
+        version = (self.epoch, prev[1] + 1)
+        self.versions[bytes(key)] = version
+        return version
+
+    def _complete(self, seq: int) -> None:
+        request = self._in_service.pop(seq, None)
+        if request is None:  # aborted: the server died while it was in service
             return
-        ok, value = True, None
+        if self._stale_epoch(request):
+            self.stats["stale_epoch_rejects"] += 1
+            if self.obs:
+                self.obs.counter(
+                    "fleet_stale_epoch_rejects_total", {"machine": self.name}
+                ).inc()
+            if request.op not in ("hint", "repair"):
+                self._respond(
+                    request,
+                    KvsResponse(
+                        request.txid, False, None, self.name,
+                        epoch=self.epoch, error="stale_epoch",
+                    ),
+                )
+            return
+        ok, value, version = True, None, NO_VERSION
         try:
             if request.op == "put":
+                version = self._stamp(request.key)
                 self.store.put(request.key, request.value)
+                for replica in request.replicas:
+                    self._replicate(request, replica, version)
             elif request.op == "get":
                 value = self.store.get(request.key)
+                version = self.versions.get(bytes(request.key), NO_VERSION)
             elif request.op == "delete":
+                version = self._stamp(request.key)
                 ok = self.store.delete(request.key)
+                for replica in request.replicas:
+                    self._replicate(request, replica, version)
+            elif request.op == "replicate":
+                version = tuple(request.version)
+                if self.apply_hint(
+                    request.key, request.value, version, request.tombstone
+                ):
+                    self.stats["replicated"] += 1
+            elif request.op == "hint":
+                # Fire-and-forget: queue a handoff for an unreachable
+                # placement target; the rack drains us on heal.
+                self.hints.setdefault(request.hint_for, []).append(
+                    (
+                        bytes(request.key),
+                        bytes(request.value),
+                        tuple(request.version),
+                        request.tombstone,
+                    )
+                )
+                self.stats["hints_queued"] += 1
+                self.stats["served"] += 1
+                return
+            elif request.op == "repair":
+                # Fire-and-forget read repair: apply iff newer.
+                if self.apply_hint(
+                    request.key, request.value,
+                    tuple(request.version), request.tombstone,
+                ):
+                    self.stats["repairs_applied"] += 1
+                self.stats["served"] += 1
+                return
             else:
                 ok = False
         except Exception:
@@ -151,15 +418,92 @@ class KvsShardServer:
             self.obs.counter(
                 "fleet_kvs_ops_total", {"machine": self.name, "op": request.op}
             ).inc()
-        response = KvsResponse(request.txid, ok, value, self.name)
+        self._respond(
+            request,
+            KvsResponse(
+                request.txid, ok, value, self.name,
+                epoch=self.epoch, version=tuple(version),
+            ),
+        )
+
+    def _replicate(
+        self, request: KvsRequest, replica: str, version: Tuple[int, int]
+    ) -> None:
+        """Forward a coordinated write to one replica.
+
+        The copy carries the primary's version stamp and the *client's*
+        reply address, so the replica acks straight back to the client
+        (one network hop, no primary-side bookkeeping) under the same
+        transaction id.
+        """
+        copy = KvsRequest(
+            "replicate",
+            request.key,
+            request.value,
+            request.txid,
+            request.reply_to,
+            epoch=request.epoch,
+            version=version,
+            tombstone=(request.op == "delete"),
+        )
         self.link.send(
             Frame(
                 src=self.address,
-                dst=request.reply_to,
-                payload=response,
-                size_bytes=response.wire_bytes,
+                dst=f"{replica}#kvs",
+                payload=copy,
+                size_bytes=copy.wire_bytes,
             )
         )
+
+
+class _QuorumWait:
+    """Collects the fan-in of one quorum operation.
+
+    Registered (possibly under several txids) in the client's waiter
+    map; *sticky*, so multiple responses reach it without the demux
+    popping the entry.  Fires its event with the list of ok responses
+    once ``need`` arrived, or with ``None`` once success is impossible
+    (every expected response in and still short, or -- ``fail_fast`` --
+    the first rejection, used by writes where any participant's
+    ``stale_epoch`` means the attempt must re-resolve and retry).
+    """
+
+    sticky = True
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        need: int,
+        expected: int,
+        fail_fast: bool = False,
+        name: str = "",
+    ):
+        self.event = kernel.event(name)
+        self.need = need
+        self.expected = expected
+        self.fail_fast = fail_fast
+        self.oks: List[KvsResponse] = []
+        self.rejects: List[KvsResponse] = []
+
+    def on_response(self, kernel: Kernel, response: KvsResponse) -> None:
+        # Keep recording after the event fires: a write that committed
+        # at ``need`` acks still wants to know which stragglers arrive
+        # before the attempt deadline (they do NOT need a hint).
+        (self.oks if response.ok else self.rejects).append(response)
+        if self.event.fired:
+            return
+        if response.ok:
+            if len(self.oks) >= self.need:
+                self.event.succeed(kernel, list(self.oks))
+                return
+        elif self.fail_fast:
+            self.event.succeed(kernel, None)
+            return
+        if (
+            len(self.oks) + len(self.rejects) >= self.expected
+            and len(self.oks) < self.need
+        ):
+            self.event.succeed(kernel, None)
 
 
 class FleetKvsClient:
@@ -167,7 +511,10 @@ class FleetKvsClient:
 
     Methods are simulation processes (``yield from client.put(...)``
     inside a spawned process).  ``acked`` records every acknowledged
-    write -- the durability ledger the failover tests audit.
+    write -- the durability ledger the failover tests audit.  Set
+    :attr:`history` to a :class:`repro.fleet.audit.HistoryRecorder` to
+    capture the invocation/response history the linearizability auditor
+    checks.
     """
 
     def __init__(
@@ -186,9 +533,16 @@ class FleetKvsClient:
         self.obs = obs if obs is not None else NULL_REGISTRY
         self.address = f"{address}#kvs"
         self._txid = 0
-        self._waiters: Dict[int, Event] = {}
+        self._waiters: Dict[int, object] = {}
         self.timeout_ns = rack.fleet.request_timeout_ns
         self.max_retries = rack.fleet.max_retries
+        self.write_quorum = rack.fleet.write_quorum
+        self.read_quorum = rack.fleet.read_quorum
+        self.hinted_handoff = rack.fleet.hinted_handoff
+        #: The client's view of the quorum epoch (max seen in responses).
+        self.epoch = 0
+        #: Optional repro.fleet.audit.HistoryRecorder (linearizability).
+        self.history = None
         #: Acknowledged writes: key -> value (the durability ledger).
         self.acked: Dict[bytes, bytes] = {}
         self.stats = {
@@ -198,6 +552,9 @@ class FleetKvsClient:
             "retries": 0,
             "timeouts": 0,
             "late_responses": 0,
+            "hints_sent": 0,
+            "read_repairs": 0,
+            "quorum_rejects": 0,
         }
         link.attach(self.address, self._on_frame)
 
@@ -205,17 +562,24 @@ class FleetKvsClient:
 
     def _on_frame(self, frame: Frame) -> None:
         response: KvsResponse = frame.payload
-        waiter = self._waiters.pop(response.txid, None)
+        self.epoch = max(self.epoch, response.epoch)
+        waiter = self._waiters.get(response.txid)
         if waiter is None:
             # A straggler from a request we already timed out and retried.
             self.stats["late_responses"] += 1
             return
-        waiter.succeed(self.kernel, response)
+        if getattr(waiter, "sticky", False):
+            # Quorum fan-in: many responses share a txid (or a wait
+            # spans several); the op retires its txids when it's done.
+            waiter.on_response(self.kernel, response)
+        else:
+            del self._waiters[response.txid]
+            waiter.succeed(self.kernel, response)
 
     def _send(self, machine: str, op: str, key: bytes, value: bytes) -> Event:
         self._txid += 1
         txid = self._txid
-        request = KvsRequest(op, key, value, txid, self.address)
+        request = KvsRequest(op, key, value, txid, self.address, epoch=self.epoch)
         waiter = self.kernel.event(f"kvs-tx{txid}")
         self._waiters[txid] = waiter
         self.link.send(
@@ -228,6 +592,57 @@ class FleetKvsClient:
         )
         return waiter
 
+    def _send_quorum(
+        self,
+        machine: str,
+        op: str,
+        key: bytes,
+        value: bytes,
+        wait: _QuorumWait,
+        replicas: Tuple[str, ...] = (),
+    ) -> int:
+        self._txid += 1
+        txid = self._txid
+        request = KvsRequest(
+            op, key, value, txid, self.address,
+            epoch=self.epoch, replicas=replicas,
+        )
+        self._waiters[txid] = wait
+        self.link.send(
+            Frame(
+                src=self.address,
+                dst=f"{machine}#kvs",
+                payload=request,
+                size_bytes=request.wire_bytes,
+            )
+        )
+        return txid
+
+    def _send_oneway(
+        self,
+        machine: str,
+        op: str,
+        key: bytes,
+        value: bytes,
+        version: Tuple[int, int],
+        hint_for: str = "",
+        tombstone: bool = False,
+    ) -> None:
+        """Fire-and-forget (txid 0, no waiter): hints and read repair."""
+        request = KvsRequest(
+            op, key, value, 0, self.address,
+            epoch=self.epoch, version=version,
+            hint_for=hint_for, tombstone=tombstone,
+        )
+        self.link.send(
+            Frame(
+                src=self.address,
+                dst=f"{machine}#kvs",
+                payload=request,
+                size_bytes=request.wire_bytes,
+            )
+        )
+
     def _observe(self, op: str, machine: str, elapsed_ns: float) -> None:
         if self.obs:
             self.obs.histogram(
@@ -236,10 +651,61 @@ class FleetKvsClient:
                 base=1.25,
             ).observe(elapsed_ns)
 
+    # -- history hooks (linearizability audit) -------------------------------
+
+    def _hist_invoke(self, op: str, key: bytes, arg: Optional[bytes]):
+        if self.history is None:
+            return None
+        return self.history.invoke(self.address, op, bytes(key), arg)
+
+    def _hist_respond(self, op_id, result) -> None:
+        if op_id is not None:
+            self.history.respond(op_id, result)
+
+    def _hist_abandon(self, op_id) -> None:
+        if op_id is not None:
+            self.history.abandon(op_id)
+
     # -- operations (simulation processes) -----------------------------------
 
     def put(self, key: bytes, value: bytes):
-        """Replicated write: acked once *every* replica applied it."""
+        """Replicated write; acked at the configured write quorum
+        (default: every replica)."""
+        self.rack.maybe_heal()
+        op_id = self._hist_invoke("put", key, bytes(value))
+        if self.write_quorum:
+            result = yield from self._put_quorum(key, value, "put")
+        else:
+            result = yield from self._put_all(key, value)
+        self._hist_respond(op_id, True)
+        return result
+
+    def get(self, key: bytes):
+        """Read: primary-only (default) or version-winning quorum."""
+        self.rack.maybe_heal()
+        op_id = self._hist_invoke("get", key, None)
+        if self.read_quorum:
+            value = yield from self._get_quorum(key)
+        else:
+            value = yield from self._get_primary(key)
+        self._hist_respond(op_id, value)
+        return value
+
+    def delete(self, key: bytes):
+        """Replicated delete (same fan-out/ack rule as put)."""
+        self.rack.maybe_heal()
+        op_id = self._hist_invoke("delete", key, None)
+        if self.write_quorum:
+            yield from self._put_quorum(key, b"", "delete")
+            result = True
+        else:
+            result = yield from self._delete_all(key)
+        self._hist_respond(op_id, True)
+        return result
+
+    # -- all-replica discipline (the historical default) ---------------------
+
+    def _put_all(self, key: bytes, value: bytes):
         start = self.kernel.now
         for attempt in range(self.max_retries + 1):
             targets = self.rack.ring.place(key)
@@ -257,8 +723,7 @@ class FleetKvsClient:
             f"put {key!r} unacked after {self.max_retries + 1} attempts"
         )
 
-    def get(self, key: bytes):
-        """Read from the key's current primary (re-resolved on retry)."""
+    def _get_primary(self, key: bytes):
         start = self.kernel.now
         for attempt in range(self.max_retries + 1):
             primary = self.rack.ring.primary(key)
@@ -275,8 +740,7 @@ class FleetKvsClient:
             f"get {key!r} unanswered after {self.max_retries + 1} attempts"
         )
 
-    def delete(self, key: bytes):
-        """Replicated delete (same fan-out/ack rule as put)."""
+    def _delete_all(self, key: bytes):
         start = self.kernel.now
         for attempt in range(self.max_retries + 1):
             targets = self.rack.ring.place(key)
@@ -294,6 +758,171 @@ class FleetKvsClient:
             f"delete {key!r} unacked after {self.max_retries + 1} attempts"
         )
 
+    # -- quorum discipline ----------------------------------------------------
+
+    def _put_quorum(self, key: bytes, value: bytes, op: str):
+        """Primary-coordinated write, committed at ``write_quorum`` acks.
+
+        One request goes to the primary, which stamps the version and
+        fans ``replicate`` copies to the other placement targets; all
+        of them ack directly to us under one txid.  Any ``stale_epoch``
+        rejection fails the attempt fast (we adopt the newer epoch from
+        the rejection and retry against re-resolved placement).
+        """
+        start = self.kernel.now
+        for attempt in range(self.max_retries + 1):
+            targets = self.rack.ring.place(key)
+            primary, replicas = targets[0], tuple(targets[1:])
+            need = min(self.write_quorum, len(targets))
+            wait = _QuorumWait(
+                self.kernel, need, len(targets),
+                fail_fast=True, name=f"kvs-q{op}",
+            )
+            sent_at = self.kernel.now
+            txid = self._send_quorum(
+                primary, op, key, value, wait, replicas=replicas
+            )
+            index, result = yield AnyOf([wait.event, Timeout(self.timeout_ns)])
+            if index == 0 and result is not None:
+                version = max(tuple(r.version) for r in result)
+                if self.hinted_handoff and len(wait.oks) < len(targets):
+                    # Committed short of the full replica set.  Do NOT
+                    # hint yet: the stragglers may just be slow.  Hold
+                    # the txid open until the attempt deadline (the
+                    # sticky wait keeps absorbing late acks) and hint
+                    # whoever is still silent then.
+                    self.kernel.call_at(
+                        sent_at + self.timeout_ns,
+                        lambda _: self._settle_hints(
+                            txid, wait, key, value, op, targets, version
+                        ),
+                    )
+                else:
+                    self._retire_txids([txid])
+                if op == "put":
+                    self.stats["puts_acked"] += 1
+                    self.acked[bytes(key)] = bytes(value)
+                else:
+                    self.stats["deletes"] += 1
+                    self.acked.pop(bytes(key), None)
+                self._observe(op, primary, self.kernel.now - start)
+                return targets
+            self._retire_txids([txid])
+            if index == 0:
+                self.stats["quorum_rejects"] += 1
+            else:
+                self.stats["timeouts"] += 1
+            self.stats["retries"] += 1
+        raise FleetKvsError(
+            f"{op} {key!r} unacked after {self.max_retries + 1} attempts"
+        )
+
+    def _settle_hints(
+        self,
+        txid: int,
+        wait: _QuorumWait,
+        key: bytes,
+        value: bytes,
+        op: str,
+        targets,
+        version: Tuple[int, int],
+    ) -> None:
+        """Attempt-deadline callback: queue a hinted handoff for every
+        placement target still silent about a committed write.
+
+        The wait stayed registered past its commit, so replicas whose
+        acks were merely in flight have landed in ``wait.oks`` by now
+        -- only genuinely unreachable targets get a hint, carried by
+        the first acker.  A target that is reachable again by now (the
+        window expired between commit and deadline) gets the write
+        pushed directly instead, apply-iff-newer."""
+        self._retire_txids([txid])
+        acked = {r.machine for r in wait.oks}
+        missing = [m for m in targets if m not in acked]
+        if not missing or not wait.oks:
+            return
+        self.rack.maybe_heal()
+        carrier = wait.oks[0].machine
+        tombstone = op == "delete"
+        hinted = 0
+        for target in missing:
+            if self._target_reachable(target):
+                self._send_oneway(
+                    target, "repair", key, value, version, tombstone=tombstone
+                )
+            else:
+                self._send_oneway(
+                    carrier, "hint", key, value, version,
+                    hint_for=target, tombstone=tombstone,
+                )
+                self.stats["hints_sent"] += 1
+                hinted += 1
+        if hinted and self.obs:
+            self.obs.counter("fleet_hints_sent_total").inc(hinted)
+
+    def _target_reachable(self, target: str) -> bool:
+        """Can a frame from this client reach ``target`` right now?
+        (The client rides the controller side of any active split.)"""
+        machine = self.rack.machines.get(target)
+        if machine is None or not machine.alive:
+            return False
+        if self.rack.active_partition is None:
+            return True
+        return target in self.rack._controller_side()
+
+    def _get_quorum(self, key: bytes):
+        """Version-winning read, committed at ``read_quorum`` responses.
+
+        Every placement target is asked; the highest ``(epoch, seq)``
+        version wins, and every target that answered stale -- or not at
+        all -- is read-repaired with the winning version.
+        """
+        start = self.kernel.now
+        for attempt in range(self.max_retries + 1):
+            targets = self.rack.ring.place(key)
+            need = min(self.read_quorum, len(targets))
+            wait = _QuorumWait(
+                self.kernel, need, len(targets), name="kvs-qget"
+            )
+            txids = [
+                self._send_quorum(m, "get", key, b"", wait) for m in targets
+            ]
+            index, result = yield AnyOf([wait.event, Timeout(self.timeout_ns)])
+            self._retire_txids(txids)
+            if index == 0 and result is not None:
+                best = max(result, key=lambda r: tuple(r.version))
+                best_version = tuple(best.version)
+                if best_version > NO_VERSION:
+                    self._read_repair(key, targets, result, best)
+                self.stats["gets"] += 1
+                self._observe("get", best.machine, self.kernel.now - start)
+                return best.value
+            if index == 0:
+                self.stats["quorum_rejects"] += 1
+            else:
+                self.stats["timeouts"] += 1
+            self.stats["retries"] += 1
+        raise FleetKvsError(
+            f"get {key!r} unanswered after {self.max_retries + 1} attempts"
+        )
+
+    def _read_repair(
+        self, key: bytes, targets, oks: List[KvsResponse], best: KvsResponse
+    ) -> None:
+        """Push the winning version to every stale or silent target."""
+        best_version = tuple(best.version)
+        fresh = {r.machine for r in oks if tuple(r.version) == best_version}
+        stale = [m for m in targets if m not in fresh]
+        for target in stale:
+            self._send_oneway(
+                target, "repair", key, best.value or b"", best_version,
+                tombstone=(best.value is None),
+            )
+        if stale:
+            self.stats["read_repairs"] += len(stale)
+            if self.obs:
+                self.obs.counter("fleet_read_repairs_total").inc(len(stale))
+
     # -- checkpoint/restore (repro.snap) ---------------------------------
     #
     # An operation in flight lives in its process coroutine plus the
@@ -301,7 +930,7 @@ class FleetKvsClient:
     # waiters drained).  txid continuity matters: a restored client must
     # not reissue transaction ids a server may still answer.
 
-    SNAP_VERSION = 1
+    SNAP_VERSION = 2
 
     def snapshot_state(self) -> dict:
         if self._waiters:
@@ -313,14 +942,29 @@ class FleetKvsClient:
             )
         return {
             "txid": self._txid,
+            "epoch": self.epoch,
             "acked": [[key, value] for key, value in sorted(self.acked.items())],
             "stats": dict(self.stats),
         }
 
     def restore_state(self, state: dict) -> None:
         self._txid = state["txid"]
+        self.epoch = state["epoch"]
         self.acked = {bytes(k): bytes(v) for k, v in state["acked"]}
         self.stats.update(state["stats"])
+
+    def snap_migrate(self, state: dict, version: int) -> dict:
+        # v1 predates quorums: epoch 0, no quorum counters.
+        if version == 1:
+            state = dict(state)
+            state.setdefault("epoch", 0)
+            state["stats"] = {
+                "hints_sent": 0,
+                "read_repairs": 0,
+                "quorum_rejects": 0,
+                **state["stats"],
+            }
+        return state
 
     # -- plumbing ------------------------------------------------------------
 
@@ -329,3 +973,8 @@ class FleetKvsClient:
         stale = {id(w) for w in waiters}
         for txid in [t for t, w in self._waiters.items() if id(w) in stale]:
             del self._waiters[txid]
+
+    def _retire_txids(self, txids) -> None:
+        """Forget a quorum op's transactions once the op is decided."""
+        for txid in txids:
+            self._waiters.pop(txid, None)

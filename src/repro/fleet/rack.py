@@ -19,6 +19,22 @@ construction, the next machine clockwise from its primary, removal *is*
 promotion: the surviving replica starts serving the shard with the data
 it already holds.
 
+Partitions and quorum epochs
+----------------------------
+:meth:`start_partition` splits the switch's ports into groups for a
+time window (usually planted by a ``fleet.partition`` fault spec).  The
+rack's *quorum epoch* (``ring_epoch``) is bumped on every membership
+change and at each partition's start, and the current **controller
+side** -- group 0, by convention the majority -- is fenced to the new
+epoch; shard servers reject requests from epochs newer than their own,
+so a stale minority server can never acknowledge a write the current
+quorum would miss.  The *heal* is deliberately not a scheduled event
+(a mid-partition rack must stay checkpoint-quiescent): the switch
+evaluates the window lazily per frame, and :meth:`maybe_heal` -- called
+at every client operation and control-plane entry point -- performs the
+one-shot heal bookkeeping (re-fence everyone, drain hinted handoffs)
+the first time it runs past the window's end.
+
 The rack never imports :mod:`repro.config` at module scope (the config
 tree imports ``repro.fleet.config``); presets are resolved lazily at
 construction, mirroring :mod:`repro.health`.
@@ -26,7 +42,7 @@ construction, mirroring :mod:`repro.health`.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..apps.kvs import HashTableStore
 from ..health.state import HealthStateMachine
@@ -34,11 +50,12 @@ from ..net.ethernet import EthernetLink
 from ..net.switch import Switch, star_topology
 from ..sim import Kernel
 from .config import FleetConfig
-from .kvs import FleetKvsClient, KvsShardServer
+from .errors import FleetError
+from .kvs import NO_VERSION, FleetKvsClient, KvsShardServer
 from .placement import HashRing
 
 
-class RackError(RuntimeError):
+class RackError(FleetError):
     """Misconfigured or misused rack."""
 
 
@@ -111,13 +128,15 @@ class Rack:
             propagation_ns=fleet.link_propagation_ns,
             forwarding_ns=fleet.switch_forwarding_ns,
             egress_queueing=True,
+            obs=obs,
         )
         self.machines: Dict[str, RackMachine] = {}
         for name in names:
             config = preset(fleet.machine_preset)
             store = HashTableStore(n_slots=fleet.kvs_slots)
             server = KvsShardServer(
-                self.kernel, name, links[name], store, fleet.service_ns, obs=obs
+                self.kernel, name, links[name], store, fleet.service_ns,
+                obs=obs, strict_epoch=fleet.write_quorum > 0,
             )
             health = HealthStateMachine(
                 f"fleet.{name}", obs=obs, clock=lambda: self.kernel.now
@@ -127,6 +146,13 @@ class Rack:
             )
         self.ring = HashRing(names, fleet.vnodes, fleet.replication_factor)
         self.failovers: list[Tuple[float, str, str]] = []
+        #: The rack's quorum epoch: bumped on every membership change
+        #: and at each partition's start; servers are fenced to it.
+        self.ring_epoch = 0
+        #: The active partition descriptor (mirrors the switch's) or None.
+        self.active_partition: Optional[dict] = None
+        #: Partition lifecycle log: (t, event, detail).
+        self.partitions: list[Tuple[float, str, str]] = []
         #: Optional per-board :class:`repro.snap.MessageTap` instances
         #: (attached by :func:`repro.snap.attach_taps`); sync_health
         #: mirrors out-of-band liveness changes into them so a recorded
@@ -148,6 +174,141 @@ class Rack:
         self.switch.connect(link, address)
         return FleetKvsClient(self.kernel, self, link, address, obs=self.obs)
 
+    # -- quorum epochs -------------------------------------------------------
+
+    def _fence(self, names: Iterable[str]) -> None:
+        """Push the current ring epoch into the named live servers."""
+        for name in names:
+            machine = self.machines.get(name)
+            if machine is not None and machine.alive:
+                machine.server.set_epoch(self.ring_epoch)
+
+    def _controller_side(self) -> Tuple[str, ...]:
+        """The machines the controller can reach: everyone, or -- during
+        a partition -- group 0 plus any machine not named in a group."""
+        if self.active_partition is None:
+            return tuple(self.machines)
+        grouped = {
+            host: index
+            for index, group in enumerate(self.active_partition["groups"])
+            for host in group
+        }
+        return tuple(
+            name for name in self.machines if grouped.get(name, 0) == 0
+        )
+
+    def _bump_epoch(self, reason: str) -> int:
+        """Advance the quorum epoch and fence the controller side."""
+        self.ring_epoch += 1
+        self._fence(self._controller_side())
+        if self.obs:
+            self.obs.counter("fleet_epoch_bumps_total", {"reason": reason}).inc()
+        return self.ring_epoch
+
+    # -- partitions ----------------------------------------------------------
+
+    def start_partition(
+        self,
+        groups: Sequence[Iterable[str]],
+        oneway: bool = False,
+        until_ns: Optional[float] = None,
+    ) -> None:
+        """Split the rack's network now, healing (lazily) at ``until_ns``.
+
+        Group 0 is the controller/majority side: its servers are fenced
+        to a freshly bumped quorum epoch, so anything the cut-off side
+        later acknowledges under the old epoch is rejected by the
+        majority after the heal.  Frame delivery is cut by the switch
+        (cross-group drops at ingress); nothing is scheduled for the
+        heal -- see :meth:`maybe_heal`.
+        """
+        if self.active_partition is not None:
+            raise RackError("a partition is already active; heal it first")
+        self.switch.set_partition(
+            groups, oneway=oneway, start_ns=self.kernel.now, until_ns=until_ns
+        )
+        self.active_partition = self.switch.partition
+        detail = self.describe_partition()
+        self.partitions.append((self.kernel.now, "start", detail))
+        self._bump_epoch("partition")
+        if self.obs:
+            self.obs.counter("fleet_partitions_total").inc()
+
+    def describe_partition(self) -> str:
+        if self.active_partition is None:
+            return ""
+        groups = self.active_partition["groups"]
+        sep = ">" if self.active_partition["oneway"] else "|"
+        return sep.join(",".join(g) for g in groups)
+
+    def maybe_heal(self) -> bool:
+        """Heal iff the active partition's window has expired.
+
+        Cheap no-op on the common path (no partition active).  Called
+        from every client operation and control-plane entry point, so
+        the heal bookkeeping happens at the first touch past the
+        window's end -- the switch already stopped dropping frames at
+        exactly ``until_ns`` on its own.
+        """
+        if self.active_partition is None:
+            return False
+        until = self.active_partition["until_ns"]
+        if until is None or self.kernel.now < until:
+            return False
+        self._heal_now()
+        return True
+
+    def heal(self) -> None:
+        """Force-heal the active partition now (manual repair)."""
+        if self.active_partition is None:
+            raise RackError("no partition is active")
+        self._heal_now()
+
+    def _heal_now(self) -> None:
+        self.switch.clear_partition()
+        self.active_partition = None
+        # Everyone is reachable again: fence the whole rack to the
+        # controller's epoch so stale-side servers stop acknowledging
+        # old-epoch traffic, then deliver the queued hinted handoffs.
+        self._fence(self.machines)
+        drained = self._drain_hints()
+        self.partitions.append(
+            (self.kernel.now, "heal", f"hints_drained={drained}")
+        )
+        if self.obs:
+            self.obs.counter("fleet_partition_heals_total").inc()
+
+    def _drain_hints(self) -> int:
+        """Deliver queued hinted handoffs to their (now reachable) targets.
+
+        A control-plane pass like :meth:`re_replicate`: each live
+        server's queue is drained and applied newest-version-wins on the
+        target.  Hints for targets that are still dead go back on the
+        carrier's queue (a later heal or :meth:`rejoin` retries them).
+        Returns the number of hints applied.
+        """
+        drained = 0
+        for name in sorted(self.machines):
+            server = self.machines[name].server
+            if not server.alive or not server.hints:
+                continue
+            for target, entries in sorted(server.take_hints().items()):
+                machine = self.machines.get(target)
+                if machine is None or not machine.alive:
+                    if machine is not None and target in self.ring.machines:
+                        # Dead but not yet deposed: retry at the next
+                        # heal or rejoin.
+                        server.hints.setdefault(target, []).extend(entries)
+                    # Deposed boards rebuild from live replicas at
+                    # rejoin(); their queued hints are obsolete.
+                    continue
+                for key, value, version, tombstone in entries:
+                    if machine.server.apply_hint(key, value, version, tombstone):
+                        drained += 1
+        if drained and self.obs:
+            self.obs.counter("fleet_hints_drained_total").inc(drained)
+        return drained
+
     # -- failure / failover --------------------------------------------------
 
     def kill(self, name: str, reason: str = "killed") -> bool:
@@ -167,8 +328,12 @@ class Rack:
 
         The promotion path: the dead board's NIC is black-holed and the
         ring rebuilt without it -- each of its shards is now primaried
-        by what used to be the shard's first replica.
+        by what used to be the shard's first replica.  Every membership
+        change bumps the quorum epoch and fences the controller side,
+        so a stale server that missed the change can never acknowledge
+        a write the new quorum would miss.
         """
+        self.maybe_heal()
         removed = []
         for name, machine in self.machines.items():
             if machine.alive or name not in self.ring.machines:
@@ -190,8 +355,10 @@ class Rack:
             self.failovers.append((self.kernel.now, name, detail))
             if self.obs:
                 self.obs.counter("fleet_failovers_total", {"machine": name}).inc()
-        if removed and self.obs:
-            self.obs.gauge("fleet_machines_live").set(len(self.live_machines()))
+        if removed:
+            self._bump_epoch("membership")
+            if self.obs:
+                self.obs.gauge("fleet_machines_live").set(len(self.live_machines()))
         return removed
 
     # -- durability repair / rejoin ------------------------------------------
@@ -203,23 +370,31 @@ class Rack:
         only its own copy -- a second failure would lose them.  This
         control-plane pass walks every live store (:meth:`HashTableStore
         .scan`), re-resolves each key against the current ring, and
-        writes the key into any placement target that lacks it.  It is
-        an instantaneous repair (no simulated wire traffic): the
+        writes the key into any placement target that lacks it *or
+        holds an older version* (newest-version-wins, so a stale
+        rejoined replica can never clobber a quorum-committed write).
+        It is an instantaneous repair (no simulated wire traffic): the
         modelled cost is the fleet's concern, the *invariant* -- every
-        key held by ``min(rf, live)`` machines -- is this method's.
+        key held by ``min(rf, live)`` machines at its winning version --
+        is this method's.
 
         Returns the number of copies created.
         """
         live = {name for name in self.live_machines() if name in self.ring.machines}
         copied = 0
         for name in sorted(live):
-            for key, value in self.machines[name].store.scan():
+            source = self.machines[name]
+            for key, value in source.store.scan():
+                version = source.server.versions.get(bytes(key), NO_VERSION)
                 for target in self.ring.place(key):
                     if target == name or target not in live:
                         continue
-                    store = self.machines[target].store
-                    if store.get(key) is None:
-                        store.put(key, value)
+                    machine = self.machines[target]
+                    if version > NO_VERSION:
+                        if machine.server.apply_hint(key, value, version, False):
+                            copied += 1
+                    elif machine.store.get(key) is None:
+                        machine.store.put(key, value)
                         copied += 1
         if copied and self.obs:
             self.obs.counter("fleet_rereplicated_keys_total").inc(copied)
@@ -232,18 +407,36 @@ class Rack:
         HEALTHY), comes back with an *empty* store (a rebooted board
         has no DRAM contents), terminates frames again, and is added
         back to the ring -- after which :meth:`re_replicate` repopulates
-        every shard the ring now places on it.  Returns False (no-op)
-        when the board is already live.
+        every shard the ring now places on it and any hinted handoffs
+        queued for it are delivered.  The membership change bumps the
+        quorum epoch (the rejoined board is fenced to it, so its stale
+        pre-failure epoch can never acknowledge anything).
+
+        Rejoining a board that is already live is an error: the caller
+        is confused about rack state, and extending the ring with a
+        live member's name would corrupt placement.  Unknown names
+        raise the same :class:`RackError`.
         """
         machine = self._machine(name)
         if machine.alive:
-            return False
+            raise RackError(
+                f"cannot rejoin {name!r}: the board is already live "
+                f"({machine.health.state.value})"
+            )
+        if name in self.ring.machines:
+            # Failed through the health machine but never synced: run
+            # the failover bookkeeping first so the ring, epoch, and
+            # NIC state are consistent before we bring the board back.
+            self.sync_health()
         machine.health.recovering(reason)
         machine.store.clear()
+        machine.server.versions.clear()
+        machine.server.hints.clear()
         machine.server.up()
         machine.health.recover(reason)
         if name not in self.ring.machines:
             self.ring = self.ring.extended(name)
+        self._bump_epoch("membership")
         tap = self.taps.get(name)
         if tap is not None:
             tap.control("up")
@@ -252,21 +445,38 @@ class Rack:
             self.obs.counter("fleet_rejoins_total", {"machine": name}).inc()
             self.obs.gauge("fleet_machines_live").set(len(self.live_machines()))
         self.re_replicate()
+        self._drain_hints()
         return True
 
     # -- checkpoint/restore (repro.snap) ---------------------------------
     #
-    # The rack's own state is membership and the failover log; the
-    # machines, links, switch, and kernel snapshot as components (walked
-    # by repro.snap.checkpoint).  The ring is a pure function of its
-    # membership, so capturing the member list is capturing the ring.
+    # The rack's own state is membership, the quorum epoch, and the
+    # failover/partition logs; the machines, links, switch, and kernel
+    # snapshot as components (walked by repro.snap.checkpoint).  The
+    # ring is a pure function of its membership, so capturing the
+    # member list is capturing the ring.  The active partition's window
+    # travels both here and in the switch snapshot; restore trusts the
+    # rack copy for control-plane state and the switch copy for the
+    # data path (they are written at the same quiescent instant).
 
-    SNAP_VERSION = 1
+    SNAP_VERSION = 2
 
     def snapshot_state(self) -> dict:
         return {
             "ring_machines": list(self.ring.machines),
             "failovers": [list(entry) for entry in self.failovers],
+            "ring_epoch": self.ring_epoch,
+            "active_partition": (
+                None
+                if self.active_partition is None
+                else {
+                    "groups": [list(g) for g in self.active_partition["groups"]],
+                    "oneway": self.active_partition["oneway"],
+                    "start_ns": self.active_partition["start_ns"],
+                    "until_ns": self.active_partition["until_ns"],
+                }
+            ),
+            "partitions": [list(entry) for entry in self.partitions],
         }
 
     def restore_state(self, state: dict) -> None:
@@ -276,6 +486,27 @@ class Rack:
             self.fleet.replication_factor,
         )
         self.failovers = [tuple(entry) for entry in state["failovers"]]
+        self.ring_epoch = state["ring_epoch"]
+        partition = state["active_partition"]
+        if partition is None:
+            self.active_partition = None
+        else:
+            self.active_partition = {
+                "groups": tuple(tuple(g) for g in partition["groups"]),
+                "oneway": partition["oneway"],
+                "start_ns": partition["start_ns"],
+                "until_ns": partition["until_ns"],
+            }
+        self.partitions = [tuple(entry) for entry in state["partitions"]]
+
+    def snap_migrate(self, state: dict, version: int) -> dict:
+        # v1 predates partitions and quorum epochs.
+        if version == 1:
+            state = dict(state)
+            state.setdefault("ring_epoch", 0)
+            state.setdefault("active_partition", None)
+            state.setdefault("partitions", [])
+        return state
 
     # -- introspection -------------------------------------------------------
 
@@ -301,6 +532,10 @@ class Rack:
             "health": self.health_states(),
             "failovers": [
                 {"t": t, "machine": m, "detail": d} for t, m, d in self.failovers
+            ],
+            "ring_epoch": self.ring_epoch,
+            "partitions": [
+                {"t": t, "event": e, "detail": d} for t, e, d in self.partitions
             ],
             "switch": dict(self.switch.stats),
             "served": {

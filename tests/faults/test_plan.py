@@ -20,11 +20,18 @@ def test_site_kind_whitelist():
         FaultSpec("eci.link", "drop")  # net-only kind
     for site, kinds in SITE_KINDS.items():
         for kind in kinds:
+            if site == "fleet.partition":
+                arg = "a,b>c" if kind == "oneway" else "a,b|c"
+            elif site in ("bmc.rail", "boot.stage", "fleet.machine"):
+                arg = "x"
+            else:
+                arg = ""
             spec = FaultSpec(
                 site,
                 kind,
-                arg="x" if site in ("bmc.rail", "boot.stage", "fleet.machine") else "",
+                arg=arg,
                 value=4.0 if kind == "lane_drop" else 0.0,
+                duration=100.0 if site == "fleet.partition" else 0.0,
                 rate=0.1
                 if kind in ("crc_storm", "degraded_lane", "drop", "duplicate", "reorder")
                 else 0.0,
@@ -141,3 +148,52 @@ def test_default_tree_has_empty_plan():
     """Every preset ships with fault injection disarmed."""
     for name in ("full", "bringup_4lane", "degraded"):
         assert not preset(name).faults.enabled
+
+
+def test_partition_spec_validation():
+    """fleet.partition specs: group syntax, window, and kind rules."""
+    ok = FaultSpec(
+        "fleet.partition", "split", at=10.0, duration=50.0,
+        arg="enzian0,enzian1|enzian2",
+    )
+    assert "fleet.partition/split" in ok.describe()
+    oneway = FaultSpec(
+        "fleet.partition", "oneway", at=10.0, duration=50.0,
+        arg="enzian0>enzian1",
+    )
+    assert oneway.kind == "oneway"
+    with pytest.raises(ValueError):  # no groups at all
+        FaultSpec("fleet.partition", "split", duration=50.0)
+    with pytest.raises(ValueError):  # heal time required
+        FaultSpec("fleet.partition", "split", arg="a|b")
+    with pytest.raises(ValueError):  # only one group
+        FaultSpec("fleet.partition", "split", duration=1.0, arg="a,b")
+    with pytest.raises(ValueError):  # empty group
+        FaultSpec("fleet.partition", "split", duration=1.0, arg="a|")
+    with pytest.raises(ValueError):  # host in two groups
+        FaultSpec("fleet.partition", "split", duration=1.0, arg="a,b|b,c")
+    with pytest.raises(ValueError):  # oneway needs exactly two groups
+        FaultSpec("fleet.partition", "oneway", duration=1.0, arg="a>b>c")
+
+
+def test_parse_partition_groups():
+    from repro.faults import parse_partition_groups
+
+    groups = parse_partition_groups("b , a | c", "split")
+    assert groups == (("a", "b"), ("c",))  # stripped, deduped, sorted
+    assert parse_partition_groups("x>y,z", "oneway") == (("x",), ("y", "z"))
+    with pytest.raises(ValueError):
+        parse_partition_groups("x|y", "oneway")  # wrong separator
+
+
+def test_partition_spec_round_trips_through_config_tree():
+    spec = FaultSpec(
+        "fleet.partition", "split", at=20_000.0, duration=80_000.0,
+        arg="enzian0,enzian1,enzian2,enzian3|enzian4,enzian5",
+    )
+    config = preset("rack_quorum")
+    config = dataclasses.replace(
+        config, faults=FaultsConfig(events=(spec,))
+    )
+    rebuilt = PlatformConfig.from_dict(config.to_dict())
+    assert rebuilt.faults.events == (spec,)

@@ -158,3 +158,49 @@ def test_killing_every_machine_exhausts_retries():
             yield from client.put(b"k", b"v")
 
     rack.kernel.run_process(doomed(), name="doomed")
+
+
+def test_down_aborts_in_flight_requests_with_typed_error():
+    """A server that dies with requests *in service* fails them with a
+    recorded KvsRequestAborted -- never a silent drop -- and the client
+    still recovers through its timeout/failover path."""
+    from repro.fleet import KvsRequestAborted
+
+    fleet = _fleet(machines=2, replication_factor=1)
+    rack = Rack(fleet)
+    client = rack.client()
+    key = b"abort-key"
+    victim = rack.ring.primary(key)
+    server = rack.machines[victim].server
+
+    # Deterministic mid-service kill: poll until the request is being
+    # serviced (between frame arrival and completion), then pull the plug.
+    def reaper(_value=None):
+        if server._in_service and server.alive:
+            rack.kill(victim, reason="mid-service death")
+            return
+        if server.alive:
+            rack.kernel.call_after(50.0, reaper)
+
+    rack.kernel.call_after(0.0, reaper)
+
+    def workload():
+        yield from client.put(key, b"v")
+
+    rack.kernel.run_process(workload())
+
+    # The in-service request was aborted, typed, and counted.
+    assert server.stats["aborted_in_flight"] >= 1
+    assert server.aborted, "no typed abort recorded"
+    abort = server.aborted[0]
+    assert isinstance(abort, KvsRequestAborted)
+    assert abort.machine == victim
+    assert abort.op == "put"
+    assert abort.reply_to == client.address
+    assert abort.txid >= 1
+    # The client never saw the abort -- only its timeout -- and the
+    # retry landed on the surviving machine.
+    assert client.stats["timeouts"] >= 1
+    assert client.acked[key] == b"v"
+    survivor = [m for m in rack.machines if m != victim][0]
+    assert rack.machines[survivor].store.get(key) == b"v"

@@ -15,7 +15,7 @@ is lost across the kill/rejoin cycle.
 import pytest
 
 from repro.config import FleetConfig
-from repro.fleet import Rack
+from repro.fleet import FleetError, Rack, RackError
 from repro.fleet.placement import HashRing
 from repro.obs import MetricsRegistry
 
@@ -68,9 +68,29 @@ def test_rejoin_restores_ring_and_health():
     assert ("recovering", "healthy") in transitions
 
 
-def test_rejoin_is_noop_on_live_machine():
+def test_rejoin_of_live_machine_raises():
+    """Rejoining a board that never died is caller confusion: extending
+    the ring with a live member would corrupt placement, so the rack
+    refuses with a typed error instead of returning a soft False."""
     rack, client, keys = _loaded_rack()
-    assert not rack.rejoin("enzian0")
+    with pytest.raises(RackError, match="already live"):
+        rack.rejoin("enzian0")
+    # The refused rejoin changed nothing: ring intact, health untouched.
+    assert sorted(rack.ring.machines) == sorted(rack.machines)
+    assert rack.health_states()["enzian0"] == "healthy"
+
+
+def test_rejoin_of_unknown_machine_raises():
+    rack, client, keys = _loaded_rack()
+    with pytest.raises(RackError, match="unknown machine"):
+        rack.rejoin("enzian99")
+    assert sorted(rack.ring.machines) == sorted(rack.machines)
+
+
+def test_rack_errors_are_fleet_errors():
+    rack, client, keys = _loaded_rack()
+    with pytest.raises(FleetError):
+        rack.rejoin("enzian0")
 
 
 def test_no_acked_write_lost_across_kill_and_rejoin():

@@ -258,3 +258,119 @@ def test_two_host_helper_timing_unchanged_by_flag():
         return arrivals
 
     assert run("legacy") == run("star")
+
+
+# -- partitions --------------------------------------------------------------
+
+def _partitioned_pair():
+    from repro.net.switch import star_topology
+
+    kernel = Kernel()
+    switch, links = star_topology(kernel, ["a", "b", "c"])
+    received = []
+    for host in ("a", "b", "c"):
+        links[host].attach(
+            host, lambda f, h=host: received.append((h, f.payload))
+        )
+    return kernel, switch, links, received
+
+
+@pytest.mark.partition
+def test_partition_drops_cross_group_frames_both_ways():
+    kernel, switch, links, received = _partitioned_pair()
+    switch.set_partition([("a", "b"), ("c",)])
+    links["a"].send(Frame("a", "c", "a->c", size_bytes=64))
+    links["c"].send(Frame("c", "a", "c->a", size_bytes=64))
+    links["a"].send(Frame("a", "b", "a->b", size_bytes=64))
+    kernel.run()
+    assert sorted(received) == [("b", "a->b")]
+    assert switch.stats["dropped_partitioned"] == 2
+    assert switch.stats["forwarded"] == 1
+
+
+@pytest.mark.partition
+def test_oneway_partition_drops_only_forward_direction():
+    kernel, switch, links, received = _partitioned_pair()
+    switch.set_partition([("a",), ("c",)], oneway=True)
+    links["a"].send(Frame("a", "c", "a->c", size_bytes=64))
+    links["c"].send(Frame("c", "a", "c->a", size_bytes=64))
+    kernel.run()
+    assert received == [("a", "c->a")]
+    assert switch.stats["dropped_partitioned"] == 1
+
+
+@pytest.mark.partition
+def test_unlisted_hosts_ride_with_group_zero():
+    kernel, switch, links, received = _partitioned_pair()
+    switch.set_partition([("a",), ("c",)])  # b unlisted -> group 0
+    links["b"].send(Frame("b", "a", "b->a", size_bytes=64))
+    links["b"].send(Frame("b", "c", "b->c", size_bytes=64))
+    kernel.run()
+    assert received == [("a", "b->a")]
+    assert switch.stats["dropped_partitioned"] == 1
+
+
+@pytest.mark.partition
+def test_partition_window_is_evaluated_lazily():
+    """No scheduled heal event: delivery resumes at until_ns purely by
+    clock comparison, and intra-window frames are the only casualties."""
+    kernel, switch, links, received = _partitioned_pair()
+    switch.set_partition([("a",), ("c",)], start_ns=1_000.0, until_ns=5_000.0)
+    assert kernel.pending_events == 0  # the window armed nothing
+
+    links["a"].send(Frame("a", "c", "early", size_bytes=64))   # before start
+    kernel.run()
+    kernel.call_at(2_000.0, lambda _: links["a"].send(
+        Frame("a", "c", "mid", size_bytes=64)))                # inside window
+    kernel.run()
+    kernel.call_at(6_000.0, lambda _: links["a"].send(
+        Frame("a", "c", "late", size_bytes=64)))               # past until
+    kernel.run()
+    assert [p for _, p in received] == ["early", "late"]
+    assert switch.stats["dropped_partitioned"] == 1
+    assert switch.partition is not None  # descriptor stays until cleared
+    assert not switch.partition_active()
+
+
+@pytest.mark.partition
+def test_partition_validation():
+    from repro.net.switch import SwitchPortError
+
+    kernel, switch, links, received = _partitioned_pair()
+    with pytest.raises(SwitchPortError, match="at least 2"):
+        switch.set_partition([("a", "b", "c")])
+    with pytest.raises(SwitchPortError, match="exactly 2"):
+        switch.set_partition([("a",), ("b",), ("c",)], oneway=True)
+    with pytest.raises(SwitchPortError, match="empty"):
+        switch.set_partition([("a",), ()])
+    with pytest.raises(SwitchPortError, match="appears in partition groups"):
+        switch.set_partition([("a", "b"), ("b", "c")])
+
+
+@pytest.mark.partition
+def test_partition_state_round_trips_through_snapshot():
+    kernel, switch, links, received = _partitioned_pair()
+    switch.set_partition(
+        [("a", "b"), ("c",)], oneway=True, start_ns=0.0, until_ns=99.0
+    )
+    state = switch.snapshot_state()
+
+    kernel2 = Kernel()
+    from repro.net.switch import star_topology
+
+    switch2, links2 = star_topology(kernel2, ["a", "b", "c"])
+    switch2.restore_state(state)
+    assert switch2.partition == switch.partition
+    assert switch2._partitioned("a", "c")
+    assert not switch2._partitioned("c", "a")  # oneway: reverse passes
+
+
+@pytest.mark.partition
+def test_v1_switch_snapshot_migrates_to_partitionless():
+    kernel, switch, links, received = _partitioned_pair()
+    v1_state = {"stats": {"forwarded": 3, "dropped_unknown": 0}, "egress_busy": {}}
+    migrated = switch.snap_migrate(v1_state, 1)
+    switch.restore_state(migrated)
+    assert switch.partition is None
+    assert switch.stats["dropped_partitioned"] == 0
+    assert switch.stats["forwarded"] == 3
