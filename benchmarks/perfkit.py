@@ -265,6 +265,59 @@ def bench_fleet_quorum_put(ops: int = 600, repeats: int = 3) -> dict:
     return out
 
 
+def bench_traffic_kvs_mix(duration_ms: float = 3.0, repeats: int = 3) -> dict:
+    """Serving-path throughput: the traffic engine end to end.
+
+    A scaled-down open-loop Poisson scenario (the default mix: quorum
+    puts/gets plus recsys/GBDT service classes) through the full
+    gateway -- cache lookups, token-bucket admission, batching, and
+    the backend KVS clients -- against the ``rack_quorum`` fleet.
+    The rate counts *offered* requests per wall-clock second, i.e. the
+    simulator's cost per production request.  ``sim`` pins the
+    simulated outcome (completions, flash-free p50/p99), deterministic
+    under the pinned seed: a drift there means the serving model
+    itself changed, not just its speed.
+    """
+    from dataclasses import replace
+
+    from repro.config import preset
+    from repro.fleet import Rack
+    from repro.obs import MetricsRegistry
+    from repro.traffic import TrafficConfig, TrafficEngine
+
+    fleet = replace(preset("rack_quorum").fleet, seed=BENCH_SEED)
+    traffic = TrafficConfig(
+        enabled=True,
+        users=100_000,
+        per_user_rps=6.0,
+        duration_ns=duration_ms * 1e6,
+        arrival="poisson",
+    )
+    sim: dict = {}
+    counted = {"ops": 0}
+
+    def work():
+        obs = MetricsRegistry()
+        rack = Rack(fleet, obs=obs)
+        engine = TrafficEngine(rack, traffic, obs=obs)
+        report = engine.run()
+        counted["ops"] = report["gateway"]["offered"]
+        rack_view = report["slo"]["classes"]["kvs_get"]
+        sim["offered"] = report["gateway"]["offered"]
+        sim["completed"] = report["gateway"]["completed"]
+        sim["cache_hits"] = report["gateway"]["cache_hits"]
+        sim["get_p50_ns"] = rack_view["p50_ns"]
+        sim["get_p99_ns"] = rack_view["p99_ns"]
+        sim["t_final_ns"] = rack.kernel.now
+
+    out = _best_rate(work, 1, repeats)
+    out["ops"] = counted["ops"]
+    out["rate"] = counted["ops"] / out["best_s"]
+    out["unit"] = "requests/s"
+    out["sim"] = sim
+    return out
+
+
 BENCHES = {
     "kernel_dispatch": bench_kernel_dispatch,
     "kernel_timeout_procs": bench_kernel_timeout_procs,
@@ -272,6 +325,7 @@ BENCHES = {
     "eci_link_flits": bench_eci_link_flits,
     "fig7_tcp_wall": bench_fig7_tcp_wall,
     "fleet_quorum_put": bench_fleet_quorum_put,
+    "traffic_kvs_mix": bench_traffic_kvs_mix,
 }
 
 

@@ -46,6 +46,7 @@ QUICK_SIZES = {
     "eci_link_flits": {"flits": 2_000},
     "fig7_tcp_wall": {"repeats": 2},
     "fleet_quorum_put": {"ops": 100, "repeats": 2},
+    "traffic_kvs_mix": {"duration_ms": 0.5, "repeats": 2},
 }
 
 

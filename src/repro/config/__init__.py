@@ -22,12 +22,15 @@ from .tree import (
     FaultsConfig,
     FleetConfig,
     FpgaConfig,
+    GatewayConfig,
     HealthConfig,
     InterconnectConfig,
     MemoryConfig,
     NetConfig,
     PlatformConfig,
+    RequestClassConfig,
     SnapConfig,
+    TrafficConfig,
     preset,
     preset_names,
 )
@@ -42,14 +45,17 @@ __all__ = [
     "FaultsConfig",
     "FleetConfig",
     "FpgaConfig",
+    "GatewayConfig",
     "HealthConfig",
     "InterconnectConfig",
     "MemoryConfig",
     "NetConfig",
     "PlatformConfig",
+    "RequestClassConfig",
     "SnapConfig",
     "SweepPoint",
     "SweepResult",
+    "TrafficConfig",
     "expand_grid",
     "preset",
     "preset_names",

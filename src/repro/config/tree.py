@@ -47,6 +47,12 @@ from ..memory.dram import DdrChannelParams, DramConfig
 from ..net.rdma import RdmaPathParams
 from ..net.tcp import FpgaTcpParams, LinuxTcpParams
 from ..snap.config import SnapConfig
+from ..traffic.config import (
+    GatewayConfig,
+    RequestClassConfig,
+    TrafficConfig,
+    traffic_preset,
+)
 from .schema import (
     ConfigError,
     apply_overrides,
@@ -65,12 +71,15 @@ __all__ = [
     "FaultsConfig",
     "FleetConfig",
     "FpgaConfig",
+    "GatewayConfig",
     "HealthConfig",
     "MemoryConfig",
     "NetConfig",
     "InterconnectConfig",
     "PlatformConfig",
+    "RequestClassConfig",
     "SnapConfig",
+    "TrafficConfig",
     "preset",
     "preset_names",
 ]
@@ -199,6 +208,8 @@ class PlatformConfig:
     fleet: FleetConfig = field(default_factory=FleetConfig)
     #: Checkpoint/restore & record-replay; disabled = nothing recorded.
     snap: SnapConfig = field(default_factory=SnapConfig)
+    #: Serving front-end & traffic scenarios; disabled = nothing built.
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
 
     # -- round trips -------------------------------------------------------
 
@@ -330,12 +341,30 @@ def _rack_quorum() -> PlatformConfig:
     )
 
 
+def _rack_traffic() -> PlatformConfig:
+    """The serving design point: the ``rack_quorum`` fleet driven by
+    the ``million_users`` traffic scenario -- a million open-loop users
+    with a 6x flash crowd mid-run, gateway admission on."""
+    return PlatformConfig(
+        preset="rack_traffic",
+        fleet=FleetConfig(
+            enabled=True,
+            machines=6,
+            replication_factor=3,
+            write_quorum=2,
+            read_quorum=2,
+        ),
+        traffic=traffic_preset("million_users"),
+    )
+
+
 _PRESETS: Dict[str, Callable[[], PlatformConfig]] = {
     "full": _full,
     "bringup_4lane": _bringup_4lane,
     "degraded": _degraded,
     "rack8": _rack8,
     "rack_quorum": _rack_quorum,
+    "rack_traffic": _rack_traffic,
 }
 
 

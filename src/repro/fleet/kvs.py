@@ -551,6 +551,7 @@ class FleetKvsClient:
             "deletes": 0,
             "retries": 0,
             "timeouts": 0,
+            "rejections": 0,
             "late_responses": 0,
             "hints_sent": 0,
             "read_repairs": 0,
@@ -705,6 +706,22 @@ class FleetKvsClient:
 
     # -- all-replica discipline (the historical default) ---------------------
 
+    def _attempt_failed(self, answered: bool, attempt: int) -> None:
+        """Account one failed attempt.
+
+        An *answered* attempt that a server failed or rejected counts
+        under ``rejections``; only a real :class:`Timeout` win counts
+        under ``timeouts``.  ``retries`` increments only when another
+        attempt will actually run -- the final failed attempt of an
+        exhausted request is not a retry.
+        """
+        if answered:
+            self.stats["rejections"] += 1
+        else:
+            self.stats["timeouts"] += 1
+        if attempt < self.max_retries:
+            self.stats["retries"] += 1
+
     def _put_all(self, key: bytes, value: bytes):
         start = self.kernel.now
         for attempt in range(self.max_retries + 1):
@@ -717,8 +734,7 @@ class FleetKvsClient:
                 self._observe("put", targets[0], self.kernel.now - start)
                 return targets
             self._retire(waiters)
-            self.stats["timeouts"] += 1
-            self.stats["retries"] += 1
+            self._attempt_failed(index == 0, attempt)
         raise FleetKvsError(
             f"put {key!r} unacked after {self.max_retries + 1} attempts"
         )
@@ -729,13 +745,12 @@ class FleetKvsClient:
             primary = self.rack.ring.primary(key)
             waiter = self._send(primary, "get", key, b"")
             index, result = yield AnyOf([waiter, Timeout(self.timeout_ns)])
-            if index == 0:
+            if index == 0 and result.ok:
                 self.stats["gets"] += 1
                 self._observe("get", primary, self.kernel.now - start)
                 return result.value
             self._retire([waiter])
-            self.stats["timeouts"] += 1
-            self.stats["retries"] += 1
+            self._attempt_failed(index == 0, attempt)
         raise FleetKvsError(
             f"get {key!r} unanswered after {self.max_retries + 1} attempts"
         )
@@ -746,14 +761,16 @@ class FleetKvsClient:
             targets = self.rack.ring.place(key)
             waiters = [self._send(m, "delete", key, b"") for m in targets]
             index, result = yield AnyOf([AllOf(waiters), Timeout(self.timeout_ns)])
-            if index == 0:
+            # A delete may legitimately answer ok=False for a missing
+            # key (error stays empty); only a reply carrying a protocol
+            # error (e.g. "stale_epoch") fails the attempt.
+            if index == 0 and not any(r.error for r in result):
                 self.stats["deletes"] += 1
                 self.acked.pop(bytes(key), None)
                 self._observe("delete", targets[0], self.kernel.now - start)
                 return all(r.ok for r in result)
             self._retire(waiters)
-            self.stats["timeouts"] += 1
-            self.stats["retries"] += 1
+            self._attempt_failed(index == 0, attempt)
         raise FleetKvsError(
             f"delete {key!r} unacked after {self.max_retries + 1} attempts"
         )
@@ -812,7 +829,8 @@ class FleetKvsClient:
                 self.stats["quorum_rejects"] += 1
             else:
                 self.stats["timeouts"] += 1
-            self.stats["retries"] += 1
+            if attempt < self.max_retries:
+                self.stats["retries"] += 1
         raise FleetKvsError(
             f"{op} {key!r} unacked after {self.max_retries + 1} attempts"
         )
@@ -901,7 +919,8 @@ class FleetKvsClient:
                 self.stats["quorum_rejects"] += 1
             else:
                 self.stats["timeouts"] += 1
-            self.stats["retries"] += 1
+            if attempt < self.max_retries:
+                self.stats["retries"] += 1
         raise FleetKvsError(
             f"get {key!r} unanswered after {self.max_retries + 1} attempts"
         )
@@ -930,7 +949,7 @@ class FleetKvsClient:
     # waiters drained).  txid continuity matters: a restored client must
     # not reissue transaction ids a server may still answer.
 
-    SNAP_VERSION = 2
+    SNAP_VERSION = 3
 
     def snapshot_state(self) -> dict:
         if self._waiters:
@@ -954,9 +973,9 @@ class FleetKvsClient:
         self.stats.update(state["stats"])
 
     def snap_migrate(self, state: dict, version: int) -> dict:
+        state = dict(state)
         # v1 predates quorums: epoch 0, no quorum counters.
         if version == 1:
-            state = dict(state)
             state.setdefault("epoch", 0)
             state["stats"] = {
                 "hints_sent": 0,
@@ -964,6 +983,10 @@ class FleetKvsClient:
                 "quorum_rejects": 0,
                 **state["stats"],
             }
+        # v2 predates the rejections counter (answered-but-failed
+        # attempts were miscounted as timeouts).
+        if version <= 2:
+            state["stats"] = {"rejections": 0, **state["stats"]}
         return state
 
     # -- plumbing ------------------------------------------------------------

@@ -67,6 +67,17 @@ class MergedSeries:
                 return bound
         return sorted(self.buckets)[-1]
 
+    def fraction_below(self, bound_ns: float) -> float:
+        """Fraction of observations whose bucket upper bound is within
+        ``bound_ns`` -- the conservative SLO-attainment estimate (an
+        observation whose bucket straddles the bound counts as over)."""
+        if self.count == 0:
+            return 1.0
+        within = sum(
+            n for bound, n in self.buckets.items() if bound <= bound_ns
+        )
+        return within / self.count
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,
@@ -76,6 +87,7 @@ class MergedSeries:
             "max": self.max,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
             "buckets": [[bound, n] for bound, n in sorted(self.buckets.items())],
         }
 
@@ -92,14 +104,22 @@ def merge_histograms(
     registry: MetricsRegistry,
     name: str,
     group_by: Optional[str] = None,
+    where: Optional[Dict[str, str]] = None,
 ) -> Dict[str, MergedSeries]:
     """Merge every series of ``name``, grouped by one label's value.
 
     ``group_by=None`` merges everything into a single ``"rack"`` group.
-    Series missing the label land in the ``""`` group.
+    Series missing the label land in the ``""`` group.  ``where``
+    restricts the merge to series whose labels match every given
+    key/value pair (the traffic SLO report uses it to split one
+    metric by scenario phase before grouping by class).
     """
     groups: Dict[str, MergedSeries] = {}
     for histogram in _series(registry, name):
+        if where and any(
+            histogram.labels.get(k) != v for k, v in where.items()
+        ):
+            continue
         key = "rack" if group_by is None else histogram.labels.get(group_by, "")
         merged = groups.get(key)
         if merged is None:

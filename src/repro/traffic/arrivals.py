@@ -1,0 +1,91 @@
+"""Arrival-process models: Poisson, diurnal curve, flash crowd.
+
+All three are inhomogeneous Poisson processes described by an
+instantaneous rate function ``rate(t)`` over the scenario window.
+Gaps are drawn by Lewis-Shedler *thinning*: candidate gaps come from a
+homogeneous process at the peak rate, and each candidate is accepted
+with probability ``rate(t)/peak`` -- exact for any bounded rate
+function, and deterministic because every draw comes from the
+kernel-owned RNG (one seed pins the whole arrival trace).
+
+The model also labels simulation time with a *phase* ("steady",
+"flash", "peak", "trough"), which the engine stamps onto each
+request's latency series -- that is what lets the SLO report show the
+flash-crowd window separately from the calm before it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from .config import TrafficConfig
+
+if TYPE_CHECKING:
+    from ..sim import Kernel
+
+
+class ArrivalModel:
+    """Instantaneous-rate arrival process over a scenario window."""
+
+    def __init__(self, config: TrafficConfig):
+        self.config = config
+        self.base = config.base_rate_per_ns
+        if config.arrival == "flash":
+            self.peak = self.base * config.flash_multiplier
+        elif config.arrival == "diurnal":
+            self.peak = self.base * (1.0 + config.diurnal_amplitude)
+        else:
+            self.peak = self.base
+
+    def rate_at(self, t_ns: float) -> float:
+        """The instantaneous arrival rate (requests per ns) at ``t``."""
+        cfg = self.config
+        if cfg.arrival == "poisson":
+            return self.base
+        if cfg.arrival == "diurnal":
+            phase = 2.0 * math.pi * t_ns / cfg.diurnal_period_ns
+            return self.base * (1.0 + cfg.diurnal_amplitude * math.sin(phase))
+        # flash
+        if cfg.flash_at_ns <= t_ns < cfg.flash_at_ns + cfg.flash_duration_ns:
+            return self.base * cfg.flash_multiplier
+        return self.base
+
+    def phase_at(self, t_ns: float) -> str:
+        """A label for the scenario phase at ``t`` (latency-series tag)."""
+        cfg = self.config
+        if cfg.arrival == "flash":
+            in_window = (
+                cfg.flash_at_ns <= t_ns < cfg.flash_at_ns + cfg.flash_duration_ns
+            )
+            return "flash" if in_window else "steady"
+        if cfg.arrival == "diurnal":
+            phase = math.sin(2.0 * math.pi * t_ns / cfg.diurnal_period_ns)
+            return "peak" if phase >= 0 else "trough"
+        return "steady"
+
+    def phases(self) -> tuple:
+        """Every phase label this model can emit (report ordering)."""
+        if self.config.arrival == "flash":
+            return ("steady", "flash")
+        if self.config.arrival == "diurnal":
+            return ("peak", "trough")
+        return ("steady",)
+
+    def next_gap(self, kernel: "Kernel", t0_ns: float = 0.0) -> float:
+        """Draw the gap (ns) to the next arrival, from ``kernel.rng``.
+
+        Thinning against the peak rate: candidate gaps are exponential
+        at ``peak``; a candidate landing where the instantaneous rate
+        is lower is rejected with the complementary probability and the
+        walk continues from there.  ``t0_ns`` is the scenario start in
+        kernel time: the rate function runs on scenario-relative time.
+        """
+        rng = kernel.rng
+        t = kernel.now - t0_ns
+        start = t
+        while True:
+            t += rng.expovariate(self.peak)
+            rate = self.rate_at(t)
+            if rate >= self.peak or rng.random() < rate / self.peak:
+                return t - start

@@ -1,0 +1,274 @@
+"""The serving front-end: admission control, batching, a cache tier.
+
+The gateway stands between the arrival process and the rack, doing
+what a production front-end does:
+
+* **Admission control** -- a token bucket (sustained rate + burst)
+  followed by queue-depth shedding.  Both rejections are *typed*
+  (:class:`AdmissionRejected` with a reason, recorded per request and
+  counted per reason) -- the load that is turned away at the door is a
+  first-class output of the scenario, not a silent drop.
+* **Batching** -- admitted requests queue for a fixed pool of backend
+  workers that drain them in batches (up to ``batch_max``, with a
+  short fill window), amortizing the per-dispatch overhead toward the
+  shard servers and AFUs exactly the way the FPGA-side pipelines
+  amortize per-request setup.
+* **Cache tier** -- a small LRU in front of the backends serves repeat
+  reads (KVS gets, recsys embedding results) at cache-hit latency,
+  write-through on puts.
+
+Every served request lands its end-to-end latency (submit to
+completion) in the ``traffic_request_latency_ns{class,phase}``
+histogram; the engine's SLO report reads percentiles straight off
+those buckets.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import List, Optional
+
+from ..fleet.kvs import FleetKvsError
+from ..sim import Kernel, Timeout
+from .classes import Request
+from .config import GatewayConfig
+
+
+class AdmissionRejected(Exception):
+    """A request was turned away at the gateway.
+
+    These are *recorded*, not raised: the gateway appends one per
+    rejection to :attr:`Gateway.rejections` (bounded) and counts them
+    per reason, so a scenario can audit exactly what was shed.
+    ``reason`` is ``"throttled"`` (token bucket empty) or ``"shed"``
+    (queue at depth).
+    """
+
+    def __init__(self, reason: str, kind: str, at_ns: float):
+        super().__init__(f"{kind} rejected at t={at_ns:g} ns: {reason}")
+        self.reason = reason
+        self.kind = kind
+        self.at_ns = at_ns
+
+
+#: Recorded rejections kept for post-mortems (counters are unbounded).
+MAX_RECORDED_REJECTIONS = 256
+
+#: The end-to-end latency histogram every served request lands in.
+LATENCY_METRIC = "traffic_request_latency_ns"
+
+
+class TokenBucket:
+    """Sustained-rate admission with burst headroom (lazily refilled)."""
+
+    def __init__(self, rate_per_ns: float, burst: int):
+        self.rate_per_ns = rate_per_ns
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last_ns = 0.0
+
+    def take(self, now_ns: float) -> bool:
+        elapsed = now_ns - self._last_ns
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate_per_ns)
+            self._last_ns = now_ns
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class LruCache:
+    """A bounded LRU map: the gateway's cache tier."""
+
+    def __init__(self, slots: int):
+        self.slots = slots
+        self._entries: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def fill(self, key: bytes, value: bytes) -> None:
+        if self.slots == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.slots:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: bytes) -> None:
+        self._entries.pop(key, None)
+
+
+class Gateway:
+    """Admission control + batching + cache in front of the rack."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: GatewayConfig,
+        clients: List,
+        obs=None,
+    ):
+        from ..obs import NULL_REGISTRY
+
+        self.kernel = kernel
+        self.config = config
+        self.clients = clients
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.bucket = TokenBucket(config.admit_rps / 1e9, config.admit_burst)
+        self.cache = LruCache(config.cache_slots)
+        self.rejections: List[AdmissionRejected] = []
+        self._queue: "deque[Request]" = deque()
+        self._wake = kernel.event("gateway-wake")
+        self.stats = {
+            "offered": 0,
+            "admitted": 0,
+            "cache_hits": 0,
+            "rejected_throttled": 0,
+            "rejected_shed": 0,
+            "completed": 0,
+            "errors": 0,
+            "batches": 0,
+            "batched_requests": 0,
+            "max_queue_depth": 0,
+        }
+
+    # -- ingress -------------------------------------------------------------
+
+    def submit(self, request: Request) -> bool:
+        """Offer one request; returns True iff it entered the system
+        (cache hit or admitted to the backend queue)."""
+        self.stats["offered"] += 1
+        if self.obs:
+            self.obs.counter(
+                "traffic_offered_total", {"class": request.cls.kind}
+            ).inc()
+        if request.cls.cacheable and self.config.cache_slots:
+            if self.cache.lookup(request.key) is not None:
+                self.stats["cache_hits"] += 1
+                request.outcome = "cache_hit"
+                self.kernel.call_after(
+                    self.config.cache_hit_ns, self._complete, request
+                )
+                return True
+        if self.config.admission:
+            if not self.bucket.take(self.kernel.now):
+                self._reject(request, "throttled")
+                return False
+            if len(self._queue) >= self.config.max_queue_depth:
+                self._reject(request, "shed")
+                return False
+        self.stats["admitted"] += 1
+        self._queue.append(request)
+        depth = len(self._queue)
+        if depth > self.stats["max_queue_depth"]:
+            self.stats["max_queue_depth"] = depth
+        if not self._wake.fired:
+            wake, self._wake = self._wake, self.kernel.event("gateway-wake")
+            wake.succeed(self.kernel)
+        return True
+
+    def _reject(self, request: Request, reason: str) -> None:
+        request.outcome = f"rejected:{reason}"
+        self.stats[f"rejected_{reason}"] += 1
+        if len(self.rejections) < MAX_RECORDED_REJECTIONS:
+            self.rejections.append(
+                AdmissionRejected(reason, request.cls.kind, self.kernel.now)
+            )
+        if self.obs:
+            self.obs.counter(
+                "traffic_rejections_total",
+                {"reason": reason, "class": request.cls.kind},
+            ).inc()
+        if request.done is not None:
+            request.done.succeed(self.kernel, request)
+
+    # -- backend workers -----------------------------------------------------
+
+    def worker(self, index: int):
+        """One backend worker process: drain the queue in batches.
+
+        Spawned by the engine (``workers`` of them); parks on the wake
+        event while the queue is empty, so a finished scenario leaves
+        the workers idle and the kernel's queue drained.
+        """
+        config = self.config
+        # Service-only gateways (no KVS classes in the mix) need no clients.
+        client = self.clients[index % len(self.clients)] if self.clients else None
+        while True:
+            if not self._queue:
+                yield self._wake
+                continue
+            if len(self._queue) < config.batch_max and config.batch_window_ns > 0:
+                # Short batch: wait briefly for it to fill under load.
+                yield Timeout(config.batch_window_ns)
+            batch = []
+            take = min(config.batch_max, len(self._queue))
+            for _ in range(take):
+                batch.append(self._queue.popleft())
+            if not batch:
+                continue
+            self.stats["batches"] += 1
+            self.stats["batched_requests"] += len(batch)
+            if self.obs:
+                self.obs.gauge("traffic_queue_depth").set(len(self._queue))
+            if config.batch_overhead_ns > 0:
+                yield Timeout(config.batch_overhead_ns)
+            for request in batch:
+                yield from self._execute(request, client)
+
+    def _execute(self, request: Request, client):
+        kind = request.cls.kind
+        try:
+            if kind == "kvs_put":
+                yield from client.put(request.key, request.value)
+                if self.config.cache_slots:
+                    # Write-through: readers see the new value from cache.
+                    self.cache.fill(request.key, request.value)
+            elif kind == "kvs_get":
+                value = yield from client.get(request.key)
+                if self.config.cache_slots and value is not None:
+                    self.cache.fill(request.key, value)
+            else:
+                yield Timeout(request.cls.service_ns)
+                if request.cls.cacheable and self.config.cache_slots:
+                    self.cache.fill(request.key, b"\x01")
+        except FleetKvsError:
+            self.stats["errors"] += 1
+            request.outcome = "error"
+            if self.obs:
+                self.obs.counter(
+                    "traffic_errors_total", {"class": kind}
+                ).inc()
+            if request.done is not None:
+                request.done.succeed(self.kernel, request)
+            return
+        self._complete(request)
+
+    def _complete(self, request: Request) -> None:
+        if not request.outcome:
+            request.outcome = "served"
+        self.stats["completed"] += 1
+        if self.obs:
+            self.obs.histogram(
+                LATENCY_METRIC,
+                {"class": request.cls.kind, "phase": request.phase},
+                base=1.25,
+            ).observe(self.kernel.now - request.submitted_ns)
+        if request.done is not None:
+            request.done.succeed(self.kernel, request)

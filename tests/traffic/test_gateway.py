@@ -1,0 +1,212 @@
+"""Gateway unit behavior: token bucket, shedding, cache, batching."""
+
+import pytest
+
+from repro.config import FleetConfig
+from repro.fleet import Rack
+from repro.sim import Kernel
+from repro.traffic import (
+    Gateway,
+    GatewayConfig,
+    LruCache,
+    Request,
+    TokenBucket,
+    TrafficConfig,
+    build_classes,
+)
+from repro.traffic.config import RequestClassConfig
+
+pytestmark = pytest.mark.traffic
+
+
+# -- token bucket ----------------------------------------------------------
+
+def test_token_bucket_burst_then_refill():
+    bucket = TokenBucket(rate_per_ns=0.001, burst=3)  # 1 token per µs
+    assert [bucket.take(0.0) for _ in range(3)] == [True, True, True]
+    assert bucket.take(0.0) is False
+    assert bucket.take(500.0) is False  # half a token accrued
+    assert bucket.take(1_500.0) is True  # 1.5 tokens since t=0
+    assert bucket.take(1_500.0) is False
+
+
+def test_token_bucket_caps_at_burst():
+    bucket = TokenBucket(rate_per_ns=1.0, burst=2)
+    assert bucket.take(1e9) is True
+    assert bucket.take(1e9) is True
+    assert bucket.take(1e9) is False
+
+
+# -- LRU cache -------------------------------------------------------------
+
+def test_lru_cache_evicts_least_recently_used():
+    cache = LruCache(2)
+    cache.fill(b"a", b"1")
+    cache.fill(b"b", b"2")
+    assert cache.lookup(b"a") == b"1"  # refresh a
+    cache.fill(b"c", b"3")  # evicts b
+    assert cache.lookup(b"b") is None
+    assert cache.lookup(b"a") == b"1"
+    assert cache.lookup(b"c") == b"3"
+    assert cache.evictions == 1
+
+
+def test_lru_cache_invalidate_and_zero_slots():
+    cache = LruCache(0)
+    cache.fill(b"a", b"1")
+    assert len(cache) == 0
+    cache = LruCache(4)
+    cache.fill(b"a", b"1")
+    cache.invalidate(b"a")
+    assert cache.lookup(b"a") is None
+
+
+# -- service-class fixtures (no rack needed) -------------------------------
+
+def _service_gateway(kernel, **gw_overrides):
+    """A gateway over service-time classes only (no KVS clients)."""
+    traffic = TrafficConfig(
+        enabled=True,
+        classes=(
+            RequestClassConfig("recsys", weight=1.0),
+            RequestClassConfig("gbdt", weight=1.0),
+        ),
+    )
+    classes = {c.kind: c for c in build_classes(traffic)}
+    gateway = Gateway(kernel, GatewayConfig(**gw_overrides), clients=[])
+    return gateway, classes
+
+
+def _request(kernel, cls, key=b"k"):
+    return Request(cls, key, b"", "steady", kernel.now)
+
+
+def test_queue_depth_shedding_is_typed():
+    kernel = Kernel(seed=1)
+    gateway, classes = _service_gateway(
+        kernel, max_queue_depth=2, admit_rps=1e12, admit_burst=100,
+        cache_slots=0, workers=1,
+    )
+    cls = classes["gbdt"]
+    accepted = [gateway.submit(_request(kernel, cls)) for _ in range(5)]
+    assert accepted == [True, True, False, False, False]
+    assert gateway.stats["rejected_shed"] == 3
+    assert gateway.stats["rejected_throttled"] == 0
+    assert all(r.reason == "shed" for r in gateway.rejections)
+    assert {r.kind for r in gateway.rejections} == {"gbdt"}
+
+
+def test_token_bucket_throttling_is_typed():
+    kernel = Kernel(seed=1)
+    gateway, classes = _service_gateway(
+        kernel, admit_rps=1_000.0, admit_burst=1, cache_slots=0,
+    )
+    cls = classes["gbdt"]
+    assert gateway.submit(_request(kernel, cls)) is True
+    assert gateway.submit(_request(kernel, cls)) is False
+    assert gateway.stats["rejected_throttled"] == 1
+    assert gateway.rejections[-1].reason == "throttled"
+
+
+def test_rejected_requests_carry_their_outcome():
+    kernel = Kernel(seed=1)
+    gateway, classes = _service_gateway(
+        kernel, admit_rps=1_000.0, admit_burst=1, cache_slots=0,
+    )
+    first = _request(kernel, classes["recsys"])
+    second = _request(kernel, classes["recsys"])
+    gateway.submit(first)
+    gateway.submit(second)
+    assert second.outcome == "rejected:throttled"
+
+
+def test_admission_off_admits_everything():
+    kernel = Kernel(seed=1)
+    gateway, classes = _service_gateway(
+        kernel, admission=False, admit_rps=1.0, admit_burst=1,
+        max_queue_depth=1, cache_slots=0,
+    )
+    for _ in range(50):
+        assert gateway.submit(_request(kernel, classes["gbdt"])) is True
+    assert gateway.stats["admitted"] == 50
+    assert not gateway.rejections
+
+
+def test_cacheable_class_hits_after_first_serve():
+    kernel = Kernel(seed=1)
+    gateway, classes = _service_gateway(kernel, workers=1)
+    kernel.spawn(gateway.worker(0), name="worker")
+    cls = classes["recsys"]  # cacheable
+    gateway.submit(_request(kernel, cls, key=b"user:1"))
+    kernel.run()
+    assert gateway.stats["completed"] == 1
+    hit = _request(kernel, cls, key=b"user:1")
+    gateway.submit(hit)
+    assert hit.outcome == "cache_hit"
+    kernel.run()
+    assert gateway.stats["cache_hits"] == 1
+    assert gateway.stats["completed"] == 2
+    assert gateway.cache.hits == 1
+
+
+def test_non_cacheable_class_never_hits():
+    kernel = Kernel(seed=1)
+    gateway, classes = _service_gateway(kernel, workers=1)
+    kernel.spawn(gateway.worker(0), name="worker")
+    cls = classes["gbdt"]  # not cacheable
+    for _ in range(3):
+        gateway.submit(_request(kernel, cls, key=b"same"))
+        kernel.run()
+    assert gateway.stats["cache_hits"] == 0
+
+
+def test_batching_drains_bursts_in_one_batch():
+    kernel = Kernel(seed=1)
+    gateway, classes = _service_gateway(
+        kernel, workers=1, batch_max=8, cache_slots=0,
+    )
+    kernel.spawn(gateway.worker(0), name="worker")
+    for _ in range(8):
+        gateway.submit(_request(kernel, classes["gbdt"]))
+    kernel.run()
+    assert gateway.stats["completed"] == 8
+    assert gateway.stats["batches"] == 1
+    assert gateway.stats["batched_requests"] == 8
+
+
+def test_batch_max_one_disables_batching():
+    kernel = Kernel(seed=1)
+    gateway, classes = _service_gateway(
+        kernel, workers=1, batch_max=1, batch_window_ns=0.0, cache_slots=0,
+    )
+    kernel.spawn(gateway.worker(0), name="worker")
+    for _ in range(4):
+        gateway.submit(_request(kernel, classes["gbdt"]))
+    kernel.run()
+    assert gateway.stats["batches"] == 4
+
+
+# -- KVS write-through (needs a rack) --------------------------------------
+
+def test_put_write_through_serves_the_next_get_from_cache():
+    fleet = FleetConfig(enabled=True, machines=2, replication_factor=1, seed=5)
+    rack = Rack(fleet)
+    kernel = rack.kernel
+    traffic = TrafficConfig(enabled=True)
+    classes = {c.kind: c for c in build_classes(traffic)}
+    client = rack.client("gw0")
+    gateway = Gateway(kernel, GatewayConfig(workers=1), clients=[client])
+    kernel.spawn(gateway.worker(0), name="worker")
+
+    put = Request(classes["kvs_put"], b"u:1", b"profile", "steady", kernel.now)
+    gateway.submit(put)
+    kernel.run()
+    assert put.outcome == "served"
+    assert client.stats["puts_acked"] == 1
+
+    get = Request(classes["kvs_get"], b"u:1", b"", "steady", kernel.now)
+    gateway.submit(get)
+    kernel.run()
+    assert get.outcome == "cache_hit"
+    assert gateway.stats["cache_hits"] == 1
+    assert client.stats["gets"] == 0, "cache hit must not touch the backend"
