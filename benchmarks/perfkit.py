@@ -318,6 +318,79 @@ def bench_traffic_kvs_mix(duration_ms: float = 3.0, repeats: int = 3) -> dict:
     return out
 
 
+def bench_antientropy_sync(
+    keys: int = 2_000, divergent: int = 200, repeats: int = 3
+) -> dict:
+    """Merkle anti-entropy pass: one full sweep of a populated rack.
+
+    Loads ``keys`` quorum-written entries onto the ``rack_quorum``
+    fleet once, then per repetition knocks ``divergent`` of them out
+    of a non-primary replica each and times a single ``run_pass()``:
+    Merkle tree build over every shared replica range, hash-guided
+    leaf diff, and the repairs themselves.  The rate counts keyspace
+    entries per wall-clock second of sweep.  ``sim`` pins the per-pass
+    comparison/repair counts -- deterministic under the pinned seed, so
+    a drift there means the sync protocol itself changed.
+    """
+    from dataclasses import replace
+
+    from repro.config import preset
+    from repro.fleet import (
+        AntiEntropyConfig,
+        AntiEntropyScheduler,
+        Rack,
+        replica_divergence,
+    )
+
+    fleet = replace(
+        preset("rack_quorum").fleet, seed=BENCH_SEED, hinted_handoff=False
+    )
+    rack = Rack(fleet)
+    client = rack.client()
+
+    def seed_writes():
+        for i in range(keys):
+            yield from client.put(b"ae-%05d" % i, b"x" * 64)
+
+    rack.kernel.run_process(seed_writes())
+    scheduler = AntiEntropyScheduler(
+        rack, AntiEntropyConfig(enabled=True, interval_ns=1e6)
+    )
+
+    def knock_out():
+        # Drop the same ``divergent`` keys from one non-primary replica
+        # each; the pass repairs them back to the identical entry, so
+        # every repetition does the same work.
+        dropped = 0
+        for i in range(keys):
+            if dropped >= divergent:
+                break
+            key = b"ae-%05d" % i
+            for replica in rack.ring.place(key)[1:]:
+                machine = rack.machines[replica]
+                if machine.store.get(key) is not None:
+                    machine.store.delete(key)
+                    machine.server.versions.pop(key, None)
+                    dropped += 1
+                    break
+        return dropped
+
+    sim: dict = {}
+
+    def work():
+        sim["dropped"] = knock_out()
+        before = dict(scheduler.stats)
+        scheduler.run_pass()
+        for stat in ("repairs_applied", "hash_comparisons", "pairs_compared"):
+            sim[f"{stat}_per_pass"] = scheduler.stats[stat] - before.get(stat, 0)
+
+    out = _best_rate(work, keys, repeats)
+    assert replica_divergence(rack) == 0
+    out["unit"] = "keys/s"
+    out["sim"] = sim
+    return out
+
+
 BENCHES = {
     "kernel_dispatch": bench_kernel_dispatch,
     "kernel_timeout_procs": bench_kernel_timeout_procs,
@@ -326,6 +399,7 @@ BENCHES = {
     "fig7_tcp_wall": bench_fig7_tcp_wall,
     "fleet_quorum_put": bench_fleet_quorum_put,
     "traffic_kvs_mix": bench_traffic_kvs_mix,
+    "antientropy_sync": bench_antientropy_sync,
 }
 
 

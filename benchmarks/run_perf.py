@@ -47,6 +47,7 @@ QUICK_SIZES = {
     "fig7_tcp_wall": {"repeats": 2},
     "fleet_quorum_put": {"ops": 100, "repeats": 2},
     "traffic_kvs_mix": {"duration_ms": 0.5, "repeats": 2},
+    "antientropy_sync": {"keys": 300, "divergent": 30, "repeats": 2},
 }
 
 

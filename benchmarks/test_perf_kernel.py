@@ -26,6 +26,8 @@ SMOKE_SIZES = {
     "eci_link_flits": {"flits": 500, "repeats": 1},
     "fig7_tcp_wall": {"repeats": 1},
     "fleet_quorum_put": {"ops": 40, "repeats": 1},
+    "traffic_kvs_mix": {"duration_ms": 0.2, "repeats": 1},
+    "antientropy_sync": {"keys": 120, "divergent": 12, "repeats": 1},
 }
 
 
@@ -48,6 +50,15 @@ def test_fleet_quorum_bench_sim_series_is_deterministic():
     b = perfkit.bench_fleet_quorum_put(ops=40, repeats=1)["sim"]
     assert a == b
     assert a["put_p50_ns"] > 0
+
+
+def test_antientropy_bench_sim_counts_are_deterministic():
+    # Same pinned seed, same knocked-out replicas, same repair counts.
+    a = perfkit.bench_antientropy_sync(keys=120, divergent=12, repeats=1)["sim"]
+    b = perfkit.bench_antientropy_sync(keys=120, divergent=12, repeats=1)["sim"]
+    assert a == b
+    assert a["dropped"] == 12
+    assert a["repairs_applied_per_pass"] == 12
 
 
 def test_calibration_reports_sane_rate():

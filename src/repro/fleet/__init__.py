@@ -9,6 +9,7 @@ store with configurable replication, timeout-driven failover, and
 rack-level latency rollups.
 """
 
+from .antientropy import AntiEntropyScheduler, MerkleTree, replica_divergence
 from .audit import (
     AuditError,
     HistoryOp,
@@ -16,7 +17,7 @@ from .audit import (
     assert_linearizable,
     check_history,
 )
-from .config import FleetConfig
+from .config import AntiEntropyConfig, FleetConfig
 from .errors import FleetError
 from .kvs import (
     FleetKvsClient,
@@ -31,8 +32,11 @@ from .rack import Rack, RackError, RackMachine
 from .rollup import FleetRollup, MergedSeries, merge_histograms
 
 __all__ = [
+    "AntiEntropyConfig",
+    "AntiEntropyScheduler",
     "AuditError",
     "FleetConfig",
+    "MerkleTree",
     "FleetError",
     "FleetKvsClient",
     "FleetKvsError",
@@ -54,4 +58,5 @@ __all__ = [
     "key_hash",
     "merge_histograms",
     "moved_keys",
+    "replica_divergence",
 ]

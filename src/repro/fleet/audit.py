@@ -100,9 +100,45 @@ class HistoryRecorder:
         self._tick = 0
         self.ops: List[HistoryOp] = []
 
+    def attach(self, client) -> None:
+        """Point one :class:`repro.fleet.kvs.FleetKvsClient` at this
+        recorder.  Attach as many clients as the scenario runs -- the
+        shared clock and tick counter give their interleaved
+        operations one consistent global order, which is exactly what
+        the concurrent audit needs."""
+        client.history = self
+
     def _stamp(self) -> Stamp:
         self._tick += 1
         return (self._clock(), self._tick)
+
+    @property
+    def clients(self) -> List[str]:
+        """The distinct client names that recorded operations, sorted."""
+        return sorted({op.client for op in self.ops})
+
+    def max_concurrency(self) -> int:
+        """The deepest per-key overlap of completed operations.
+
+        A multi-client history is only a meaningful audit subject if
+        operations actually overlapped in time; harnesses assert this
+        is > 1 so a passing audit cannot be an accidentally sequential
+        schedule."""
+        worst = 0
+        for ops in self.by_key().values():
+            events = []
+            for op in ops:
+                if not op.completed:
+                    continue
+                events.append((op.invoke_ts, 1))
+                events.append((op.respond_ts, -1))
+            events.sort()
+            depth = 0
+            for _stamp, delta in events:
+                depth += delta
+                if depth > worst:
+                    worst = depth
+        return worst
 
     def invoke(
         self, client: str, op: str, key: bytes, arg: Optional[bytes]

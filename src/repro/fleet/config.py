@@ -20,7 +20,37 @@ lazily.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AntiEntropyConfig:
+    """Background Merkle-tree replica synchronization.
+
+    When enabled, an :class:`repro.fleet.antientropy.AntiEntropyScheduler`
+    periodically compares every live replica pair's shared key ranges
+    via hash trees and pushes apply-iff-newer repairs for divergent
+    ranges, so convergence after heals and rejoins no longer rides on
+    reads or hinted handoff.  Off by default and bit-identical when
+    off: no scheduler is built and no pass ever runs.
+    """
+
+    #: Run background anti-entropy passes at all?
+    enabled: bool = False
+    #: Gap between background passes (ns of simulated time).
+    interval_ns: float = 1_000_000.0
+    #: Depth of the per-pair hash tree: ``2**depth`` leaf buckets.
+    #: Deeper trees localize divergence with fewer key exchanges but
+    #: cost more hash comparisons per pass.
+    depth: int = 4
+
+    def __post_init__(self):
+        if self.interval_ns <= 0:
+            raise ValueError(
+                f"interval_ns must be positive, got {self.interval_ns}"
+            )
+        if not 1 <= self.depth <= 16:
+            raise ValueError(f"depth must be in 1..16, got {self.depth}")
 
 
 @dataclass(frozen=True)
@@ -76,6 +106,8 @@ class FleetConfig:
     kvs_slots: int = 4096
     #: Seed for the rack's simulation kernel (all stochastic draws).
     seed: int = 0xF1EE7
+    #: Background Merkle-tree replica synchronization (off by default).
+    anti_entropy: AntiEntropyConfig = field(default_factory=AntiEntropyConfig)
 
     def __post_init__(self):
         if self.machines < 2:

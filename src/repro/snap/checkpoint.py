@@ -96,13 +96,24 @@ def _require_quiescent(kernel) -> None:
         )
 
 
-def checkpoint_rack(rack, clients: Tuple = (), kind: str = "rack") -> Checkpoint:
+def checkpoint_rack(
+    rack,
+    clients: Tuple = (),
+    kind: str = "rack",
+    extras: Dict[str, Any] = None,
+) -> Checkpoint:
     """Capture a quiescent rack (and its attached clients) whole.
 
     ``clients`` lists the :class:`repro.fleet.kvs.FleetKvsClient`
     instances created via :meth:`Rack.client`, in creation order --
     restore rebuilds them on the same addresses in the same order so
     switch port order (and thus every tie-break) is preserved.
+
+    ``extras`` names additional Snapshottable components riding on the
+    rack -- an anti-entropy scheduler, a gateway -- keyed however the
+    harness likes.  :func:`restore_rack` requires the same names back
+    (it cannot *build* an extra from config; the harness constructs it
+    and the checkpoint re-materializes its state).
     """
     from ..config.schema import encode
 
@@ -131,6 +142,9 @@ def checkpoint_rack(rack, clients: Tuple = (), kind: str = "rack") -> Checkpoint
         "machines": machines,
         "clients": client_states,
         "obs": tagged(rack.obs) if rack.obs else None,
+        "extras": {
+            name: tagged(obj) for name, obj in sorted((extras or {}).items())
+        },
         # Kernel last in capture order for symmetry with restore.
         "kernel": tagged(rack.kernel),
     }
@@ -146,13 +160,20 @@ def checkpoint_rack(rack, clients: Tuple = (), kind: str = "rack") -> Checkpoint
     )
 
 
-def restore_rack(checkpoint: Checkpoint, obs=None):
+def restore_rack(checkpoint: Checkpoint, obs=None, extras: Dict[str, Any] = None):
     """Re-materialize ``(rack, clients)`` from a checkpoint.
 
     A fresh rack is built from the checkpoint's fleet config, then each
     component's state is restored onto it.  Pass ``obs`` to supply your
     own registry; by default a fresh one is created whenever the
     checkpoint carries registry state.
+
+    ``extras`` supplies freshly constructed counterparts for every
+    extra captured at checkpoint time (same names); their state is
+    restored *before* the registry, so construction-time emissions are
+    discarded like everyone else's.  Name mismatches in either
+    direction raise: a silently dropped extra would continue from
+    default state and break bit-identical resumption.
     """
     from ..config.schema import decode
     from ..fleet.config import FleetConfig
@@ -185,6 +206,16 @@ def restore_rack(checkpoint: Checkpoint, obs=None):
         restore(client.link, entry["link"])
         restore(client, entry["state"])
         clients.append(client)
+    saved_extras = states.get("extras", {}) or {}
+    extras = extras or {}
+    if set(saved_extras) != set(extras):
+        raise SnapshotError(
+            f"checkpoint extras {sorted(saved_extras)} != supplied "
+            f"{sorted(extras)}; restore_rack needs a constructed "
+            "counterpart for every captured extra (and no strays)"
+        )
+    for name in sorted(saved_extras):
+        restore(extras[name], saved_extras[name])
     # The registry restores LAST (wholesale: construction-time emissions
     # from the rebuild above are discarded), then the kernel closes out
     # with clock, tie-break sequence, and RNG stream.

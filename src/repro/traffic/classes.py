@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..sim import Event
-from .config import RequestClassConfig, TrafficConfig
+from .config import TrafficConfig
 
 #: Tuples per GBDT inference request (a small scoring batch, far below
 #: the 64 KB streaming batches of the throughput experiment).
@@ -70,6 +70,8 @@ class RequestClass:
     service_ns: float
     #: May the gateway cache tier answer this class?
     cacheable: bool
+    #: End-to-end deadline from submission (0 = none propagated).
+    deadline_ns: float = 0.0
 
 
 def build_classes(config: TrafficConfig) -> List[RequestClass]:
@@ -88,6 +90,7 @@ def build_classes(config: TrafficConfig) -> List[RequestClass]:
                 slo_ns=entry.slo_ns,
                 service_ns=service,
                 cacheable=entry.kind in ("kvs_get", "recsys"),
+                deadline_ns=entry.deadline_ns,
             )
         )
     return resolved
@@ -104,6 +107,7 @@ class Request:
         "submitted_ns",
         "done",
         "outcome",
+        "deadline_ns",
     )
 
     def __init__(
@@ -124,6 +128,10 @@ class Request:
         self.done = done
         #: "served" | "cache_hit" | "rejected:<reason>" | "error" | "".
         self.outcome = ""
+        #: Absolute deadline (ns); 0 = the class propagates none.
+        self.deadline_ns = (
+            submitted_ns + cls.deadline_ns if cls.deadline_ns else 0.0
+        )
 
 
 class RequestSampler:

@@ -48,6 +48,12 @@ class RequestClassConfig:
     kind: str
     weight: float = 1.0
     slo_ns: float = 100_000.0
+    #: End-to-end deadline propagated with every request of this class
+    #: (ns from submission).  A request still queued -- or between
+    #: gateway retries -- past its deadline is shed (typed
+    #: ``deadline`` rejection) instead of burning backend work nobody
+    #: is waiting for.  0 (the default) disables the deadline.
+    deadline_ns: float = 0.0
 
     def __post_init__(self):
         if self.kind not in CLASS_KINDS:
@@ -59,6 +65,10 @@ class RequestClassConfig:
             raise ValueError(f"class weight must be positive, got {self.weight}")
         if self.slo_ns <= 0:
             raise ValueError(f"slo_ns must be positive, got {self.slo_ns}")
+        if self.deadline_ns < 0:
+            raise ValueError(
+                f"deadline_ns must be non-negative, got {self.deadline_ns}"
+            )
 
 
 @dataclass(frozen=True)
@@ -97,6 +107,28 @@ class GatewayConfig:
     cache_slots: int = 4096
     #: Service time of a cache hit (ns).
     cache_hit_ns: float = 1_500.0
+    #: Tail-latency hedging for idempotent ``kvs_get``: if the first
+    #: attempt has not finished after this many ns, a second identical
+    #: request is launched on the next client port and the first
+    #: response wins.  0 (the default) disables hedging and is
+    #: bit-identical to a build without it.
+    hedge_ns: float = 0.0
+    #: Gateway-level retry budget: tokens accrued per admitted request
+    #: (Finagle-style).  A backend failure may be retried only while
+    #: the budget holds a whole token, so retries are bounded to this
+    #: fraction of admitted traffic and can never storm a struggling
+    #: backend.  0 (the default) disables gateway retries.
+    retry_budget: float = 0.0
+    #: Max retry attempts per request (inert while ``retry_budget`` 0).
+    retry_limit: int = 2
+    #: Per-backend-shard circuit breakers: after
+    #: ``breaker_failures`` consecutive failures against one shard the
+    #: gateway sheds that shard's requests (typed ``breaker``
+    #: rejections) for ``breaker_reset_ns``, then probes.
+    breaker_enabled: bool = False
+    breaker_failures: int = 5
+    breaker_reset_ns: float = 2_000_000.0
+    breaker_probes: int = 2
 
     def __post_init__(self):
         if self.admit_rps <= 0:
@@ -119,6 +151,22 @@ class GatewayConfig:
             raise ValueError(f"cache_slots must be >= 0, got {self.cache_slots}")
         if self.cache_hit_ns <= 0:
             raise ValueError(f"cache_hit_ns must be positive, got {self.cache_hit_ns}")
+        if self.hedge_ns < 0:
+            raise ValueError(f"hedge_ns must be non-negative, got {self.hedge_ns}")
+        if not 0 <= self.retry_budget <= 1:
+            raise ValueError(
+                f"retry_budget must be in [0, 1], got {self.retry_budget}"
+            )
+        if self.retry_limit < 1:
+            raise ValueError(f"retry_limit must be >= 1, got {self.retry_limit}")
+        if self.breaker_failures < 1:
+            raise ValueError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.breaker_reset_ns <= 0:
+            raise ValueError("breaker_reset_ns must be positive")
+        if self.breaker_probes < 1:
+            raise ValueError(f"breaker_probes must be >= 1, got {self.breaker_probes}")
 
 
 def _default_classes() -> Tuple[RequestClassConfig, ...]:

@@ -69,6 +69,18 @@ class TrafficEngine:
         )
         self._t0 = 0.0
 
+    def attach_history(self, recorder) -> None:
+        """Record every gateway client's KVS operations into one shared
+        :class:`repro.fleet.audit.HistoryRecorder`.
+
+        The engine's backend workers round-robin across
+        ``client_ports`` concurrent clients; with one recorder behind
+        all of them the scenario produces a genuinely interleaved
+        multi-client history that :func:`repro.fleet.audit.check_history`
+        can audit for linearizability."""
+        for client in self.clients:
+            recorder.attach(client)
+
     # -- sources -------------------------------------------------------------
 
     def _open_source(self):
@@ -176,9 +188,13 @@ class TrafficEngine:
     def report(self) -> dict:
         """The scenario's canonical deterministic output document.
 
-        Conservation holds by construction: ``offered == completed +
-        rejected_throttled + rejected_shed + errors`` (cache hits
-        complete like any other request and count under ``completed``).
+        Conservation holds by construction, faults included:
+        ``offered == completed + rejected_throttled + rejected_shed +
+        errors`` (cache hits complete like any other request and count
+        under ``completed``; deadline and breaker rejections fold into
+        ``rejected_shed`` with per-reason sub-counters; backend
+        failures that exhaust the retry budget count under
+        ``errors``).
         """
         traffic = self.traffic
         gateway = self.gateway

@@ -16,20 +16,34 @@ what a production front-end does:
 * **Cache tier** -- a small LRU in front of the backends serves repeat
   reads (KVS gets, recsys embedding results) at cache-hit latency,
   write-through on puts.
+* **Fault tolerance** (all knobs off by default, bit-identical when
+  off) -- per-class *deadline propagation* (a request past its
+  deadline is shed, not executed), a bounded *retry budget* for
+  backend failures (tokens accrue per admitted request, so retries
+  can never exceed a fixed fraction of traffic), optional
+  *tail-latency hedging* for idempotent ``kvs_get`` (a second request
+  races the first after ``hedge_ns``), and a per-backend-shard
+  *circuit breaker* (:class:`repro.health.CircuitBreaker`) that trips
+  on error bursts and sheds that shard's traffic to typed rejections
+  instead of letting the queue collapse behind a dead primary.
 
 Every served request lands its end-to-end latency (submit to
 completion) in the ``traffic_request_latency_ns{class,phase}``
 histogram; the engine's SLO report reads percentiles straight off
-those buckets.
+those buckets.  Conservation is exact whatever faults fire:
+``offered == completed + rejected_throttled + rejected_shed + errors``
+(deadline and breaker rejections fold into ``rejected_shed`` and are
+additionally counted per reason).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..fleet.kvs import FleetKvsError
-from ..sim import Kernel, Timeout
+from ..health import CircuitBreaker
+from ..sim import AnyOf, Kernel, Timeout
 from .classes import Request
 from .config import GatewayConfig
 
@@ -40,8 +54,10 @@ class AdmissionRejected(Exception):
     These are *recorded*, not raised: the gateway appends one per
     rejection to :attr:`Gateway.rejections` (bounded) and counts them
     per reason, so a scenario can audit exactly what was shed.
-    ``reason`` is ``"throttled"`` (token bucket empty) or ``"shed"``
-    (queue at depth).
+    ``reason`` is ``"throttled"`` (token bucket empty), ``"shed"``
+    (queue at depth), ``"deadline"`` (past its propagated deadline
+    before execution), or ``"breaker"`` (backend shard's circuit
+    open).
     """
 
     def __init__(self, reason: str, kind: str, at_ns: float):
@@ -56,6 +72,13 @@ MAX_RECORDED_REJECTIONS = 256
 
 #: The end-to-end latency histogram every served request lands in.
 LATENCY_METRIC = "traffic_request_latency_ns"
+
+#: Retry-budget tokens never accumulate past this (a long quiet spell
+#: must not bank an unbounded retry storm).
+RETRY_TOKEN_CAP = 256.0
+
+#: AnyOf sentinel: the hedge timer fired before the first attempt.
+_HEDGE_TIMER = "hedge-timer"
 
 
 class TokenBucket:
@@ -135,14 +158,38 @@ class Gateway:
         self.rejections: List[AdmissionRejected] = []
         self._queue: "deque[Request]" = deque()
         self._wake = kernel.event("gateway-wake")
+        #: Retry-budget tokens (accrue per admitted request, spent 1/retry).
+        self.retry_tokens = 0.0
+        #: Per-backend-shard circuit breakers (keyed by machine name),
+        #: built only when the knob is on -- the default path carries
+        #: no breaker objects at all.
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        if config.breaker_enabled and clients:
+            rack = clients[0].rack
+            self.breakers = {
+                name: CircuitBreaker(
+                    f"shard.{name}",
+                    clock=lambda: self.kernel.now,
+                    failure_threshold=config.breaker_failures,
+                    reset_ns=config.breaker_reset_ns,
+                    half_open_probes=config.breaker_probes,
+                    obs=self.obs,
+                )
+                for name in rack.fleet.machine_names()
+            }
         self.stats = {
             "offered": 0,
             "admitted": 0,
             "cache_hits": 0,
             "rejected_throttled": 0,
             "rejected_shed": 0,
+            "shed_deadline": 0,
+            "shed_breaker": 0,
             "completed": 0,
             "errors": 0,
+            "retries": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
             "batches": 0,
             "batched_requests": 0,
             "max_queue_depth": 0,
@@ -174,6 +221,10 @@ class Gateway:
                 self._reject(request, "shed")
                 return False
         self.stats["admitted"] += 1
+        if self.config.retry_budget > 0:
+            self.retry_tokens = min(
+                RETRY_TOKEN_CAP, self.retry_tokens + self.config.retry_budget
+            )
         self._queue.append(request)
         depth = len(self._queue)
         if depth > self.stats["max_queue_depth"]:
@@ -185,7 +236,14 @@ class Gateway:
 
     def _reject(self, request: Request, reason: str) -> None:
         request.outcome = f"rejected:{reason}"
-        self.stats[f"rejected_{reason}"] += 1
+        if reason in ("deadline", "breaker"):
+            # Typed load-shedding past admission: folds into the shed
+            # bucket (conservation keeps its four terms) and is
+            # additionally counted per reason.
+            self.stats["rejected_shed"] += 1
+            self.stats[f"shed_{reason}"] += 1
+        else:
+            self.stats[f"rejected_{reason}"] += 1
         if len(self.rejections) < MAX_RECORDED_REJECTIONS:
             self.rejections.append(
                 AdmissionRejected(reason, request.cls.kind, self.kernel.now)
@@ -232,33 +290,150 @@ class Gateway:
             for request in batch:
                 yield from self._execute(request, client)
 
+    def _breaker_for(self, request: Request):
+        """The breaker guarding this request's backend shard, if any.
+
+        Shards are keyed by the key's *current* primary, so after a
+        failover the survivor starts with a clean breaker while the
+        corpse's stays open.
+        """
+        if not self.breakers:
+            return None
+        client = self.clients[0]
+        primary = client.rack.ring.primary(request.key)
+        return self.breakers.get(primary)
+
+    def _past_deadline(self, request: Request) -> bool:
+        return bool(request.deadline_ns) and self.kernel.now >= request.deadline_ns
+
     def _execute(self, request: Request, client):
         kind = request.cls.kind
-        try:
-            if kind == "kvs_put":
-                yield from client.put(request.key, request.value)
-                if self.config.cache_slots:
-                    # Write-through: readers see the new value from cache.
-                    self.cache.fill(request.key, request.value)
-            elif kind == "kvs_get":
-                value = yield from client.get(request.key)
-                if self.config.cache_slots and value is not None:
-                    self.cache.fill(request.key, value)
-            else:
-                yield Timeout(request.cls.service_ns)
-                if request.cls.cacheable and self.config.cache_slots:
-                    self.cache.fill(request.key, b"\x01")
-        except FleetKvsError:
-            self.stats["errors"] += 1
-            request.outcome = "error"
-            if self.obs:
-                self.obs.counter(
-                    "traffic_errors_total", {"class": kind}
-                ).inc()
-            if request.done is not None:
-                request.done.succeed(self.kernel, request)
+        config = self.config
+        if self._past_deadline(request):
+            # It waited in the queue past its deadline: nobody is
+            # listening for the answer, so don't burn backend work.
+            self._reject(request, "deadline")
             return
-        self._complete(request)
+        is_kvs = kind in ("kvs_put", "kvs_get")
+        attempts = 0
+        while True:
+            breaker = self._breaker_for(request) if is_kvs else None
+            if breaker is not None and not breaker.allow():
+                self._reject(request, "breaker")
+                return
+            try:
+                if kind == "kvs_put":
+                    yield from client.put(request.key, request.value)
+                    if config.cache_slots:
+                        # Write-through: readers see the new value from cache.
+                        self.cache.fill(request.key, request.value)
+                elif kind == "kvs_get":
+                    if config.hedge_ns > 0:
+                        value = yield from self._hedged_get(request, client)
+                    else:
+                        value = yield from client.get(request.key)
+                    if config.cache_slots and value is not None:
+                        self.cache.fill(request.key, value)
+                else:
+                    yield Timeout(request.cls.service_ns)
+                    if request.cls.cacheable and config.cache_slots:
+                        self.cache.fill(request.key, b"\x01")
+            except FleetKvsError:
+                if breaker is not None:
+                    breaker.record_failure()
+                if (
+                    config.retry_budget > 0
+                    and attempts < config.retry_limit
+                    and self.retry_tokens >= 1.0
+                    and not self._past_deadline(request)
+                ):
+                    self.retry_tokens -= 1.0
+                    attempts += 1
+                    self.stats["retries"] += 1
+                    if self.obs:
+                        self.obs.counter(
+                            "traffic_retries_total", {"class": kind}
+                        ).inc()
+                    continue
+                self._fail(request, "backend")
+                return
+            if breaker is not None:
+                breaker.record_success()
+            self._complete(request)
+            return
+
+    def _fail(self, request: Request, reason: str) -> None:
+        self.stats["errors"] += 1
+        request.outcome = "error"
+        if self.obs:
+            self.obs.counter(
+                "traffic_errors_total",
+                {"class": request.cls.kind, "reason": reason},
+            ).inc()
+        if request.done is not None:
+            request.done.succeed(self.kernel, request)
+
+    # -- hedging -------------------------------------------------------------
+
+    def _guarded_get(self, client, key: bytes):
+        """A hedge leg: a spawned process must not leak FleetKvsError
+        into the kernel, so failures come back as values."""
+        try:
+            value = yield from client.get(key)
+        except FleetKvsError as exc:
+            return ("error", exc)
+        return ("ok", value)
+
+    def _hedged_get(self, request: Request, client):
+        """Race two identical gets; first good answer wins.
+
+        The hedge launches only if the first attempt is still running
+        after ``hedge_ns``, on the *next* client port (a different
+        switch path).  The losing leg keeps running to completion --
+        gets are idempotent, so the duplicate read is harmless -- and
+        both legs land in the audit history (both really executed).
+        """
+        kernel = self.kernel
+        first = kernel.spawn(
+            self._guarded_get(client, request.key), name="gw-hedge-first"
+        )
+        index, won = yield AnyOf(
+            [first, Timeout(self.config.hedge_ns, _HEDGE_TIMER)]
+        )
+        if index == 0:
+            status, payload = won
+            if status == "error":
+                raise payload
+            return payload
+        self.stats["hedges"] += 1
+        if self.obs:
+            self.obs.counter(
+                "traffic_hedges_total", {"class": request.cls.kind}
+            ).inc()
+        hedge_client = self.clients[
+            (self.clients.index(client) + 1) % len(self.clients)
+        ]
+        second = kernel.spawn(
+            self._guarded_get(hedge_client, request.key), name="gw-hedge-second"
+        )
+        index, won = yield AnyOf([first, second])
+        status, payload = won
+        if status == "ok":
+            if index == 1:
+                self.stats["hedge_wins"] += 1
+                if self.obs:
+                    self.obs.counter("traffic_hedge_wins_total").inc()
+            return payload
+        # The finisher failed; the other leg may still succeed.
+        other = second if index == 0 else first
+        status, payload = yield other
+        if status == "ok":
+            if other is second:
+                self.stats["hedge_wins"] += 1
+                if self.obs:
+                    self.obs.counter("traffic_hedge_wins_total").inc()
+            return payload
+        raise payload
 
     def _complete(self, request: Request) -> None:
         if not request.outcome:
@@ -272,3 +447,72 @@ class Gateway:
             ).observe(self.kernel.now - request.submitted_ns)
         if request.done is not None:
             request.done.succeed(self.kernel, request)
+
+    # -- checkpoint/restore (repro.snap) -------------------------------------
+    #
+    # A gateway is snapshot-safe only with an empty backend queue
+    # (queued Request objects hold live generator state downstream);
+    # the explicit state is the counters, the token buckets (admission
+    # and retry budget), the cache contents, the recorded rejections,
+    # and every shard breaker.  Workers are spawned fresh by the
+    # harness after a restore, exactly as at construction.
+
+    SNAP_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        if self._queue:
+            from ..snap.protocol import SnapshotError
+
+            raise SnapshotError(
+                f"gateway has {len(self._queue)} queued requests; "
+                "snapshot only at quiescence"
+            )
+        from ..snap.protocol import tagged
+
+        return {
+            "stats": dict(self.stats),
+            "retry_tokens": self.retry_tokens,
+            "bucket": {
+                "tokens": self.bucket.tokens,
+                "last_ns": self.bucket._last_ns,
+            },
+            "cache": {
+                "entries": [[k, v] for k, v in self.cache._entries.items()],
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+            },
+            "rejections": [
+                [r.reason, r.kind, r.at_ns] for r in self.rejections
+            ],
+            "breakers": {
+                name: tagged(breaker)
+                for name, breaker in sorted(self.breakers.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from ..snap.protocol import SnapshotError, restore
+
+        self.stats.update(state["stats"])
+        self.retry_tokens = state["retry_tokens"]
+        self.bucket.tokens = state["bucket"]["tokens"]
+        self.bucket._last_ns = state["bucket"]["last_ns"]
+        self.cache._entries = OrderedDict(
+            (bytes(k), bytes(v)) for k, v in state["cache"]["entries"]
+        )
+        self.cache.hits = state["cache"]["hits"]
+        self.cache.misses = state["cache"]["misses"]
+        self.cache.evictions = state["cache"]["evictions"]
+        self.rejections = [
+            AdmissionRejected(reason, kind, at_ns)
+            for reason, kind, at_ns in state["rejections"]
+        ]
+        for name, tagged_state in state["breakers"].items():
+            breaker = self.breakers.get(name)
+            if breaker is None:
+                raise SnapshotError(
+                    f"checkpoint names breaker for unknown shard {name!r} "
+                    "(was breaker_enabled on when the snapshot was taken?)"
+                )
+            restore(breaker, tagged_state)
